@@ -1,0 +1,132 @@
+package prcc
+
+import (
+	"fmt"
+
+	"repro/internal/clientserver"
+	"repro/internal/sharegraph"
+	"repro/internal/transport"
+)
+
+// ClientID identifies a client in the client-server architecture.
+type ClientID = sharegraph.ClientID
+
+// ClientServerSystem is the Appendix E architecture: clients carry their
+// own timestamps and may access arbitrary replica subsets, propagating
+// causal dependencies even between replicas that share no registers. The
+// timestamp graphs are computed over the augmented share graph
+// (Definition 16).
+type ClientServerSystem struct {
+	sys *clientserver.System
+}
+
+// NewClientServer builds a client-server system: stores[i] is replica i's
+// register set, clients[c] is R_c, the replicas client c may access (order
+// expresses routing preference).
+func NewClientServer(stores [][]Register, clients [][]ReplicaID) (*ClientServerSystem, error) {
+	g, err := sharegraph.New(stores)
+	if err != nil {
+		return nil, fmt.Errorf("prcc: %w", err)
+	}
+	aug, err := sharegraph.NewAugmented(g, sharegraph.ClientAssignment(clients))
+	if err != nil {
+		return nil, fmt.Errorf("prcc: %w", err)
+	}
+	return &ClientServerSystem{sys: clientserver.NewSystem(aug)}, nil
+}
+
+// ServerEntries returns |Ê_i| for replica i (augmented timestamp size).
+func (c *ClientServerSystem) ServerEntries(i ReplicaID) int {
+	return c.sys.ReplicaGraphs[i].Len()
+}
+
+// ClientEntries returns the length of client c's timestamp µ_c.
+func (c *ClientServerSystem) ClientEntries(id ClientID) int {
+	return c.sys.ClientGraphs[id].Len()
+}
+
+// ClientOp is one operation of a client program.
+type ClientOp = clientserver.ClientOp
+
+// Live starts a concurrent deployment: goroutine-delivered inter-replica
+// updates and synchronous, blocking client calls (a read blocks until the
+// replica has caught up with the client's causal past — predicate J1).
+func (c *ClientServerSystem) Live() *LiveClientServer {
+	return &LiveClientServer{inner: clientserver.NewLive(c.sys)}
+}
+
+// LiveClientServer is a running client-server deployment.
+type LiveClientServer struct {
+	inner *clientserver.LiveSystem
+}
+
+// Client returns a synchronous handle for client id. Handles issue one
+// operation at a time; distinct clients may run concurrently.
+func (l *LiveClientServer) Client(id ClientID) *LiveClient {
+	return &LiveClient{inner: l.inner.Client(id)}
+}
+
+// LiveClient issues blocking reads and writes for one client.
+type LiveClient struct {
+	inner *clientserver.LiveClient
+}
+
+// Write performs write(x, v), blocking until a replica accepts it.
+func (lc *LiveClient) Write(x Register, v Value) error { return lc.inner.Write(x, v) }
+
+// Read performs read(x), blocking until the serving replica satisfies the
+// client's causal past.
+func (lc *LiveClient) Read(x Register) (Value, error) { return lc.inner.Read(x) }
+
+// Sync blocks until all inter-replica updates have been applied.
+func (l *LiveClientServer) Sync() { l.inner.Quiesce() }
+
+// Check audits the execution (including Definition 26's client clauses
+// and liveness at quiescence).
+func (l *LiveClientServer) Check() error {
+	l.inner.CheckLiveness()
+	vs := l.inner.Tracker().Violations()
+	if len(vs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("prcc: %d violations, first: %s", len(vs), vs[0])
+}
+
+// Close drains and shuts the deployment down.
+func (l *LiveClientServer) Close() { l.inner.Close() }
+
+// ClientSimReport is the outcome of a client-server simulation.
+type ClientSimReport struct {
+	Requests    int
+	Responses   int
+	Updates     int
+	MetaBytes   int
+	Violations  []Violation
+	AllFinished bool
+}
+
+// Ok reports a clean run.
+func (r ClientSimReport) Ok() bool { return len(r.Violations) == 0 && r.AllFinished }
+
+// Simulate runs per-client programs (scripts[c] is client c's op
+// sequence, executed with each client waiting for its previous response)
+// under a seeded-random schedule, audited by the oracle including the
+// Definition 26 client clauses.
+func (c *ClientServerSystem) Simulate(scripts [][]ClientOp, seed int64) (ClientSimReport, error) {
+	res, err := clientserver.Run(clientserver.RunConfig{
+		Sys:     c.sys,
+		Scripts: scripts,
+		Sched:   transport.NewRandom(seed),
+	})
+	if err != nil {
+		return ClientSimReport{}, fmt.Errorf("prcc: %w", err)
+	}
+	return ClientSimReport{
+		Requests:    res.Requests,
+		Responses:   res.Responses,
+		Updates:     res.UpdatesSent,
+		MetaBytes:   res.MetaBytes,
+		Violations:  res.Violations,
+		AllFinished: res.UnfinishedOps == 0 && res.StuckRequests == 0 && res.StuckUpdates == 0,
+	}, nil
+}

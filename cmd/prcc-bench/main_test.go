@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+// TestExperimentsRun executes every experiment section end to end (the
+// same code path that regenerates EXPERIMENTS.md).
+func TestExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnly(t *testing.T) {
+	if err := run([]string{"-only", "E1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-only", "e13"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

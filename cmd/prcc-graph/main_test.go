@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunTopologies(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "fig5"},
+		{"-topology", "fig3", "-bounds", "-m", "2"},
+		{"-topology", "hm1", "-hoops"},
+		{"-topology", "ring", "-n", "5", "-bounds"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-topology", "nope"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunEmitConfig(t *testing.T) {
+	if err := run([]string{"-topology", "fig3", "-emit-config"}); err != nil {
+		t.Error(err)
+	}
+}

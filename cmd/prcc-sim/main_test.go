@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunProtocols(t *testing.T) {
+	for _, proto := range []string{"edge-indexed", "matrix", "dummy-broadcast", "naive-vector", "fifo-only"} {
+		args := []string{"-topology", "ring", "-n", "4", "-protocol", proto, "-ops", "60"}
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	if err := run([]string{"-topology", "fig5", "-adversarial", "-ops", "50"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-protocol", "nope"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-topology", "nope"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-reads", "3.0"}); err == nil {
+		t.Error("bad read fraction accepted")
+	}
+}

@@ -1,0 +1,66 @@
+// Command faultcheck shows why partial replication needs the paper's
+// metadata: it runs two tempting-but-wrong protocols under adversarial
+// asynchrony and lets the happened-before oracle catch them.
+//
+//   - fifo-only (per-channel sequence numbers): violates SAFETY — a reply
+//     can be applied before the post it answers when the dependency
+//     travelled through a third replica (Theorem 8's necessity argument).
+//   - naive-vector (classic length-R vector clocks without metadata
+//     broadcast): violates LIVENESS — a replica waits forever for an
+//     update that was never addressed to it.
+//
+// The paper's edge-indexed algorithm passes the same schedules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := prcc.New([][]prcc.Register{
+		{"wall", "dm-01"},
+		{"wall", "dm-01", "dm-12"},
+		{"wall", "dm-12"},
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, kind := range []prcc.ProtocolKind{
+		prcc.FIFOOnlyProtocol,
+		prcc.NaiveVectorProtocol,
+		prcc.EdgeIndexedProtocol,
+	} {
+		verdict := "no violation found"
+		// Sweep seeds; broken protocols fail quickly under reordering.
+		for seed := int64(1); seed <= 30; seed++ {
+			rep, err := sys.Simulate(prcc.SimOptions{
+				Protocol: kind, Ops: 60, Seed: seed, TrackFalseDeps: true,
+			})
+			if err != nil {
+				return err
+			}
+			if !rep.Ok() {
+				if len(rep.Violations) > 0 {
+					verdict = fmt.Sprintf("seed %d: %s", seed, rep.Violations[0])
+				} else {
+					verdict = fmt.Sprintf("seed %d: %d updates stranded forever", seed, rep.StuckUpdates)
+				}
+				break
+			}
+		}
+		fmt.Printf("%-14s → %s\n", kind, verdict)
+	}
+	fmt.Println("\nonly the edge-indexed protocol survives every schedule — and its")
+	fmt.Println("metadata is exactly what Theorem 8 proves necessary.")
+	return nil
+}

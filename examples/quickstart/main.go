@@ -1,0 +1,77 @@
+// Command quickstart walks the paper's running example (Figure 3): a
+// four-replica partially replicated shared memory where replica i stores
+// only part of the register space, running the edge-indexed causal
+// consistency protocol end to end on a live cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The Figure 3 placement: X1={x}, X2={x,y}, X3={y,z}, X4={z}
+	// (zero-based replicas 0..3). The share graph is the path 0–1–2–3.
+	sys, err := prcc.New([][]prcc.Register{
+		{"x"},
+		{"x", "y"},
+		{"y", "z"},
+		{"z"},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(sys.ShareGraph())
+	for i := 0; i < sys.NumReplicas(); i++ {
+		fmt.Printf("replica %d timestamp: %d counters over %v\n",
+			i, sys.MetadataEntries(prcc.ReplicaID(i)), sys.TrackedEdges(prcc.ReplicaID(i)))
+	}
+
+	cluster, err := sys.Cluster()
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// A causal chain: 0 writes x; 1 sees it and writes y; 2 sees y and
+	// writes z; 3 reads z. Causal consistency guarantees 3 never observes
+	// effects out of cause order.
+	if err := cluster.Write(0, "x", 1); err != nil {
+		return err
+	}
+	cluster.Sync()
+	if v, ok := cluster.Read(1, "x"); ok {
+		fmt.Printf("replica 1 reads x = %d\n", v)
+	}
+	if err := cluster.Write(1, "y", 2); err != nil {
+		return err
+	}
+	cluster.Sync()
+	if v, ok := cluster.Read(2, "y"); ok {
+		fmt.Printf("replica 2 reads y = %d\n", v)
+	}
+	if err := cluster.Write(2, "z", 3); err != nil {
+		return err
+	}
+	cluster.Sync()
+	if v, ok := cluster.Read(3, "z"); ok {
+		fmt.Printf("replica 3 reads z = %d\n", v)
+	}
+
+	// Audit the whole execution against the happened-before oracle.
+	if err := cluster.Check(); err != nil {
+		return err
+	}
+	msgs, bytes := cluster.Stats()
+	fmt.Printf("causally consistent ✓ (%d update messages, %d metadata bytes)\n", msgs, bytes)
+	return nil
+}

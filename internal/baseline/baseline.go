@@ -1,0 +1,488 @@
+// Package baseline implements the comparison protocols the paper's
+// narrative positions the edge-indexed algorithm against:
+//
+//   - FIFOOnly: per-channel sequence numbers. FIFO delivery is sound, but
+//     causal consistency fails on transitive dependencies through third
+//     replicas — the executable form of Theorem 8's necessity argument
+//     (a replica oblivious to non-incident tracked edges violates safety).
+//
+//   - NaiveVector: classic length-R vector timestamps applied naively to
+//     partial replication, with updates sent only to register sharers.
+//     Safety holds (the predicate is conservative) but liveness fails:
+//     a replica can wait forever for an update it was never sent —
+//     exactly why the full-replication recipe does not transfer.
+//
+//   - Broadcast: the Section 5 "dummy registers everywhere" emulation of
+//     full replication. Length-R vectors suffice and liveness holds, paid
+//     for with a metadata message to every replica on every write plus
+//     false dependencies.
+//
+//   - Matrix: an R×R matrix clock in the style of Raynal–Schiper–Toueg
+//     causal multicast (the Full-Track family of Shen et al.). Safe and
+//     live under partial replication, with quadratic metadata.
+package baseline
+
+import (
+	"log"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+	"repro/internal/timestamp"
+)
+
+// decodeMeta decodes envelope metadata, logging (not crashing) on harness
+// bugs, mirroring the core protocol's behaviour.
+func decodeMeta(proto string, self sharegraph.ReplicaID, env core.Envelope) (timestamp.Vec, bool) {
+	v, err := timestamp.Decode(env.Meta)
+	if err != nil {
+		log.Printf("%s: replica %d dropping corrupt metadata from %d: %v", proto, self, env.From, err)
+		return nil, false
+	}
+	return v, true
+}
+
+// ---------------------------------------------------------------------------
+// FIFOOnly
+
+// FIFOOnly delivers updates from each sender in send order and nothing
+// more. Its per-replica metadata is one counter per neighbour pair —
+// deliberately below the Theorem 8 minimum whenever any timestamp graph
+// has a non-incident edge, making it the negative control the oracle
+// catches.
+type FIFOOnly struct {
+	g *sharegraph.Graph
+}
+
+var _ core.Protocol = (*FIFOOnly)(nil)
+
+// NewFIFOOnly builds the protocol.
+func NewFIFOOnly(g *sharegraph.Graph) *FIFOOnly { return &FIFOOnly{g: g} }
+
+// Name implements core.Protocol.
+func (p *FIFOOnly) Name() string { return "fifo-only" }
+
+// NewNodes implements core.Protocol.
+func (p *FIFOOnly) NewNodes() ([]core.Node, error) {
+	nodes := make([]core.Node, p.g.NumReplicas())
+	for i := range nodes {
+		nodes[i] = &fifoNode{
+			id:     sharegraph.ReplicaID(i),
+			g:      p.g,
+			sentTo: make(map[sharegraph.ReplicaID]uint64),
+			recvd:  make(map[sharegraph.ReplicaID]uint64),
+			store:  make(map[sharegraph.Register]core.Value),
+		}
+	}
+	return nodes, nil
+}
+
+type fifoPending struct {
+	env core.Envelope
+	seq uint64
+}
+
+type fifoNode struct {
+	id      sharegraph.ReplicaID
+	g       *sharegraph.Graph
+	sentTo  map[sharegraph.ReplicaID]uint64
+	recvd   map[sharegraph.ReplicaID]uint64
+	store   map[sharegraph.Register]core.Value
+	pending []fifoPending
+}
+
+var _ core.Node = (*fifoNode)(nil)
+
+func (n *fifoNode) ID() sharegraph.ReplicaID { return n.id }
+
+func (n *fifoNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID) ([]core.Envelope, error) {
+	if !n.g.StoresRegister(n.id, x) {
+		return nil, &core.NotStoredError{Replica: n.id, Register: x}
+	}
+	n.store[x] = v
+	var out []core.Envelope
+	for _, k := range n.g.UpdateRecipients(n.id, x) {
+		n.sentTo[k]++
+		out = append(out, core.Envelope{
+			From: n.id, To: k, Reg: x, Val: v,
+			Meta:     timestamp.Encode(timestamp.Vec{n.sentTo[k]}),
+			OracleID: id,
+		})
+	}
+	return out, nil
+}
+
+func (n *fifoNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
+	meta, ok := decodeMeta("fifo-only", n.id, env)
+	if !ok || len(meta) != 1 {
+		return nil, nil
+	}
+	n.pending = append(n.pending, fifoPending{env: env, seq: meta[0]})
+	var out []core.Applied
+	for {
+		progress := false
+		for idx := 0; idx < len(n.pending); idx++ {
+			u := n.pending[idx]
+			if u.seq != n.recvd[u.env.From]+1 {
+				continue
+			}
+			n.recvd[u.env.From]++
+			n.store[u.env.Reg] = u.env.Val
+			n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+			out = append(out, core.Applied{
+				OracleID: u.env.OracleID, From: u.env.From, Reg: u.env.Reg, Val: u.env.Val,
+			})
+			progress = true
+			idx--
+		}
+		if !progress {
+			return out, nil
+		}
+	}
+}
+
+func (n *fifoNode) Read(x sharegraph.Register) (core.Value, bool) {
+	if !n.g.StoresRegister(n.id, x) {
+		return 0, false
+	}
+	return n.store[x], true
+}
+
+func (n *fifoNode) PendingCount() int { return len(n.pending) }
+
+func (n *fifoNode) PendingOracleIDs() []causality.UpdateID {
+	out := make([]causality.UpdateID, len(n.pending))
+	for i, u := range n.pending {
+		out[i] = u.env.OracleID
+	}
+	return out
+}
+
+func (n *fifoNode) MetadataEntries() int { return 2 * n.g.Degree(n.id) }
+
+// ---------------------------------------------------------------------------
+// Shared vector-clock machinery for NaiveVector and Broadcast
+
+type vecPending struct {
+	env core.Envelope
+	w   timestamp.Vec
+}
+
+type vectorNode struct {
+	id        sharegraph.ReplicaID
+	g         *sharegraph.Graph
+	proto     string
+	broadcast bool // Broadcast variant: metadata goes to every replica
+	v         timestamp.Vec
+	store     map[sharegraph.Register]core.Value
+	pending   []vecPending
+}
+
+var _ core.Node = (*vectorNode)(nil)
+
+func (n *vectorNode) ID() sharegraph.ReplicaID { return n.id }
+
+func (n *vectorNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID) ([]core.Envelope, error) {
+	if !n.g.StoresRegister(n.id, x) {
+		return nil, &core.NotStoredError{Replica: n.id, Register: x}
+	}
+	n.store[x] = v
+	n.v[n.id]++
+	meta := timestamp.Encode(n.v)
+	sharers := make(map[sharegraph.ReplicaID]bool)
+	var out []core.Envelope
+	for _, k := range n.g.UpdateRecipients(n.id, x) {
+		sharers[k] = true
+		out = append(out, core.Envelope{
+			From: n.id, To: k, Reg: x, Val: v, Meta: meta, OracleID: id,
+		})
+	}
+	if n.broadcast {
+		for k := 0; k < n.g.NumReplicas(); k++ {
+			rk := sharegraph.ReplicaID(k)
+			if rk == n.id || sharers[rk] {
+				continue
+			}
+			out = append(out, core.Envelope{
+				From: n.id, To: rk, Reg: x, Meta: meta, OracleID: id, MetaOnly: true,
+			})
+		}
+	}
+	return out, nil
+}
+
+func (n *vectorNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
+	w, ok := decodeMeta(n.proto, n.id, env)
+	if !ok || len(w) != len(n.v) {
+		return nil, nil
+	}
+	n.pending = append(n.pending, vecPending{env: env, w: w})
+	var out []core.Applied
+	for {
+		progress := false
+		for idx := 0; idx < len(n.pending); idx++ {
+			u := n.pending[idx]
+			if !n.vectorDeliverable(u) {
+				continue
+			}
+			for p := range n.v {
+				if u.w[p] > n.v[p] {
+					n.v[p] = u.w[p]
+				}
+			}
+			if !u.env.MetaOnly {
+				n.store[u.env.Reg] = u.env.Val
+			}
+			n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+			if !u.env.MetaOnly {
+				out = append(out, core.Applied{
+					OracleID: u.env.OracleID, From: u.env.From, Reg: u.env.Reg, Val: u.env.Val,
+				})
+			}
+			progress = true
+			idx--
+		}
+		if !progress {
+			return out, nil
+		}
+	}
+}
+
+// vectorDeliverable is the classic causal-broadcast condition:
+// w[from] = v[from] + 1 and w[l] ≤ v[l] for l ≠ from.
+func (n *vectorNode) vectorDeliverable(u vecPending) bool {
+	from := u.env.From
+	if u.w[from] != n.v[from]+1 {
+		return false
+	}
+	for l := range n.v {
+		if sharegraph.ReplicaID(l) == from {
+			continue
+		}
+		if u.w[l] > n.v[l] {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *vectorNode) Read(x sharegraph.Register) (core.Value, bool) {
+	if !n.g.StoresRegister(n.id, x) {
+		return 0, false
+	}
+	return n.store[x], true
+}
+
+func (n *vectorNode) PendingCount() int { return len(n.pending) }
+
+func (n *vectorNode) PendingOracleIDs() []causality.UpdateID {
+	out := make([]causality.UpdateID, 0, len(n.pending))
+	for _, u := range n.pending {
+		if !u.env.MetaOnly {
+			out = append(out, u.env.OracleID)
+		}
+	}
+	return out
+}
+
+func (n *vectorNode) MetadataEntries() int { return len(n.v) }
+
+// NaiveVector applies full-replication vector clocks to partial
+// replication without metadata broadcast. See the package comment: safe
+// but not live.
+type NaiveVector struct {
+	g *sharegraph.Graph
+}
+
+var _ core.Protocol = (*NaiveVector)(nil)
+
+// NewNaiveVector builds the protocol.
+func NewNaiveVector(g *sharegraph.Graph) *NaiveVector { return &NaiveVector{g: g} }
+
+// Name implements core.Protocol.
+func (p *NaiveVector) Name() string { return "naive-vector" }
+
+// NewNodes implements core.Protocol.
+func (p *NaiveVector) NewNodes() ([]core.Node, error) {
+	nodes := make([]core.Node, p.g.NumReplicas())
+	for i := range nodes {
+		nodes[i] = &vectorNode{
+			id: sharegraph.ReplicaID(i), g: p.g, proto: p.Name(),
+			v:     make(timestamp.Vec, p.g.NumReplicas()),
+			store: make(map[sharegraph.Register]core.Value),
+		}
+	}
+	return nodes, nil
+}
+
+// Broadcast is the Section 5 dummy-register emulation of full
+// replication: length-R vectors plus metadata-only broadcast.
+type Broadcast struct {
+	g *sharegraph.Graph
+}
+
+var _ core.Protocol = (*Broadcast)(nil)
+
+// NewBroadcast builds the protocol.
+func NewBroadcast(g *sharegraph.Graph) *Broadcast { return &Broadcast{g: g} }
+
+// Name implements core.Protocol.
+func (p *Broadcast) Name() string { return "dummy-broadcast" }
+
+// NewNodes implements core.Protocol.
+func (p *Broadcast) NewNodes() ([]core.Node, error) {
+	nodes := make([]core.Node, p.g.NumReplicas())
+	for i := range nodes {
+		nodes[i] = &vectorNode{
+			id: sharegraph.ReplicaID(i), g: p.g, proto: p.Name(), broadcast: true,
+			v:     make(timestamp.Vec, p.g.NumReplicas()),
+			store: make(map[sharegraph.Register]core.Value),
+		}
+	}
+	return nodes, nil
+}
+
+// ---------------------------------------------------------------------------
+// Matrix
+
+// Matrix is the R×R matrix-clock protocol (Raynal–Schiper–Toueg style):
+// entry (l, d) counts the messages l is known to have sent to d. Safe and
+// live under partial replication at quadratic metadata cost.
+type Matrix struct {
+	g *sharegraph.Graph
+}
+
+var _ core.Protocol = (*Matrix)(nil)
+
+// NewMatrix builds the protocol.
+func NewMatrix(g *sharegraph.Graph) *Matrix { return &Matrix{g: g} }
+
+// Name implements core.Protocol.
+func (p *Matrix) Name() string { return "matrix" }
+
+// NewNodes implements core.Protocol.
+func (p *Matrix) NewNodes() ([]core.Node, error) {
+	n := p.g.NumReplicas()
+	nodes := make([]core.Node, n)
+	for i := range nodes {
+		nodes[i] = &matrixNode{
+			id: sharegraph.ReplicaID(i), g: p.g, r: n,
+			m:     make(timestamp.Vec, n*n),
+			store: make(map[sharegraph.Register]core.Value),
+		}
+	}
+	return nodes, nil
+}
+
+type matrixPending struct {
+	env core.Envelope
+	w   timestamp.Vec
+}
+
+type matrixNode struct {
+	id      sharegraph.ReplicaID
+	g       *sharegraph.Graph
+	r       int
+	m       timestamp.Vec // row-major r×r: m[l*r+d] = msgs l sent to d (known)
+	store   map[sharegraph.Register]core.Value
+	pending []matrixPending
+}
+
+var _ core.Node = (*matrixNode)(nil)
+
+func (n *matrixNode) ID() sharegraph.ReplicaID { return n.id }
+
+func (n *matrixNode) at(w timestamp.Vec, l, d sharegraph.ReplicaID) uint64 {
+	return w[int(l)*n.r+int(d)]
+}
+
+func (n *matrixNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID) ([]core.Envelope, error) {
+	if !n.g.StoresRegister(n.id, x) {
+		return nil, &core.NotStoredError{Replica: n.id, Register: x}
+	}
+	n.store[x] = v
+	recipients := n.g.UpdateRecipients(n.id, x)
+	for _, d := range recipients {
+		n.m[int(n.id)*n.r+int(d)]++
+	}
+	meta := timestamp.Encode(n.m)
+	out := make([]core.Envelope, 0, len(recipients))
+	for _, d := range recipients {
+		out = append(out, core.Envelope{
+			From: n.id, To: d, Reg: x, Val: v, Meta: meta, OracleID: id,
+		})
+	}
+	return out, nil
+}
+
+func (n *matrixNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
+	w, ok := decodeMeta("matrix", n.id, env)
+	if !ok || len(w) != n.r*n.r {
+		return nil, nil
+	}
+	n.pending = append(n.pending, matrixPending{env: env, w: w})
+	var out []core.Applied
+	for {
+		progress := false
+		for idx := 0; idx < len(n.pending); idx++ {
+			u := n.pending[idx]
+			if !n.matrixDeliverable(u) {
+				continue
+			}
+			for p := range n.m {
+				if u.w[p] > n.m[p] {
+					n.m[p] = u.w[p]
+				}
+			}
+			n.store[u.env.Reg] = u.env.Val
+			n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+			out = append(out, core.Applied{
+				OracleID: u.env.OracleID, From: u.env.From, Reg: u.env.Reg, Val: u.env.Val,
+			})
+			progress = true
+			idx--
+		}
+		if !progress {
+			return out, nil
+		}
+	}
+}
+
+// matrixDeliverable: w[from][me] = m[from][me] + 1 (FIFO from the sender)
+// and w[l][me] ≤ m[l][me] for every l ≠ from (all messages to me that the
+// sender knew about have arrived).
+func (n *matrixNode) matrixDeliverable(u matrixPending) bool {
+	from := u.env.From
+	if n.at(u.w, from, n.id) != n.at(n.m, from, n.id)+1 {
+		return false
+	}
+	for l := 0; l < n.r; l++ {
+		rl := sharegraph.ReplicaID(l)
+		if rl == from {
+			continue
+		}
+		if n.at(u.w, rl, n.id) > n.at(n.m, rl, n.id) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *matrixNode) Read(x sharegraph.Register) (core.Value, bool) {
+	if !n.g.StoresRegister(n.id, x) {
+		return 0, false
+	}
+	return n.store[x], true
+}
+
+func (n *matrixNode) PendingCount() int { return len(n.pending) }
+
+func (n *matrixNode) PendingOracleIDs() []causality.UpdateID {
+	out := make([]causality.UpdateID, len(n.pending))
+	for i, u := range n.pending {
+		out[i] = u.env.OracleID
+	}
+	return out
+}
+
+func (n *matrixNode) MetadataEntries() int { return n.r * n.r }

@@ -1,0 +1,257 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+)
+
+func build(t testing.TB, p core.Protocol) []core.Node {
+	t.Helper()
+	nodes, err := p.NewNodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes
+}
+
+func TestFIFOOnlyOrdering(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	nodes := build(t, NewFIFOOnly(g))
+	e1, err := nodes[0].HandleWrite("x", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := nodes[0].HandleWrite("x", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed arrival: second buffers, first cascades both.
+	if got, _ := nodes[1].HandleMessage(e2[0]); len(got) != 0 {
+		t.Fatal("out-of-order apply")
+	}
+	if ids := nodes[1].PendingOracleIDs(); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("PendingOracleIDs = %v", ids)
+	}
+	if got, _ := nodes[1].HandleMessage(e1[0]); len(got) != 2 {
+		t.Fatalf("cascade = %d, want 2", len(got))
+	}
+	if v, _ := nodes[1].Read("x"); v != 2 {
+		t.Errorf("x = %d, want 2", v)
+	}
+	if nodes[1].MetadataEntries() != 2*g.Degree(1) {
+		t.Errorf("MetadataEntries = %d", nodes[1].MetadataEntries())
+	}
+}
+
+// TestFIFOOnlyMissesTransitiveDependency demonstrates, at the node level,
+// the safety failure the oracle catches in the sim sweeps: FIFO sequence
+// numbers cannot express a dependency through a third replica.
+func TestFIFOOnlyMissesTransitiveDependency(t *testing.T) {
+	g := sharegraph.FullReplication(3, 1)
+	nodes := build(t, NewFIFOOnly(g))
+	u1, err := nodes[0].HandleWrite("r0", 10, 0) // to replicas 1,2
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range u1 {
+		if e.To == 1 {
+			nodes[1].HandleMessage(e)
+		}
+	}
+	u2, err := nodes[1].HandleWrite("r0", 20, 1) // causally after u1
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range u2 {
+		if e.To == 2 {
+			if applied, _ := nodes[2].HandleMessage(e); len(applied) != 1 {
+				t.Fatal("fifo should apply immediately — that is its flaw")
+			}
+		}
+	}
+	// Replica 2 now holds 20 without ever applying u1: stale final state
+	// once u1 lands (last-writer-wins by arrival, violating causality).
+	if v, _ := nodes[2].Read("r0"); v != 20 {
+		t.Errorf("r0 = %d, want 20", v)
+	}
+	for _, e := range u1 {
+		if e.To == 2 {
+			nodes[2].HandleMessage(e)
+		}
+	}
+	if v, _ := nodes[2].Read("r0"); v != 10 {
+		t.Errorf("after late arrival r0 = %d (causally older value overwrote newer)", v)
+	}
+}
+
+func TestNaiveVectorDeliverable(t *testing.T) {
+	g := sharegraph.FullReplication(3, 1)
+	nodes := build(t, NewNaiveVector(g))
+	u1, err := nodes[0].HandleWrite("r0", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var to1, to2 core.Envelope
+	for _, e := range u1 {
+		if e.To == 1 {
+			to1 = e
+		}
+		if e.To == 2 {
+			to2 = e
+		}
+	}
+	nodes[1].HandleMessage(to1)
+	u2, err := nodes[1].HandleWrite("r0", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range u2 {
+		if e.To == 2 {
+			if applied, _ := nodes[2].HandleMessage(e); len(applied) != 0 {
+				t.Fatal("dependent update applied before its dependency")
+			}
+		}
+	}
+	if nodes[2].PendingCount() != 1 {
+		t.Fatalf("PendingCount = %d, want 1", nodes[2].PendingCount())
+	}
+	if applied, _ := nodes[2].HandleMessage(to2); len(applied) != 2 {
+		t.Fatalf("cascade = %d, want 2", len(applied))
+	}
+	if nodes[2].MetadataEntries() != 3 {
+		t.Errorf("MetadataEntries = %d, want R = 3", nodes[2].MetadataEntries())
+	}
+}
+
+func TestBroadcastMetaOnlyFanout(t *testing.T) {
+	g := sharegraph.Fig3Example() // 4 replicas; x stored at 0,1
+	nodes := build(t, NewBroadcast(g))
+	envs, err := nodes[0].HandleWrite("x", 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 3 { // data to 1; meta-only to 2 and 3
+		t.Fatalf("fanout = %d, want 3", len(envs))
+	}
+	metaOnly := 0
+	for _, e := range envs {
+		if e.MetaOnly {
+			metaOnly++
+			if e.To == 1 {
+				t.Error("sharer received meta-only message")
+			}
+		}
+	}
+	if metaOnly != 2 {
+		t.Errorf("meta-only = %d, want 2", metaOnly)
+	}
+	// Meta-only delivery merges the clock but applies no value and is
+	// excluded from pending oracle IDs.
+	for _, e := range envs {
+		if e.To == 3 {
+			if applied, _ := nodes[3].HandleMessage(e); len(applied) != 0 {
+				t.Error("meta-only message produced an apply")
+			}
+		}
+	}
+	if ids := nodes[3].PendingOracleIDs(); len(ids) != 0 {
+		t.Errorf("meta-only pending exposed: %v", ids)
+	}
+	if _, ok := nodes[3].Read("x"); ok {
+		t.Error("dummy register readable")
+	}
+}
+
+func TestMatrixOrdering(t *testing.T) {
+	g := sharegraph.FullReplication(3, 1)
+	nodes := build(t, NewMatrix(g))
+	u1, err := nodes[0].HandleWrite("r0", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u1to1, u1to2 core.Envelope
+	for _, e := range u1 {
+		if e.To == 1 {
+			u1to1 = e
+		} else {
+			u1to2 = e
+		}
+	}
+	nodes[1].HandleMessage(u1to1)
+	u2, err := nodes[1].HandleWrite("r0", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range u2 {
+		if e.To == 2 {
+			if applied, _ := nodes[2].HandleMessage(e); len(applied) != 0 {
+				t.Fatal("matrix applied dependent update early")
+			}
+		}
+	}
+	if applied, _ := nodes[2].HandleMessage(u1to2); len(applied) != 2 {
+		t.Fatalf("cascade = %d, want 2", len(applied))
+	}
+	if v, _ := nodes[2].Read("r0"); v != 2 {
+		t.Errorf("r0 = %d, want 2", v)
+	}
+	if nodes[2].MetadataEntries() != 9 {
+		t.Errorf("MetadataEntries = %d, want R² = 9", nodes[2].MetadataEntries())
+	}
+}
+
+func TestAllProtocolsRejectUnstoredWrites(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	for _, p := range []core.Protocol{NewFIFOOnly(g), NewNaiveVector(g), NewBroadcast(g), NewMatrix(g)} {
+		nodes := build(t, p)
+		_, err := nodes[3].HandleWrite("x", 1, 0)
+		var nse *core.NotStoredError
+		if !errors.As(err, &nse) {
+			t.Errorf("%s: err = %v, want NotStoredError", p.Name(), err)
+		}
+		if _, ok := nodes[3].Read("x"); ok {
+			t.Errorf("%s: Read of unstored register ok", p.Name())
+		}
+	}
+}
+
+func TestAllProtocolsDropCorruptMetadata(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	bad := core.Envelope{From: 0, To: 1, Reg: "x", Meta: []byte{0xff}}
+	short := core.Envelope{From: 0, To: 1, Reg: "x", Meta: []byte{0x00}} // zero-length vector
+	for _, p := range []core.Protocol{NewFIFOOnly(g), NewNaiveVector(g), NewBroadcast(g), NewMatrix(g)} {
+		nodes := build(t, p)
+		if applied, _ := nodes[1].HandleMessage(bad); len(applied) != 0 {
+			t.Errorf("%s: applied corrupt message", p.Name())
+		}
+		if applied, _ := nodes[1].HandleMessage(short); len(applied) != 0 {
+			t.Errorf("%s: applied wrong-length metadata", p.Name())
+		}
+		if nodes[1].PendingCount() != 0 {
+			t.Errorf("%s: corrupt message buffered", p.Name())
+		}
+	}
+}
+
+func TestProtocolNamesAndIDs(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	want := map[string]core.Protocol{
+		"fifo-only":       NewFIFOOnly(g),
+		"naive-vector":    NewNaiveVector(g),
+		"dummy-broadcast": NewBroadcast(g),
+		"matrix":          NewMatrix(g),
+	}
+	for name, p := range want {
+		if p.Name() != name {
+			t.Errorf("Name = %q, want %q", p.Name(), name)
+		}
+		for i, n := range build(t, p) {
+			if n.ID() != sharegraph.ReplicaID(i) {
+				t.Errorf("%s node %d: ID = %d", name, i, n.ID())
+			}
+		}
+	}
+}

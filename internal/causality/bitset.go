@@ -1,0 +1,82 @@
+package causality
+
+import "math/bits"
+
+// bitset is a growable set of small non-negative integers used to store
+// update-ID sets (causal pasts and applied sets). Executions of tens of
+// thousands of updates stay compact: one bit per update ever issued.
+type bitset struct {
+	words []uint64
+}
+
+func (b *bitset) grow(idx int) {
+	need := idx/64 + 1
+	if need > len(b.words) {
+		nw := make([]uint64, need*2)
+		copy(nw, b.words)
+		b.words = nw
+	}
+}
+
+// set inserts idx.
+func (b *bitset) set(idx int) {
+	b.grow(idx)
+	b.words[idx/64] |= 1 << (uint(idx) % 64)
+}
+
+// has reports membership of idx.
+func (b *bitset) has(idx int) bool {
+	w := idx / 64
+	if w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<(uint(idx)%64)) != 0
+}
+
+// orWith adds every element of other to b.
+func (b *bitset) orWith(other *bitset) {
+	if len(other.words) > len(b.words) {
+		nw := make([]uint64, len(other.words))
+		copy(nw, b.words)
+		b.words = nw
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// clone returns an independent copy.
+func (b *bitset) clone() *bitset {
+	out := &bitset{words: make([]uint64, len(b.words))}
+	copy(out.words, b.words)
+	return out
+}
+
+// count returns the number of elements.
+func (b *bitset) count() int {
+	n := 0
+	for _, w := range b.words {
+		n += popcount(w)
+	}
+	return n
+}
+
+// forEachAndNot calls fn for every element in b that is NOT in excl,
+// stopping early if fn returns false.
+func (b *bitset) forEachAndNot(excl *bitset, fn func(idx int) bool) {
+	for wi, w := range b.words {
+		if wi < len(excl.words) {
+			w &^= excl.words[wi]
+		}
+		for w != 0 {
+			bit := trailingZeros(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+func popcount(x uint64) int      { return bits.OnesCount64(x) }
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,79 @@
+package causality
+
+import (
+	"testing"
+
+	"repro/internal/sharegraph"
+)
+
+func TestClientPropagatesHappenedBefore(t *testing.T) {
+	// Replicas 0 and 1 share nothing; a client bridging them propagates
+	// causality per Definition 25 clause (ii).
+	g, err := sharegraph.New([][]sharegraph.Register{{"a"}, {"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(g)
+	tr.OnClientAccess(0, 0)
+	u1 := tr.OnClientWrite(0, 0, "a")
+	tr.OnClientAccess(0, 1)
+	u2 := tr.OnClientWrite(0, 1, "b")
+	if !tr.HappenedBefore(u1, u2) {
+		t.Error("client bridge should give u1 ↪′ u2")
+	}
+	if tr.ClientPastSize(0) != 2 {
+		t.Errorf("ClientPastSize = %d, want 2", tr.ClientPastSize(0))
+	}
+	if !tr.Ok() {
+		t.Errorf("violations: %v", tr.Violations())
+	}
+}
+
+func TestStaleAccessDetected(t *testing.T) {
+	// Both replicas store a. The client writes a at 0; accessing replica 1
+	// before the update propagates is a Definition 26 clause-2 violation.
+	g, err := sharegraph.New([][]sharegraph.Register{{"a"}, {"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(g)
+	tr.OnClientAccess(0, 0)
+	u := tr.OnClientWrite(0, 0, "a")
+	tr.OnClientAccess(0, 1) // stale: u not applied at 1
+	saw := false
+	for _, v := range tr.Violations() {
+		if v.Kind == StaleAccess && v.Replica == 1 && v.Update == u {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Errorf("expected StaleAccess, got %v", tr.Violations())
+	}
+	if StaleAccess.String() != "stale-access" {
+		t.Error("bad kind string")
+	}
+
+	// After the update is applied at 1, access is clean.
+	tr2 := NewTracker(g)
+	tr2.OnClientAccess(0, 0)
+	u2 := tr2.OnClientWrite(0, 0, "a")
+	tr2.OnApply(1, u2)
+	tr2.OnClientAccess(0, 1)
+	if !tr2.Ok() {
+		t.Errorf("clean access flagged: %v", tr2.Violations())
+	}
+}
+
+func TestClientWritePredsIncludeReplicaPast(t *testing.T) {
+	g, err := sharegraph.New([][]sharegraph.Register{{"a", "b"}, {"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(g)
+	u1 := tr.OnIssue(0, "a") // peer-style write at replica 0
+	tr.OnClientAccess(1, 0)
+	u2 := tr.OnClientWrite(1, 0, "b")
+	if !tr.HappenedBefore(u1, u2) {
+		t.Error("client write should inherit the replica's past")
+	}
+}

@@ -1,0 +1,268 @@
+// Package causality is the ground-truth oracle for replica-centric causal
+// consistency (Definitions 1 and 2 of Xiang & Vaidya, PODC 2019). It
+// tracks the true happened-before relation ↪ between updates as events are
+// reported by a simulation — independently of any protocol timestamps — and
+// judges safety (no update applied before a causally preceding update on a
+// co-located register) and liveness (at quiescence, every update reached
+// every replica storing its register).
+//
+// Because the oracle sees only issue/apply events and the register
+// placement, it can audit any protocol, including deliberately broken
+// baselines; the test suite relies on it to demonstrate both Theorem 24
+// (the paper's algorithm is safe) and Theorem 8 (weakened timestamps are
+// not).
+package causality
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sharegraph"
+)
+
+// UpdateID identifies an issued update in issue order (0-based).
+type UpdateID int
+
+// ViolationKind classifies consistency violations.
+type ViolationKind int
+
+const (
+	// SafetyViolation: an update was applied at a replica before some
+	// causally preceding update on a register that replica stores.
+	SafetyViolation ViolationKind = iota + 1
+	// DuplicateApply: the same update was applied twice at one replica.
+	DuplicateApply
+	// ForeignApply: a replica applied an update for a register it does
+	// not store.
+	ForeignApply
+	// LivenessViolation: at quiescence, an update had not been applied at
+	// some replica storing its register.
+	LivenessViolation
+	// StaleAccess: a replica served a client while an update in the
+	// client's observed causal past, on a register the replica stores,
+	// was not yet applied there (Definition 26, second safety clause).
+	StaleAccess
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case SafetyViolation:
+		return "safety"
+	case DuplicateApply:
+		return "duplicate-apply"
+	case ForeignApply:
+		return "foreign-apply"
+	case LivenessViolation:
+		return "liveness"
+	case StaleAccess:
+		return "stale-access"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+}
+
+// Violation records one detected consistency violation.
+type Violation struct {
+	Kind    ViolationKind
+	Replica sharegraph.ReplicaID
+	Update  UpdateID
+	// Missing is the causally preceding update that should have been
+	// applied first (SafetyViolation only).
+	Missing UpdateID
+}
+
+func (v Violation) String() string {
+	switch v.Kind {
+	case SafetyViolation:
+		return fmt.Sprintf("safety: replica %d applied update %d before its causal predecessor %d",
+			v.Replica, v.Update, v.Missing)
+	case LivenessViolation:
+		return fmt.Sprintf("liveness: update %d never applied at replica %d", v.Update, v.Replica)
+	default:
+		return fmt.Sprintf("%s: replica %d update %d", v.Kind, v.Replica, v.Update)
+	}
+}
+
+type updateInfo struct {
+	issuer sharegraph.ReplicaID
+	reg    sharegraph.Register
+	// preds is the transitive closure of ↪ predecessors (excluding the
+	// update itself), fixed at issue time per Definition 1.
+	preds *bitset
+}
+
+// Tracker is the oracle. It is safe for concurrent use, so the live
+// goroutine cluster and the deterministic simulator share the same code.
+type Tracker struct {
+	g *sharegraph.Graph
+
+	mu         sync.Mutex
+	updates    []updateInfo
+	applied    []*bitset // applied[i] = set of updates applied at replica i
+	knownPast  []*bitset // knownPast[i] = ∪ over applied u of {u} ∪ preds(u)
+	clients    map[sharegraph.ClientID]*bitset
+	violations []Violation
+}
+
+// NewTracker builds an oracle for the given register placement.
+func NewTracker(g *sharegraph.Graph) *Tracker {
+	n := g.NumReplicas()
+	t := &Tracker{
+		g:         g,
+		applied:   make([]*bitset, n),
+		knownPast: make([]*bitset, n),
+	}
+	for i := range t.applied {
+		t.applied[i] = &bitset{}
+		t.knownPast[i] = &bitset{}
+	}
+	return t
+}
+
+// OnIssue records that replica i issued an update on register x and
+// returns its UpdateID. Per the replica prototype (step 2), the update is
+// also applied locally at i as part of issuing. The update's causal past
+// is the set of updates applied at i so far, transitively closed.
+func (t *Tracker) OnIssue(i sharegraph.ReplicaID, x sharegraph.Register) UpdateID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := UpdateID(len(t.updates))
+	t.updates = append(t.updates, updateInfo{
+		issuer: i,
+		reg:    x,
+		preds:  t.knownPast[i].clone(),
+	})
+	t.applied[int(i)].set(int(id))
+	t.knownPast[int(i)].set(int(id))
+	return id
+}
+
+// OnApply records that replica j applied update id (received from its
+// issuer) and checks the safety property of Definition 2: every update u2
+// with u2 ↪ id on a register j stores must already be applied at j.
+func (t *Tracker) OnApply(j sharegraph.ReplicaID, id UpdateID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.updates) {
+		t.violations = append(t.violations, Violation{Kind: ForeignApply, Replica: j, Update: id})
+		return
+	}
+	u := t.updates[id]
+	if !t.g.StoresRegister(j, u.reg) {
+		t.violations = append(t.violations, Violation{Kind: ForeignApply, Replica: j, Update: id})
+		return
+	}
+	if t.applied[int(j)].has(int(id)) {
+		t.violations = append(t.violations, Violation{Kind: DuplicateApply, Replica: j, Update: id})
+		return
+	}
+	u.preds.forEachAndNot(t.applied[int(j)], func(pred int) bool {
+		if t.g.StoresRegister(j, t.updates[pred].reg) {
+			t.violations = append(t.violations, Violation{
+				Kind: SafetyViolation, Replica: j, Update: id, Missing: UpdateID(pred),
+			})
+		}
+		return true
+	})
+	t.applied[int(j)].set(int(id))
+	t.knownPast[int(j)].set(int(id))
+	t.knownPast[int(j)].orWith(u.preds)
+}
+
+// OracleDeliverable reports whether, per the true ↪ relation, update id
+// could safely be applied at replica j right now: every causal predecessor
+// on a register j stores has been applied at j. The simulator uses it to
+// measure false dependencies — moments when a protocol's predicate blocked
+// an update the oracle would admit.
+func (t *Tracker) OracleDeliverable(j sharegraph.ReplicaID, id UpdateID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.updates) {
+		return false
+	}
+	deliverable := true
+	t.updates[id].preds.forEachAndNot(t.applied[int(j)], func(pred int) bool {
+		if t.g.StoresRegister(j, t.updates[pred].reg) {
+			deliverable = false
+			return false
+		}
+		return true
+	})
+	return deliverable
+}
+
+// HappenedBefore reports whether a ↪ b under the true relation.
+func (t *Tracker) HappenedBefore(a, b UpdateID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(a) >= len(t.updates) || int(b) >= len(t.updates) {
+		return false
+	}
+	return t.updates[b].preds.has(int(a))
+}
+
+// Concurrent reports whether neither a ↪ b nor b ↪ a.
+func (t *Tracker) Concurrent(a, b UpdateID) bool {
+	if a == b {
+		return false
+	}
+	return !t.HappenedBefore(a, b) && !t.HappenedBefore(b, a)
+}
+
+// NumUpdates returns the number of updates issued so far.
+func (t *Tracker) NumUpdates() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.updates)
+}
+
+// Applied reports whether update id has been applied at replica j.
+func (t *Tracker) Applied(j sharegraph.ReplicaID, id UpdateID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.applied[int(j)].has(int(id))
+}
+
+// CausalPastSize returns |preds(id)|, the number of updates that
+// happened-before id.
+func (t *Tracker) CausalPastSize(id UpdateID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.updates) {
+		return 0
+	}
+	return t.updates[id].preds.count()
+}
+
+// CheckLiveness audits the liveness property of Definition 2 at
+// quiescence: every issued update must be applied at every replica storing
+// its register. Found gaps are recorded and returned.
+func (t *Tracker) CheckLiveness() []Violation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Violation
+	for id, u := range t.updates {
+		for _, h := range t.g.Holders(u.reg) {
+			if !t.applied[int(h)].has(id) {
+				v := Violation{Kind: LivenessViolation, Replica: h, Update: UpdateID(id)}
+				out = append(out, v)
+				t.violations = append(t.violations, v)
+			}
+		}
+	}
+	return out
+}
+
+// Violations returns all violations recorded so far (a copy).
+func (t *Tracker) Violations() []Violation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Violation(nil), t.violations...)
+}
+
+// Ok reports whether no violation has been recorded.
+func (t *Tracker) Ok() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.violations) == 0
+}

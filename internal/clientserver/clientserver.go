@@ -1,0 +1,395 @@
+// Package clientserver implements the client-server architecture of
+// Section 6 and Appendix E of Xiang & Vaidya (PODC 2019): clients maintain
+// their own edge-indexed timestamps µ_c over the union of the augmented
+// timestamp graphs of the replicas they may access, and replicas buffer
+// client requests behind predicates J1/J2 and remote updates behind J3.
+//
+// Clients accessing multiple replicas propagate causal dependencies even
+// between replicas sharing no registers; the augmented share graph
+// (Definition 16) adds edges for exactly those paths, and the augmented
+// (i, e_jk)-loops (Definition 27) determine the extra counters replicas
+// must carry. The package's tests demonstrate both directions: with
+// augmented timestamp graphs the system satisfies Definition 26, and with
+// plain Definition 5 graphs a client bridging two disconnected replicas
+// produces a safety violation.
+package clientserver
+
+import (
+	"fmt"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+	"repro/internal/timestamp"
+)
+
+// System holds the immutable structure shared by all servers and clients:
+// the augmented graph, every replica's augmented timestamp graph Ê_i, and
+// every client's timestamp universe ∪_{i∈Rc} Ê_i.
+type System struct {
+	Aug *sharegraph.AugmentedGraph
+	// ReplicaGraphs[i] indexes replica i's timestamp τ_i.
+	ReplicaGraphs []*sharegraph.TSGraph
+	// ClientGraphs[c] indexes client c's timestamp µ_c.
+	ClientGraphs []*sharegraph.TSGraph
+}
+
+// NewSystem computes Ê_i per Definition 28 and the client universes.
+func NewSystem(aug *sharegraph.AugmentedGraph) *System {
+	graphs := aug.BuildAllAugmentedTSGraphs(sharegraph.LoopOptions{})
+	return newSystemWithGraphs(aug, graphs)
+}
+
+// NewSystemWithPlainGraphs builds the system over plain Definition 5
+// timestamp graphs, ignoring client edges — deliberately too weak whenever
+// a client bridges replicas, and used by tests to demonstrate that the
+// augmentation is necessary.
+func NewSystemWithPlainGraphs(aug *sharegraph.AugmentedGraph) *System {
+	graphs := sharegraph.BuildAllTSGraphs(aug.G, sharegraph.LoopOptions{})
+	return newSystemWithGraphs(aug, graphs)
+}
+
+func newSystemWithGraphs(aug *sharegraph.AugmentedGraph, graphs []*sharegraph.TSGraph) *System {
+	s := &System{Aug: aug, ReplicaGraphs: graphs}
+	for c := 0; c < aug.NumClients(); c++ {
+		edges := aug.ClientTSEdges(sharegraph.ClientID(c), graphs)
+		// The owner field is unused for client universes; store the client
+		// id for diagnostics.
+		s.ClientGraphs = append(s.ClientGraphs, sharegraph.NewTSGraphFromEdges(sharegraph.ReplicaID(c), edges))
+	}
+	return s
+}
+
+// mergeMax sets dst[e] = max(dst[e], src[e]) for every edge tracked by
+// both index graphs — the shape shared by merge1, merge2 and merge3.
+func mergeMax(dstIdx *sharegraph.TSGraph, dst timestamp.Vec, srcIdx *sharegraph.TSGraph, src timestamp.Vec) {
+	for _, pair := range dstIdx.Intersection(srcIdx) {
+		if src[pair[1]] > dst[pair[0]] {
+			dst[pair[0]] = src[pair[1]]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+// Server is one replica's state machine for the client-server prototype
+// (Appendix E.1). Not safe for concurrent use.
+type Server struct {
+	sys   *System
+	id    sharegraph.ReplicaID
+	eidx  *sharegraph.TSGraph
+	τ     timestamp.Vec
+	store map[sharegraph.Register]core.Value
+
+	pendingUpdates  []serverUpdate
+	pendingRequests []Request
+}
+
+type serverUpdate struct {
+	from     sharegraph.ReplicaID
+	ts       timestamp.Vec
+	reg      sharegraph.Register
+	val      core.Value
+	oracleID causality.UpdateID
+}
+
+// Request is a client read or write request carrying the client's
+// timestamp (the paper's read(x, c, µc) / write(x, v, c, µc)).
+type Request struct {
+	Client  sharegraph.ClientID
+	Replica sharegraph.ReplicaID
+	Reg     sharegraph.Register
+	Val     core.Value
+	IsRead  bool
+	Mu      timestamp.Vec // client timestamp µ_c at send time
+}
+
+// Response is the replica's reply: the read value (for reads) and the
+// replica's timestamp τ_i at acceptance.
+type Response struct {
+	Client  sharegraph.ClientID
+	Replica sharegraph.ReplicaID
+	Reg     sharegraph.Register
+	Val     core.Value
+	IsRead  bool
+	Tau     timestamp.Vec
+}
+
+// UpdateMsg is an inter-replica update message.
+type UpdateMsg struct {
+	From     sharegraph.ReplicaID
+	To       sharegraph.ReplicaID
+	Reg      sharegraph.Register
+	Val      core.Value
+	TS       timestamp.Vec
+	OracleID causality.UpdateID
+}
+
+// MetaBytes returns the encoded size of the update's timestamp.
+func (u UpdateMsg) MetaBytes() int { return timestamp.EncodedSize(u.TS) }
+
+// NewServer builds replica i's server.
+func NewServer(sys *System, i sharegraph.ReplicaID) *Server {
+	eidx := sys.ReplicaGraphs[i]
+	return &Server{
+		sys:   sys,
+		id:    i,
+		eidx:  eidx,
+		τ:     make(timestamp.Vec, eidx.Len()),
+		store: make(map[sharegraph.Register]core.Value),
+	}
+}
+
+// ID returns the replica id.
+func (s *Server) ID() sharegraph.ReplicaID { return s.id }
+
+// Timestamp returns a copy of τ_i.
+func (s *Server) Timestamp() timestamp.Vec { return s.τ.Clone() }
+
+// MetadataEntries returns |Ê_i|.
+func (s *Server) MetadataEntries() int { return s.eidx.Len() }
+
+// PendingUpdates returns the number of buffered inter-replica updates.
+func (s *Server) PendingUpdates() int { return len(s.pendingUpdates) }
+
+// PendingRequests returns the number of buffered client requests.
+func (s *Server) PendingRequests() int { return len(s.pendingRequests) }
+
+// requestReady implements J1 = J2: τ[e_ji] ≥ µ[e_ji] for every edge into
+// this replica tracked by Ê_i.
+func (s *Server) requestReady(req Request) bool {
+	cidx := s.sys.ClientGraphs[req.Client]
+	for pos, e := range s.eidx.Edges() {
+		if e.To != s.id {
+			continue
+		}
+		if mpos, ok := cidx.Index(e); ok && s.τ[pos] < req.Mu[mpos] {
+			return false
+		}
+	}
+	return true
+}
+
+// updateReady implements J3: τ[e_ki] = T[e_ki] − 1 and τ[e_ji] ≥ T[e_ji]
+// for every e_ji ∈ Ê_i ∩ Ê_k with j ≠ k.
+func (s *Server) updateReady(u serverUpdate) bool {
+	kidx := s.sys.ReplicaGraphs[u.from]
+	eki := sharegraph.Edge{From: u.from, To: s.id}
+	rpos, okR := s.eidx.Index(eki)
+	spos, okS := kidx.Index(eki)
+	if !okR || !okS {
+		return false
+	}
+	if s.τ[rpos] != u.ts[spos]-1 {
+		return false
+	}
+	for pos, e := range s.eidx.Edges() {
+		if e.To != s.id || e.From == u.from {
+			continue
+		}
+		if kpos, ok := kidx.Index(e); ok && s.τ[pos] < u.ts[kpos] {
+			return false
+		}
+	}
+	return true
+}
+
+// HandleRequest ingests a client request. If its predicate holds it is
+// served immediately (see Outcome); otherwise it is buffered until later
+// update applications unblock it.
+func (s *Server) HandleRequest(req Request) *Outcome {
+	if req.Replica != s.id {
+		return nil
+	}
+	if !s.requestReady(req) {
+		s.pendingRequests = append(s.pendingRequests, req)
+		return &Outcome{}
+	}
+	out := &Outcome{}
+	s.serve(req, out)
+	return out
+}
+
+// Outcome aggregates everything one event produced: responses to clients,
+// update messages to replicas, and an ordered trail of applies and
+// request acceptances. The trail preserves the true interleaving inside a
+// drain, which the causality oracle needs to audit accesses correctly.
+type Outcome struct {
+	Responses []Response
+	Updates   []UpdateMsg
+	Events    []OutcomeEvent
+}
+
+// OutcomeEvent is one step of an outcome trail; exactly one field is set.
+type OutcomeEvent struct {
+	Apply  *core.Applied
+	Accept *AcceptedAccess
+}
+
+// AcceptedAccess is one client request acceptance.
+type AcceptedAccess struct {
+	Client  sharegraph.ClientID
+	Replica sharegraph.ReplicaID
+	Reg     sharegraph.Register
+	IsWrite bool
+	// UpdateSeq and NumUpdates locate this write's update messages within
+	// Outcome.Updates so the runner can stamp their oracle IDs after
+	// informing the oracle; reads have NumUpdates 0.
+	UpdateSeq  int
+	NumUpdates int
+}
+
+// serve executes an accepted request (predicate already true).
+func (s *Server) serve(req Request, out *Outcome) {
+	if req.IsRead {
+		out.Events = append(out.Events, OutcomeEvent{Accept: &AcceptedAccess{
+			Client: req.Client, Replica: s.id, Reg: req.Reg,
+		}})
+		out.Responses = append(out.Responses, Response{
+			Client: req.Client, Replica: s.id, Reg: req.Reg,
+			Val: s.store[req.Reg], IsRead: true, Tau: s.τ.Clone(),
+		})
+		return
+	}
+	// Write: advance per Appendix E — increment edges e_{i,k} with
+	// x ∈ X_ik; take max(τ, µ) elsewhere.
+	s.store[req.Reg] = req.Val
+	next := s.τ.Clone()
+	cidx := s.sys.ClientGraphs[req.Client]
+	for pos, e := range s.eidx.Edges() {
+		if e.From == s.id && s.sys.Aug.G.Shared(s.id, e.To).Has(req.Reg) {
+			next[pos]++
+			continue
+		}
+		if mpos, ok := cidx.Index(e); ok && req.Mu[mpos] > next[pos] {
+			next[pos] = req.Mu[mpos]
+		}
+	}
+	s.τ = next
+	seq := len(out.Updates)
+	for _, k := range s.sys.Aug.G.UpdateRecipients(s.id, req.Reg) {
+		out.Updates = append(out.Updates, UpdateMsg{
+			From: s.id, To: k, Reg: req.Reg, Val: req.Val, TS: s.τ.Clone(),
+		})
+	}
+	out.Events = append(out.Events, OutcomeEvent{Accept: &AcceptedAccess{
+		Client: req.Client, Replica: s.id, Reg: req.Reg, IsWrite: true,
+		UpdateSeq: seq, NumUpdates: len(out.Updates) - seq,
+	}})
+	out.Responses = append(out.Responses, Response{
+		Client: req.Client, Replica: s.id, Reg: req.Reg,
+		Val: req.Val, Tau: s.τ.Clone(),
+	})
+}
+
+// HandleUpdate ingests an inter-replica update (step 3 of the replica
+// prototype), draining both buffered updates and buffered client requests
+// to a fixpoint.
+func (s *Server) HandleUpdate(u UpdateMsg) *Outcome {
+	s.pendingUpdates = append(s.pendingUpdates, serverUpdate{
+		from: u.From, ts: u.TS, reg: u.Reg, val: u.Val, oracleID: u.OracleID,
+	})
+	out := &Outcome{}
+	s.drain(out)
+	return out
+}
+
+// drain alternates between applying deliverable updates (J3) and serving
+// unblocked client requests (J1/J2) until neither makes progress.
+func (s *Server) drain(out *Outcome) {
+	for {
+		progress := false
+		for idx := 0; idx < len(s.pendingUpdates); idx++ {
+			u := s.pendingUpdates[idx]
+			if !s.updateReady(u) {
+				continue
+			}
+			s.store[u.reg] = u.val
+			mergeMax(s.eidx, s.τ, s.sys.ReplicaGraphs[u.from], u.ts)
+			s.pendingUpdates = append(s.pendingUpdates[:idx], s.pendingUpdates[idx+1:]...)
+			out.Events = append(out.Events, OutcomeEvent{Apply: &core.Applied{
+				OracleID: u.oracleID, From: u.from, Reg: u.reg, Val: u.val,
+			}})
+			progress = true
+			idx--
+		}
+		for idx := 0; idx < len(s.pendingRequests); idx++ {
+			req := s.pendingRequests[idx]
+			if !s.requestReady(req) {
+				continue
+			}
+			s.pendingRequests = append(s.pendingRequests[:idx], s.pendingRequests[idx+1:]...)
+			s.serve(req, out)
+			progress = true
+			idx--
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// Read returns the local copy (diagnostics; client reads go through
+// HandleRequest).
+func (s *Server) Read(x sharegraph.Register) (core.Value, bool) {
+	if !s.sys.Aug.G.StoresRegister(s.id, x) {
+		return 0, false
+	}
+	return s.store[x], true
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Client maintains µ_c and issues requests. Not safe for concurrent use.
+type Client struct {
+	sys  *System
+	id   sharegraph.ClientID
+	cidx *sharegraph.TSGraph
+	µ    timestamp.Vec
+}
+
+// NewClient builds client c.
+func NewClient(sys *System, c sharegraph.ClientID) *Client {
+	cidx := sys.ClientGraphs[c]
+	return &Client{sys: sys, id: c, cidx: cidx, µ: make(timestamp.Vec, cidx.Len())}
+}
+
+// ID returns the client id.
+func (c *Client) ID() sharegraph.ClientID { return c.id }
+
+// MetadataEntries returns |∪_{i∈Rc} Ê_i|, the client timestamp length.
+func (c *Client) MetadataEntries() int { return c.cidx.Len() }
+
+// Timestamp returns a copy of µ_c.
+func (c *Client) Timestamp() timestamp.Vec { return c.µ.Clone() }
+
+// PickReplica chooses a replica in R_c storing x (the lowest-numbered, for
+// determinism). ok is false if the client cannot access x at all.
+func (c *Client) PickReplica(x sharegraph.Register) (sharegraph.ReplicaID, bool) {
+	for _, r := range c.sys.Aug.ClientReplicas(c.id) {
+		if c.sys.Aug.G.StoresRegister(r, x) {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// NewRequest builds a read or write request for register x carrying the
+// current µ_c.
+func (c *Client) NewRequest(x sharegraph.Register, v core.Value, isRead bool) (Request, error) {
+	r, ok := c.PickReplica(x)
+	if !ok {
+		return Request{}, fmt.Errorf("clientserver: client %d cannot access register %q", c.id, x)
+	}
+	return Request{
+		Client: c.id, Replica: r, Reg: x, Val: v, IsRead: isRead, Mu: c.µ.Clone(),
+	}, nil
+}
+
+// AbsorbResponse implements merge1 = merge2: µ_c takes the elementwise max
+// with τ over Ê_i, unchanged elsewhere.
+func (c *Client) AbsorbResponse(resp Response) {
+	mergeMax(c.cidx, c.µ, c.sys.ReplicaGraphs[resp.Replica], resp.Tau)
+}

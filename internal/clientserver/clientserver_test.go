@@ -1,0 +1,305 @@
+package clientserver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/causality"
+	"repro/internal/sharegraph"
+	"repro/internal/transport"
+)
+
+// bridgeSystem: replicas 0–1 share a, 2–3 share b, 0–3 share c; client 0
+// accesses {1, 2} (the causal bridge), client 1 accesses {0, 3}.
+func bridgeSystem(t *testing.T, augmented bool) *System {
+	t.Helper()
+	g, err := sharegraph.New([][]sharegraph.Register{
+		{"a", "c"},
+		{"a", "p1"},
+		{"b", "p2"},
+		{"b", "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client 1 lists replica 3 first so PickReplica routes register c
+	// there (replica order expresses client preference).
+	aug, err := sharegraph.NewAugmented(g, sharegraph.ClientAssignment{{1, 2}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if augmented {
+		return NewSystem(aug)
+	}
+	return NewSystemWithPlainGraphs(aug)
+}
+
+// TestClientBridgePropagatesDependency is the Appendix E headline: a
+// client writing at two replicas that share nothing creates a causal
+// chain that must block a transitively dependent update elsewhere. With
+// augmented timestamp graphs the system is safe; with plain Definition 5
+// graphs the same schedule violates safety.
+func TestClientBridgePropagatesDependency(t *testing.T) {
+	run := func(sys *System) []causality.Violation {
+		// Client 0 writes a at replica 1 (u1 → replica 0, delayed), then
+		// writes b at replica 2 (u2 → replica 3). Replica 3 applies u2,
+		// then client 1 writes c at replica 3 (u3 → replica 0). u3 arrives
+		// at replica 0 before u1: u1 ↪′ u2 ↪′ u3 and a ∈ X_0, so applying
+		// u3 first violates safety.
+		scripts := [][]ClientOp{
+			{{Reg: "a"}, {Reg: "b"}},
+			{{Reg: "c"}},
+		}
+		// Schedule choices, traced through Run's choice enumeration:
+		//  1. client0 issues write(a)@1     → pool [req(a@1)]
+		//  2. deliver req(a@1): served      → pool [upd(a→0), resp→c0]
+		//  3. deliver resp→c0               → pool [upd(a→0)]
+		//  4. client0 issues write(b)@2     → pool [upd(a→0), req(b@2)]
+		//  5. deliver req(b@2)              → pool [upd(a→0), upd(b→3), resp→c0]
+		//  6. deliver upd(b→3)              → applied at 3
+		//  7. client1 issues write(c)@3     → ... wait: client1 idle all along.
+		// Client1 is idle from the start, so the idle list is [c0, c1] at
+		// step 1 and choices shift; use explicit picks computed below.
+		res, err := Run(RunConfig{
+			Sys:     sys,
+			Scripts: scripts,
+			// Step-by-step picks (idle clients enumerate before pool):
+			//  s1: idle=[c0,c1] pool=[]                pick 0 → c0 write(a)@1
+			//  s2: idle=[c1] pool=[req(a@1)]           pick 1 → serve req: upd(a→0), resp
+			//  s3: idle=[c1] pool=[upd(a→0),resp]      pick 2 → resp to c0
+			//  s4: idle=[c0,c1] pool=[upd(a→0)]        pick 0 → c0 write(b)@2
+			//  s5: idle=[c1] pool=[upd(a→0),req(b@2)]  pick 2 → serve req: upd(b→3), resp
+			//  s6: idle=[c1] pool=[upd(a→0),upd(b→3),resp] pick 2 → apply b at 3
+			//  s7: idle=[c1] pool=[upd(a→0),resp]      pick 0 → c1 write(c)@3
+			//  s8: idle=[] pool=[upd(a→0),resp,req(c@3)] pick 2 → serve: upd(c→0), resp
+			//  s9: idle=[] pool=[upd(a→0),resp,upd(c→0),resp] pick 2 → deliver upd(c→0) FIRST
+			//  rest: FIFO drains upd(a→0), responses.
+			Sched: transport.NewScripted(0, 1, 2, 0, 2, 2, 0, 2, 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Violations
+	}
+
+	if vs := run(bridgeSystem(t, true)); len(vs) != 0 {
+		t.Errorf("augmented system violated consistency: %v", vs)
+	}
+	vs := run(bridgeSystem(t, false))
+	sawSafety := false
+	for _, v := range vs {
+		if v.Kind == causality.SafetyViolation {
+			sawSafety = true
+		}
+	}
+	if !sawSafety {
+		t.Errorf("plain graphs should violate safety on the bridge schedule; got %v", vs)
+	}
+}
+
+// TestReadYourWritesAcrossReplicas: after writing a at replica 1, a client
+// read of a at... replica 1 is the only holder the client can reach, but
+// client 1 (accessing replicas 0 and 3) must see the write of c propagate:
+// J1 blocks its read at replica 0 until the c-update arrives.
+func TestJ1BlocksStaleRead(t *testing.T) {
+	sys := bridgeSystem(t, true)
+	servers := []*Server{NewServer(sys, 0), NewServer(sys, 1), NewServer(sys, 2), NewServer(sys, 3)}
+	client := NewClient(sys, 1) // accesses replicas 0 and 3
+
+	// Client writes c at replica 3 (c stored at 0 and 3).
+	req, err := client.NewRequest("c", 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Replica != 0 {
+		// PickReplica chooses the lowest-numbered holder (replica 0); force
+		// replica 3 to stage the propagation scenario.
+		req.Replica = 3
+	}
+	req.Replica = 3
+	out := servers[3].HandleRequest(req)
+	if len(out.Responses) != 1 || len(out.Updates) != 1 {
+		t.Fatalf("write outcome: %+v", out)
+	}
+	client.AbsorbResponse(out.Responses[0])
+
+	// Read c at replica 0 before the update arrives: J1 must buffer it.
+	read, err := client.NewRequest("c", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read.Replica = 0
+	out0 := servers[0].HandleRequest(read)
+	if len(out0.Responses) != 0 || servers[0].PendingRequests() != 1 {
+		t.Fatalf("stale read served immediately: %+v", out0)
+	}
+
+	// Deliver the c-update to replica 0: the buffered read unblocks and
+	// returns the written value.
+	upd := out.Updates[0]
+	if upd.To != 0 {
+		t.Fatalf("update destination = %d, want 0", upd.To)
+	}
+	out0 = servers[0].HandleUpdate(upd)
+	if len(out0.Responses) != 1 {
+		t.Fatalf("buffered read did not unblock: %+v", out0)
+	}
+	if out0.Responses[0].Val != 9 || !out0.Responses[0].IsRead {
+		t.Errorf("read response = %+v, want value 9", out0.Responses[0])
+	}
+	if servers[0].PendingRequests() != 0 {
+		t.Error("request still buffered")
+	}
+}
+
+func TestClientServerRandomSweep(t *testing.T) {
+	// Random scripts over the bridge system under random schedules must
+	// always be clean with augmented graphs.
+	sys := bridgeSystem(t, true)
+	prop := func(seed int64) bool {
+		rng := transport.NewRandom(seed)
+		regsByClient := [][]sharegraph.Register{{"a", "b", "p1", "p2"}, {"a", "b", "c"}}
+		scripts := make([][]ClientOp, 2)
+		for c := range scripts {
+			n := 3 + rng.Pick(8)
+			for k := 0; k < n; k++ {
+				scripts[c] = append(scripts[c], ClientOp{
+					Reg:    regsByClient[c][rng.Pick(len(regsByClient[c]))],
+					IsRead: rng.Pick(4) == 0,
+				})
+			}
+		}
+		res, err := Run(RunConfig{Sys: sys, Scripts: scripts, Sched: transport.NewRandom(seed ^ 0x77)})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if !res.Ok() {
+			t.Logf("seed %d: %+v", seed, res)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientServerReducesToPeerToPeer(t *testing.T) {
+	// One client pinned to each replica: the augmented graph equals the
+	// plain share graph, and runs are clean.
+	g := sharegraph.Fig5Example()
+	aug, err := sharegraph.NewAugmented(g, sharegraph.ClientAssignment{{0}, {1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(aug)
+	plain := sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{})
+	for i, tg := range sys.ReplicaGraphs {
+		if tg.Len() != plain[i].Len() {
+			t.Errorf("replica %d: |Ê_i| = %d, want |E_i| = %d (single-replica clients add nothing)",
+				i, tg.Len(), plain[i].Len())
+		}
+	}
+	scripts := [][]ClientOp{
+		{{Reg: "y"}, {Reg: "a"}},
+		{{Reg: "x"}, {Reg: "y", IsRead: true}},
+		{{Reg: "x"}, {Reg: "z"}},
+		{{Reg: "w"}, {Reg: "z"}},
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Run(RunConfig{Sys: sys, Scripts: scripts, Sched: transport.NewRandom(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok() {
+			t.Errorf("seed %d: %+v", seed, res)
+		}
+	}
+}
+
+// TestGeoSocialSweep runs a larger client-server deployment — the
+// examples/geosocial placement — across many random schedules, checking
+// Definition 26 end to end with three roaming clients.
+func TestGeoSocialSweep(t *testing.T) {
+	g, err := sharegraph.New([][]sharegraph.Register{
+		{"global", "tech", "eu-board"},
+		{"global", "sports", "us-board"},
+		{"tech", "sports", "asia-board", "oceania"},
+		{"oceania", "aus-board"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := sharegraph.NewAugmented(g, sharegraph.ClientAssignment{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(aug)
+	regs := [][]sharegraph.Register{
+		{"global", "tech", "eu-board", "sports"},
+		{"global", "sports", "tech", "oceania"},
+		{"tech", "oceania", "aus-board", "sports"},
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := transport.NewRandom(seed)
+		scripts := make([][]ClientOp, 3)
+		for c := range scripts {
+			for k := 0; k < 4+rng.Pick(6); k++ {
+				scripts[c] = append(scripts[c], ClientOp{
+					Reg:    regs[c][rng.Pick(len(regs[c]))],
+					IsRead: rng.Pick(3) == 0,
+				})
+			}
+		}
+		res, err := Run(RunConfig{Sys: sys, Scripts: scripts, Sched: transport.NewRandom(seed ^ 0xbeef)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok() {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+		if res.Responses != res.Requests {
+			t.Fatalf("seed %d: %d responses for %d requests", seed, res.Responses, res.Requests)
+		}
+	}
+}
+
+func TestRunValidationAndAccessErrors(t *testing.T) {
+	sys := bridgeSystem(t, true)
+	if _, err := Run(RunConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(RunConfig{Sys: sys, Sched: transport.FIFOScheduler{},
+		Scripts: [][]ClientOp{{}, {}, {}}}); err == nil {
+		t.Error("too many scripts accepted")
+	}
+	// Client 0 (replicas 1,2) cannot reach register c (stored at 0,3).
+	if _, err := Run(RunConfig{Sys: sys, Sched: transport.FIFOScheduler{},
+		Scripts: [][]ClientOp{{{Reg: "c"}}}}); err == nil {
+		t.Error("unreachable register accepted")
+	}
+	client := NewClient(sys, 0)
+	if _, err := client.NewRequest("c", 1, false); err == nil {
+		t.Error("NewRequest for unreachable register succeeded")
+	}
+	if client.ID() != 0 {
+		t.Error("bad client id")
+	}
+	if client.MetadataEntries() == 0 {
+		t.Error("client universe empty")
+	}
+	srv := NewServer(sys, 0)
+	if srv.ID() != 0 || srv.MetadataEntries() == 0 {
+		t.Error("bad server identity")
+	}
+	if out := srv.HandleRequest(Request{Replica: 2}); out != nil {
+		t.Error("misrouted request processed")
+	}
+	if _, ok := srv.Read("b"); ok {
+		t.Error("Read of unstored register ok")
+	}
+	if len(srv.Timestamp()) != srv.MetadataEntries() {
+		t.Error("timestamp length mismatch")
+	}
+}

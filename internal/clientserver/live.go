@@ -1,0 +1,211 @@
+package clientserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+)
+
+// LiveSystem runs the client-server architecture with real concurrency:
+// servers are mutex-protected state machines, inter-replica updates travel
+// on their own goroutines with jittered delays (non-FIFO, per the system
+// model), and client calls block until the server's predicate J1/J2 admits
+// them — including requests buffered behind missing causal dependencies.
+type LiveSystem struct {
+	sys     *System
+	tracker *causality.Tracker
+	servers []*liveServer
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	outstanding int
+	closed      bool
+	wg          sync.WaitGroup
+	seq         atomic.Uint64
+	maxDelay    time.Duration
+
+	respMu    sync.Mutex
+	respChans map[sharegraph.ClientID]chan Response
+}
+
+type liveServer struct {
+	mu sync.Mutex
+	s  *Server
+}
+
+// NewLive starts a live deployment of the system.
+func NewLive(sys *System) *LiveSystem {
+	ls := &LiveSystem{
+		sys:       sys,
+		tracker:   causality.NewTracker(sys.Aug.G),
+		servers:   make([]*liveServer, sys.Aug.G.NumReplicas()),
+		maxDelay:  time.Millisecond,
+		respChans: make(map[sharegraph.ClientID]chan Response),
+	}
+	ls.cond = sync.NewCond(&ls.mu)
+	for i := range ls.servers {
+		ls.servers[i] = &liveServer{s: NewServer(sys, sharegraph.ReplicaID(i))}
+	}
+	return ls
+}
+
+// Tracker exposes the auditing oracle.
+func (ls *LiveSystem) Tracker() *causality.Tracker { return ls.tracker }
+
+// Client returns a handle for client c. A handle issues one operation at
+// a time (matching the Appendix E client prototype, which awaits each
+// response); it is not safe for concurrent use, but distinct clients may
+// operate concurrently.
+func (ls *LiveSystem) Client(c sharegraph.ClientID) *LiveClient {
+	ls.respMu.Lock()
+	defer ls.respMu.Unlock()
+	if _, ok := ls.respChans[c]; !ok {
+		ls.respChans[c] = make(chan Response, 1)
+	}
+	return &LiveClient{ls: ls, c: NewClient(ls.sys, c)}
+}
+
+// LiveClient is a synchronous client handle.
+type LiveClient struct {
+	ls *LiveSystem
+	c  *Client
+}
+
+// Write performs write(x, v) at the preferred replica, blocking until the
+// replica accepts it (predicate J2) and returns its timestamp.
+func (lc *LiveClient) Write(x sharegraph.Register, v core.Value) error {
+	return lc.do(x, v, false)
+}
+
+// Read performs read(x), blocking until the replica's state satisfies the
+// client's timestamp (predicate J1), and returns the register value.
+func (lc *LiveClient) Read(x sharegraph.Register) (core.Value, error) {
+	resp, err := lc.doResp(x, 0, true)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Val, nil
+}
+
+func (lc *LiveClient) do(x sharegraph.Register, v core.Value, isRead bool) error {
+	_, err := lc.doResp(x, v, isRead)
+	return err
+}
+
+func (lc *LiveClient) doResp(x sharegraph.Register, v core.Value, isRead bool) (Response, error) {
+	ls := lc.ls
+	ls.mu.Lock()
+	if ls.closed {
+		ls.mu.Unlock()
+		return Response{}, fmt.Errorf("clientserver: live system closed")
+	}
+	ls.mu.Unlock()
+
+	req, err := lc.c.NewRequest(x, v, isRead)
+	if err != nil {
+		return Response{}, err
+	}
+	srv := ls.servers[req.Replica]
+	srv.mu.Lock()
+	out := srv.s.HandleRequest(req)
+	ls.processOutcome(srv.s, out)
+	srv.mu.Unlock()
+
+	ls.respMu.Lock()
+	ch := ls.respChans[lc.c.ID()]
+	ls.respMu.Unlock()
+	resp := <-ch // served immediately or unblocked by a later update
+	lc.c.AbsorbResponse(resp)
+	return resp, nil
+}
+
+// processOutcome audits the ordered event trail, stamps oracle IDs onto
+// outgoing updates, dispatches them, and routes responses to waiting
+// clients. Callers hold the originating server's lock, preserving the
+// per-server event order the oracle requires.
+func (ls *LiveSystem) processOutcome(server *Server, out *Outcome) {
+	if out == nil {
+		return
+	}
+	for _, ev := range out.Events {
+		switch {
+		case ev.Apply != nil:
+			ls.tracker.OnApply(server.ID(), ev.Apply.OracleID)
+		case ev.Accept != nil:
+			acc := ev.Accept
+			ls.tracker.OnClientAccess(acc.Client, acc.Replica)
+			if acc.IsWrite {
+				id := ls.tracker.OnClientWrite(acc.Client, acc.Replica, acc.Reg)
+				for k := 0; k < acc.NumUpdates; k++ {
+					out.Updates[acc.UpdateSeq+k].OracleID = id
+				}
+			}
+		}
+	}
+	if len(out.Updates) > 0 {
+		ls.mu.Lock()
+		ls.outstanding += len(out.Updates)
+		ls.mu.Unlock()
+		for i := range out.Updates {
+			u := out.Updates[i]
+			ls.wg.Add(1)
+			go ls.deliver(u)
+		}
+	}
+	for _, resp := range out.Responses {
+		ls.respMu.Lock()
+		ch, ok := ls.respChans[resp.Client]
+		ls.respMu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+func (ls *LiveSystem) deliver(u UpdateMsg) {
+	defer ls.wg.Done()
+	if ls.maxDelay > 0 {
+		z := ls.seq.Add(1) * 0x9e3779b97f4a7c15
+		z ^= z >> 31
+		time.Sleep(time.Duration(z % uint64(ls.maxDelay)))
+	}
+	srv := ls.servers[u.To]
+	srv.mu.Lock()
+	out := srv.s.HandleUpdate(u)
+	ls.processOutcome(srv.s, out)
+	srv.mu.Unlock()
+
+	ls.mu.Lock()
+	ls.outstanding--
+	if ls.outstanding == 0 {
+		ls.cond.Broadcast()
+	}
+	ls.mu.Unlock()
+}
+
+// Quiesce blocks until no inter-replica updates are in flight.
+func (ls *LiveSystem) Quiesce() {
+	ls.mu.Lock()
+	for ls.outstanding != 0 {
+		ls.cond.Wait()
+	}
+	ls.mu.Unlock()
+}
+
+// Close drains in-flight deliveries and shuts the system down.
+func (ls *LiveSystem) Close() {
+	ls.mu.Lock()
+	ls.closed = true
+	ls.mu.Unlock()
+	ls.wg.Wait()
+}
+
+// CheckLiveness audits update propagation at quiescence.
+func (ls *LiveSystem) CheckLiveness() []causality.Violation {
+	return ls.tracker.CheckLiveness()
+}

@@ -1,0 +1,186 @@
+package clientserver
+
+import (
+	"fmt"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+	"repro/internal/timestamp"
+	"repro/internal/transport"
+)
+
+// ClientOp is one operation of a client script.
+type ClientOp struct {
+	Reg    sharegraph.Register
+	IsRead bool
+}
+
+// RunConfig configures one deterministic client-server run.
+type RunConfig struct {
+	Sys *System
+	// Scripts[c] is client c's program; a client issues its next request
+	// only after absorbing the response to the previous one.
+	Scripts [][]ClientOp
+	Sched   transport.Scheduler
+	// MaxSteps bounds the run; 0 derives a bound from the script sizes.
+	MaxSteps int
+}
+
+// RunResult holds measurements and oracle verdicts for one run.
+type RunResult struct {
+	Steps         int
+	Requests      int
+	Responses     int
+	UpdatesSent   int
+	MetaBytes     int
+	Violations    []causality.Violation
+	StuckUpdates  int
+	StuckRequests int
+	UnfinishedOps int
+	ServerEntries []int
+	ClientEntries []int
+}
+
+// Ok reports a fully clean run: no violations, nothing stuck, all client
+// programs completed.
+func (r *RunResult) Ok() bool {
+	return len(r.Violations) == 0 && r.StuckUpdates == 0 && r.StuckRequests == 0 && r.UnfinishedOps == 0
+}
+
+// event is one in-flight message of the client-server runner.
+type event struct {
+	req    *Request
+	resp   *Response
+	update *UpdateMsg
+}
+
+// Run executes the client scripts to quiescence under the scheduler,
+// auditing with the causality oracle (including the client clauses of
+// Definitions 25 and 26).
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Sys == nil || cfg.Sched == nil {
+		return nil, fmt.Errorf("clientserver: Sys and Sched are required")
+	}
+	aug := cfg.Sys.Aug
+	nClients := aug.NumClients()
+	if len(cfg.Scripts) > nClients {
+		return nil, fmt.Errorf("clientserver: %d scripts for %d clients", len(cfg.Scripts), nClients)
+	}
+	nReplicas := aug.G.NumReplicas()
+	servers := make([]*Server, nReplicas)
+	for i := range servers {
+		servers[i] = NewServer(cfg.Sys, sharegraph.ReplicaID(i))
+	}
+	clients := make([]*Client, nClients)
+	for c := range clients {
+		clients[c] = NewClient(cfg.Sys, sharegraph.ClientID(c))
+	}
+	tracker := causality.NewTracker(aug.G)
+	res := &RunResult{}
+
+	scripts := make([][]ClientOp, nClients)
+	copy(scripts, cfg.Scripts)
+	awaiting := make([]bool, nClients) // client has a request in flight
+	totalOps := 0
+	for _, s := range scripts {
+		totalOps += len(s)
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = (totalOps+1)*(nReplicas+4) + 64
+	}
+
+	var pool []event
+	nextVal := core.Value(1)
+
+	processOutcome := func(server *Server, out *Outcome) {
+		if out == nil {
+			return
+		}
+		for _, ev := range out.Events {
+			switch {
+			case ev.Apply != nil:
+				tracker.OnApply(server.ID(), ev.Apply.OracleID)
+			case ev.Accept != nil:
+				acc := ev.Accept
+				tracker.OnClientAccess(acc.Client, acc.Replica)
+				if acc.IsWrite {
+					id := tracker.OnClientWrite(acc.Client, acc.Replica, acc.Reg)
+					for k := 0; k < acc.NumUpdates; k++ {
+						out.Updates[acc.UpdateSeq+k].OracleID = id
+					}
+				}
+			}
+		}
+		for i := range out.Updates {
+			u := out.Updates[i]
+			res.UpdatesSent++
+			res.MetaBytes += u.MetaBytes()
+			pool = append(pool, event{update: &out.Updates[i]})
+		}
+		for i := range out.Responses {
+			res.Responses++
+			res.MetaBytes += timestamp.EncodedSize(out.Responses[i].Tau)
+			pool = append(pool, event{resp: &out.Responses[i]})
+		}
+	}
+
+	for step := 0; step < maxSteps; step++ {
+		var idle []int // clients ready to issue their next op
+		for c := 0; c < nClients; c++ {
+			if !awaiting[c] && len(scripts[c]) > 0 {
+				idle = append(idle, c)
+			}
+		}
+		total := len(idle) + len(pool)
+		if total == 0 {
+			res.Steps = step
+			break
+		}
+		choice := cfg.Sched.Pick(total)
+		if choice < len(idle) {
+			c := idle[choice]
+			op := scripts[c][0]
+			scripts[c] = scripts[c][1:]
+			req, err := clients[c].NewRequest(op.Reg, nextVal, op.IsRead)
+			if err != nil {
+				return nil, err
+			}
+			nextVal++
+			awaiting[c] = true
+			res.Requests++
+			res.MetaBytes += timestamp.EncodedSize(req.Mu)
+			pool = append(pool, event{req: &req})
+		} else {
+			ev := pool[choice-len(idle)]
+			pool = append(pool[:choice-len(idle)], pool[choice-len(idle)+1:]...)
+			switch {
+			case ev.req != nil:
+				processOutcome(servers[ev.req.Replica], servers[ev.req.Replica].HandleRequest(*ev.req))
+			case ev.update != nil:
+				processOutcome(servers[ev.update.To], servers[ev.update.To].HandleUpdate(*ev.update))
+			case ev.resp != nil:
+				clients[ev.resp.Client].AbsorbResponse(*ev.resp)
+				awaiting[ev.resp.Client] = false
+			}
+		}
+		res.Steps = step + 1
+	}
+
+	for _, s := range servers {
+		res.StuckUpdates += s.PendingUpdates()
+		res.StuckRequests += s.PendingRequests()
+		res.ServerEntries = append(res.ServerEntries, s.MetadataEntries())
+	}
+	for c, cl := range clients {
+		res.ClientEntries = append(res.ClientEntries, cl.MetadataEntries())
+		res.UnfinishedOps += len(scripts[c])
+		if awaiting[c] {
+			res.UnfinishedOps++
+		}
+	}
+	tracker.CheckLiveness()
+	res.Violations = tracker.Violations()
+	return res, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/causality"
+	"repro/internal/sharegraph"
+	"repro/internal/timestamp"
+)
+
+// EdgeIndexed is the paper's algorithm (Section 3.3): replica i maintains
+// a vector timestamp indexed by the edges of its timestamp graph G_i, uses
+// advance on local writes, merge when applying remote updates, and the
+// predicate J to decide deliverability of buffered updates.
+type EdgeIndexed struct {
+	g     *sharegraph.Graph
+	space *timestamp.Space
+	name  string
+	// realStore reports whether a replica genuinely stores a register (as
+	// opposed to holding a Section 5 "dummy" copy that participates in the
+	// share graph for timestamp purposes only). Defaults to the share
+	// graph's own placement.
+	realStore func(sharegraph.ReplicaID, sharegraph.Register) bool
+}
+
+var _ Protocol = (*EdgeIndexed)(nil)
+
+// NewEdgeIndexed builds the protocol with timestamp graphs computed per
+// Definition 5 (exhaustive loop search).
+func NewEdgeIndexed(g *sharegraph.Graph) (*EdgeIndexed, error) {
+	return NewEdgeIndexedWithGraphs(g, sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{}), "edge-indexed")
+}
+
+// NewEdgeIndexedWithGraphs builds the protocol over caller-supplied
+// timestamp graphs. The Appendix D optimizations (dummy registers, l-hop
+// truncation, ring breaking) and the Theorem 8 necessity experiments use
+// this to run the same machinery over modified edge sets.
+func NewEdgeIndexedWithGraphs(g *sharegraph.Graph, graphs []*sharegraph.TSGraph, name string) (*EdgeIndexed, error) {
+	space, err := timestamp.NewSpace(g, graphs)
+	if err != nil {
+		return nil, fmt.Errorf("edge-indexed: %w", err)
+	}
+	return &EdgeIndexed{g: g, space: space, name: name, realStore: g.StoresRegister}, nil
+}
+
+// NewEdgeIndexedRouted builds the protocol over an EFFECTIVE share graph
+// that may contain dummy register copies (Section 5): effective describes
+// where registers live for timestamp and routing purposes, while realStore
+// says which copies are genuine. Writes fan out data messages to genuine
+// holders and metadata-only messages to dummy holders; reads and client
+// writes are only accepted at genuine holders.
+func NewEdgeIndexedRouted(effective *sharegraph.Graph, realStore func(sharegraph.ReplicaID, sharegraph.Register) bool, name string) (*EdgeIndexed, error) {
+	p, err := NewEdgeIndexedWithGraphs(effective, sharegraph.BuildAllTSGraphs(effective, sharegraph.LoopOptions{}), name)
+	if err != nil {
+		return nil, err
+	}
+	p.realStore = realStore
+	return p, nil
+}
+
+// Name implements Protocol.
+func (p *EdgeIndexed) Name() string { return p.name }
+
+// Space exposes the timestamp space (diagnostics and size accounting).
+func (p *EdgeIndexed) Space() *timestamp.Space { return p.space }
+
+// NewNodes implements Protocol.
+func (p *EdgeIndexed) NewNodes() ([]Node, error) {
+	nodes := make([]Node, p.g.NumReplicas())
+	for i := range nodes {
+		id := sharegraph.ReplicaID(i)
+		nodes[i] = &edgeNode{
+			id:        id,
+			g:         p.g,
+			space:     p.space,
+			realStore: p.realStore,
+			τ:         p.space.Zero(id),
+			store:     make(map[sharegraph.Register]Value, p.g.Stores(id).Len()),
+		}
+	}
+	return nodes, nil
+}
+
+// pendingUpdate is one buffered update(k, T, x, v) message.
+type pendingUpdate struct {
+	from     sharegraph.ReplicaID
+	ts       timestamp.Vec
+	reg      sharegraph.Register
+	val      Value
+	metaOnly bool
+	oracleID causality.UpdateID
+}
+
+// edgeNode is one replica running the Section 3.3 algorithm.
+type edgeNode struct {
+	id        sharegraph.ReplicaID
+	g         *sharegraph.Graph
+	space     *timestamp.Space
+	realStore func(sharegraph.ReplicaID, sharegraph.Register) bool
+	τ         timestamp.Vec
+	store     map[sharegraph.Register]Value
+	pending   []pendingUpdate
+}
+
+var _ Node = (*edgeNode)(nil)
+
+func (n *edgeNode) ID() sharegraph.ReplicaID { return n.id }
+
+// HandleWrite implements step 2 of the replica prototype: write locally,
+// advance the timestamp, and send update(i, τ_i, x, v) to every other
+// replica storing x.
+func (n *edgeNode) HandleWrite(x sharegraph.Register, v Value, id causality.UpdateID) ([]Envelope, error) {
+	if !n.realStore(n.id, x) {
+		return nil, &NotStoredError{Replica: n.id, Register: x}
+	}
+	n.store[x] = v
+	n.τ = n.space.Advance(n.id, n.τ, x)
+	meta := timestamp.Encode(n.τ)
+	recipients := n.g.UpdateRecipients(n.id, x)
+	out := make([]Envelope, 0, len(recipients))
+	for _, k := range recipients {
+		out = append(out, Envelope{
+			From: n.id, To: k, Reg: x, Val: v, Meta: meta, OracleID: id,
+			MetaOnly: !n.realStore(k, x),
+		})
+	}
+	return out, nil
+}
+
+// HandleMessage implements steps 3–4: buffer the update, then repeatedly
+// apply any buffered update whose predicate J evaluates true, merging
+// timestamps as we go, until no buffered update is deliverable.
+func (n *edgeNode) HandleMessage(env Envelope) ([]Applied, []Envelope) {
+	ts, err := timestamp.Decode(env.Meta)
+	if err != nil {
+		// A corrupt message indicates a harness bug, not a protocol state;
+		// surface loudly but do not crash the run.
+		log.Printf("edge-indexed: replica %d dropping corrupt metadata from %d: %v", n.id, env.From, err)
+		return nil, nil
+	}
+	n.pending = append(n.pending, pendingUpdate{
+		from: env.From, ts: ts, reg: env.Reg, val: env.Val,
+		metaOnly: env.MetaOnly, oracleID: env.OracleID,
+	})
+	return n.drain(), nil
+}
+
+// drain applies deliverable pending updates until a fixpoint.
+func (n *edgeNode) drain() []Applied {
+	var out []Applied
+	for {
+		progress := false
+		for idx := 0; idx < len(n.pending); idx++ {
+			u := n.pending[idx]
+			if !n.space.Deliverable(n.id, n.τ, u.from, u.ts) {
+				continue
+			}
+			// Apply atomically: write value (unless this is a dummy
+			// metadata-only update), merge timestamp, unbuffer.
+			if !u.metaOnly {
+				n.store[u.reg] = u.val
+			}
+			n.space.MergeInPlace(n.id, n.τ, u.from, u.ts)
+			n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+			if !u.metaOnly {
+				out = append(out, Applied{
+					OracleID: u.oracleID, From: u.from, Reg: u.reg, Val: u.val,
+				})
+			}
+			progress = true
+			idx-- // the slot now holds the next pending update
+		}
+		if !progress {
+			return out
+		}
+	}
+}
+
+// Read implements step 1: respond with the local copy. Dummy copies are
+// never readable.
+func (n *edgeNode) Read(x sharegraph.Register) (Value, bool) {
+	if !n.realStore(n.id, x) {
+		return 0, false
+	}
+	return n.store[x], true
+}
+
+func (n *edgeNode) PendingCount() int { return len(n.pending) }
+
+func (n *edgeNode) PendingOracleIDs() []causality.UpdateID {
+	out := make([]causality.UpdateID, 0, len(n.pending))
+	for _, u := range n.pending {
+		if !u.metaOnly {
+			out = append(out, u.oracleID)
+		}
+	}
+	return out
+}
+
+func (n *edgeNode) MetadataEntries() int { return len(n.τ) }
+
+// Timestamp returns a copy of the node's current vector (diagnostics).
+func (n *edgeNode) Timestamp() timestamp.Vec { return n.τ.Clone() }

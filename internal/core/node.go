@@ -1,0 +1,104 @@
+// Package core implements the replica prototype of Section 2.1 of
+// Xiang & Vaidya (PODC 2019) and its Section 3.3 instantiation with
+// edge-indexed vector timestamps — the paper's primary contribution.
+//
+// The protocol logic is a pure, single-threaded state machine per replica
+// (a Node): client operations and message deliveries are methods that
+// return the messages to send and the updates applied. Runtimes — the
+// deterministic simulator and the live goroutine cluster in internal/sim —
+// layer scheduling, transport and concurrency on top without duplicating
+// any protocol logic.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/causality"
+	"repro/internal/sharegraph"
+)
+
+// Value is the content of a shared register write.
+type Value int64
+
+// Envelope is one update message on the wire: the register/value payload
+// plus protocol metadata in encoded form. Meta's length is exactly the
+// per-message metadata overhead the experiments measure. OracleID carries
+// the causality oracle's identifier for checking only — protocols must
+// never branch on it.
+type Envelope struct {
+	From     sharegraph.ReplicaID
+	To       sharegraph.ReplicaID
+	Reg      sharegraph.Register
+	Val      Value
+	Meta     []byte
+	OracleID causality.UpdateID
+	// MetaOnly marks a metadata-only message carrying no register value —
+	// used by the dummy-register full-replication emulation of Section 5,
+	// where replicas that do not store a register still receive timestamp
+	// updates for it. MetaOnly deliveries never count as applied updates.
+	MetaOnly bool
+}
+
+// Applied reports one update a node applied while processing an event.
+type Applied struct {
+	OracleID causality.UpdateID
+	From     sharegraph.ReplicaID
+	Reg      sharegraph.Register
+	Val      Value
+}
+
+// Node is one replica's protocol state machine. Implementations are not
+// safe for concurrent use; runtimes serialize access per node.
+type Node interface {
+	// ID returns the replica this node implements.
+	ID() sharegraph.ReplicaID
+
+	// HandleWrite processes a client write to a locally stored register:
+	// it applies the write locally and returns the update messages to
+	// send. id is the causality oracle's identifier for this update.
+	// It fails if the register is not stored at this replica.
+	HandleWrite(x sharegraph.Register, v Value, id causality.UpdateID) ([]Envelope, error)
+
+	// HandleMessage ingests one received envelope, applies it and any
+	// previously buffered updates that have become deliverable, and
+	// returns the applied updates in application order plus any messages
+	// to forward (relaying protocols, such as the Appendix D virtual
+	// register overlays, propagate updates hop by hop).
+	HandleMessage(env Envelope) ([]Applied, []Envelope)
+
+	// Read returns the local copy of register x, per step 1 of the
+	// prototype (reads never block). ok is false if x is not stored here.
+	Read(x sharegraph.Register) (v Value, ok bool)
+
+	// PendingCount returns the number of buffered (received but not yet
+	// applied) updates — the pending_i set of the prototype.
+	PendingCount() int
+
+	// PendingOracleIDs lists the buffered updates' oracle IDs, for false
+	// dependency accounting. Order is unspecified.
+	PendingOracleIDs() []causality.UpdateID
+
+	// MetadataEntries returns the number of integer counters in this
+	// replica's timestamp — the quantity the paper's lower bounds govern.
+	MetadataEntries() int
+}
+
+// Protocol builds the per-replica nodes of one causal-consistency
+// implementation over a given share graph.
+type Protocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// NewNodes builds one node per replica.
+	NewNodes() ([]Node, error)
+}
+
+// NotStoredError reports that a client operation named a register the
+// replica does not store. Match it with errors.As.
+type NotStoredError struct {
+	Replica  sharegraph.ReplicaID
+	Register sharegraph.Register
+}
+
+func (e *NotStoredError) Error() string {
+	return fmt.Sprintf("core: replica %d does not store register %q", e.Replica, e.Register)
+}

@@ -1,0 +1,399 @@
+// Package lowerbound implements the Section 4 results of Xiang & Vaidya
+// (PODC 2019): lower bounds on the size of the timestamp space σ_i(m)
+// (Definition 12) under Constraint 1 (timestamps are a function of the
+// causal past).
+//
+// Causal pasts are modelled per Constraint 1 as per-edge update counts
+// (S|e, the updates issued by e.From on registers in X_{e.From,e.To});
+// Definition 13's conflict relation is implemented over these counts, with
+// the register-level side conditions evaluated exactly on the share graph.
+// A family of pairwise-conflicting pasts forms a clique in the conflict
+// graph H_i, so its size lower-bounds the chromatic number χ(H_i) and
+// hence σ_i(m) (Theorem 15). The package verifies the paper's closed
+// forms: m^(2N_i) states (2·N_i·log m bits) on trees, m^(2n) on cycles,
+// and tightness against the algorithm's actual timestamp dimensions.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sharegraph"
+)
+
+// Past is a causal past under Constraint 1, abstracted to per-edge update
+// counts: Counts[e] = |S restricted to edge e|. Definition 13 condition 1
+// requires every edge of the share graph to carry at least one update, so
+// valid pasts have Counts[e] ≥ 1 everywhere.
+type Past struct {
+	counts map[sharegraph.Edge]int
+}
+
+// NewPast builds a past with count 1 on every share-graph edge.
+func NewPast(g *sharegraph.Graph) Past {
+	c := make(map[sharegraph.Edge]int)
+	for _, e := range g.Edges() {
+		c[e] = 1
+	}
+	return Past{counts: c}
+}
+
+// With returns a copy with edge e's count set to n (n ≥ 1).
+func (p Past) With(e sharegraph.Edge, n int) Past {
+	c := make(map[sharegraph.Edge]int, len(p.counts))
+	for k, v := range p.counts {
+		c[k] = v
+	}
+	c[e] = n
+	return Past{counts: c}
+}
+
+// Count returns the count on edge e.
+func (p Past) Count(e sharegraph.Edge) int { return p.counts[e] }
+
+// Conflicts implements Definition 13 for replica i: the pasts conflict if
+// both are everywhere non-empty and there is an edge e with S1|e ⊂ S2|e
+// (or vice versa; the relation is symmetric) such that either e is
+// incident at i, or a simple loop (i, l_1..l_s, r_1..r_t, i) exists with
+// e = e_{r_1 l_s}, equal counts on every other (r_p, l_q) chord, and the
+// register-level escape condition (2) along the r-path.
+func Conflicts(g *sharegraph.Graph, i sharegraph.ReplicaID, s1, s2 Past) bool {
+	for _, e := range g.Edges() {
+		if s1.counts[e] < 1 || s2.counts[e] < 1 {
+			return false // condition 1 fails
+		}
+	}
+	for _, e := range g.Edges() {
+		if s1.counts[e] == s2.counts[e] {
+			continue
+		}
+		// Counts differing means (in the executions realizing these
+		// pasts) one restriction is a strict prefix of the other.
+		if e.From == i || e.To == i {
+			return true
+		}
+		if loopClauseHolds(g, i, e, s1, s2) {
+			return true
+		}
+	}
+	return false
+}
+
+// loopClauseHolds searches for a simple loop (i, l_1..l_s, r_1..r_t, i)
+// with e = e_{r_1, l_s} satisfying Definition 13 condition 2's loop
+// clause. The l-path runs from i to l_s = e.To avoiding r_1 = e.From; the
+// r-path runs from r_1 back to i avoiding the l-path.
+func loopClauseHolds(g *sharegraph.Graph, i sharegraph.ReplicaID, e sharegraph.Edge, s1, s2 Past) bool {
+	r1, ls := e.From, e.To
+	if !g.HasEdge(e) {
+		return false
+	}
+	n := g.NumReplicas()
+	used := make([]bool, n)
+	used[i] = true
+	used[r1] = true
+
+	var lpath []sharegraph.ReplicaID
+	found := false
+
+	chordsEqual := func(rp sharegraph.ReplicaID) bool {
+		// Condition (1): counts equal on every chord e_{rp, lq} ≠ e.
+		for _, lq := range lpath {
+			ch := sharegraph.Edge{From: rp, To: lq}
+			if ch == e || !g.HasEdge(ch) {
+				continue
+			}
+			if s1.counts[ch] != s2.counts[ch] {
+				return false
+			}
+		}
+		return true
+	}
+
+	escapeOK := func(rp, rnext sharegraph.ReplicaID) bool {
+		// Condition (2): X_{rp,rnext} − ∪_q X_{rp,lq} ≠ ∅ — an update by
+		// rp on the hop register can avoid touching the l-side.
+		shared := g.Shared(rp, rnext)
+		if shared == nil {
+			return false
+		}
+		excl := make(sharegraph.RegisterSet)
+		for _, lq := range lpath {
+			if s := g.Shared(rp, lq); s != nil {
+				excl.UnionInPlace(s)
+			}
+		}
+		return shared.DiffNonEmpty(excl)
+	}
+
+	var extendR func(cur sharegraph.ReplicaID) bool
+	extendR = func(cur sharegraph.ReplicaID) bool {
+		if !chordsEqual(cur) {
+			return false
+		}
+		if g.HasEdge(sharegraph.Edge{From: cur, To: i}) && escapeOK(cur, i) {
+			return true
+		}
+		for _, nxt := range g.Neighbors(cur) {
+			if used[nxt] || nxt == i {
+				continue
+			}
+			if !escapeOK(cur, nxt) {
+				continue
+			}
+			used[nxt] = true
+			ok := extendR(nxt)
+			used[nxt] = false
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	var extendL func(cur sharegraph.ReplicaID) bool
+	extendL = func(cur sharegraph.ReplicaID) bool {
+		for _, nxt := range g.Neighbors(cur) {
+			if used[nxt] {
+				continue
+			}
+			if nxt == ls {
+				lpath = append(lpath, ls)
+				used[ls] = true
+				if extendR(r1) {
+					found = true
+				}
+				used[ls] = false
+				lpath = lpath[:len(lpath)-1]
+				if found {
+					return true
+				}
+				continue
+			}
+			used[nxt] = true
+			lpath = append(lpath, nxt)
+			ok := extendL(nxt)
+			lpath = lpath[:len(lpath)-1]
+			used[nxt] = false
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	extendL(i)
+	return found
+}
+
+// Bound is a conflict-clique lower bound on σ_i(m) together with the
+// matching upper bound from the paper's algorithm.
+type Bound struct {
+	Replica sharegraph.ReplicaID
+	M       int
+	// Exponent k: a verified family of m^k pairwise-conflicting causal
+	// pasts exists, so σ_i(m) ≥ m^k and the timestamp needs at least
+	// k·log2(m) bits.
+	Exponent int
+	// Verified is true when every pair in the family was checked against
+	// Definition 13 (exhaustive for small families, else sampled).
+	Verified bool
+	// Exhaustive is true when verification covered all pairs.
+	Exhaustive bool
+	// AlgorithmEntries is |E_i|: the paper's algorithm uses timestamps
+	// ranging over ≤ (m·R+1)^|E_i| values, i.e. ~|E_i|·log m bits.
+	AlgorithmEntries int
+}
+
+// Bits returns the lower bound in bits, k·log2(m).
+func (b Bound) Bits() float64 { return float64(b.Exponent) * math.Log2(float64(b.M)) }
+
+// Tight reports whether the algorithm's timestamp dimension matches the
+// lower-bound exponent — the paper's tightness claim for trees, cycles
+// and full replication.
+func (b Bound) Tight() bool { return b.Exponent == b.AlgorithmEntries }
+
+// String renders the bound.
+func (b Bound) String() string {
+	return fmt.Sprintf("replica %d: σ(m=%d) ≥ %d^%d (%.1f bits), algorithm uses %d counters (tight=%v)",
+		b.Replica, b.M, b.M, b.Exponent, b.Bits(), b.AlgorithmEntries, b.Tight())
+}
+
+// verifyCap bounds exhaustive pairwise verification: families larger than
+// this have a deterministic sample of pairs checked instead.
+const verifyCap = 100
+
+// ComputeBound builds the conflict-clique family for replica i: all
+// per-edge count assignments in {1..m} over the edges of i's timestamp
+// graph E_i (other edges fixed at 1), verifies pairwise conflicts per
+// Definition 13, and returns the resulting bound.
+func ComputeBound(g *sharegraph.Graph, i sharegraph.ReplicaID, m int) Bound {
+	tsg := sharegraph.BuildTSGraph(g, i, sharegraph.LoopOptions{})
+	edges := tsg.Edges()
+	k := len(edges)
+	b := Bound{Replica: i, M: m, Exponent: k, AlgorithmEntries: tsg.Len()}
+
+	family := enumerateFamily(g, edges, m)
+	if len(family) <= verifyCap {
+		b.Exhaustive = true
+		b.Verified = true
+		for a := 0; a < len(family) && b.Verified; a++ {
+			for c := a + 1; c < len(family); c++ {
+				if !Conflicts(g, i, family[a], family[c]) {
+					b.Verified = false
+					b.Exponent = 0
+					break
+				}
+			}
+		}
+		return b
+	}
+	// Deterministic sample: consecutive pairs plus a strided sweep.
+	b.Verified = true
+	stride := len(family)/verifyCap + 1
+	for a := 0; a < len(family)-1 && b.Verified; a += stride {
+		for c := a + 1; c < len(family); c += stride {
+			if !Conflicts(g, i, family[a], family[c]) {
+				b.Verified = false
+				b.Exponent = 0
+			}
+		}
+	}
+	return b
+}
+
+// enumerateFamily lists every count assignment in {1..m}^edges over the
+// base past (1 everywhere else).
+func enumerateFamily(g *sharegraph.Graph, edges []sharegraph.Edge, m int) []Past {
+	base := NewPast(g)
+	family := []Past{base}
+	for _, e := range edges {
+		next := make([]Past, 0, len(family)*m)
+		for _, p := range family {
+			for v := 1; v <= m; v++ {
+				next = append(next, p.With(e, v))
+			}
+		}
+		family = next
+	}
+	return family
+}
+
+// GreedyChromatic computes a greedy-colouring upper estimate of the
+// chromatic number of the conflict graph over the given pasts. Together
+// with the clique size it brackets χ(H_i) on small instances.
+func GreedyChromatic(g *sharegraph.Graph, i sharegraph.ReplicaID, pasts []Past) int {
+	colors := make([]int, len(pasts))
+	maxColor := 0
+	for a := range pasts {
+		used := make(map[int]bool)
+		for b := 0; b < a; b++ {
+			if Conflicts(g, i, pasts[a], pasts[b]) {
+				used[colors[b]] = true
+			}
+		}
+		c := 1
+		for used[c] {
+			c++
+		}
+		colors[a] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	return maxColor
+}
+
+// ExactChromatic computes the exact chromatic number of the conflict
+// graph over the given pasts by branch and bound (DSATUR-ordered),
+// feasible for a few dozen vertices. Theorem 15 states σ_i(m) ≥ χ(H_i);
+// on instances small enough to solve exactly, this pins the bound rather
+// than bracketing it between clique and greedy estimates.
+func ExactChromatic(g *sharegraph.Graph, i sharegraph.ReplicaID, pasts []Past) int {
+	n := len(pasts)
+	if n == 0 {
+		return 0
+	}
+	adj := make([][]bool, n)
+	for a := range adj {
+		adj[a] = make([]bool, n)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if Conflicts(g, i, pasts[a], pasts[b]) {
+				adj[a][b] = true
+				adj[b][a] = true
+			}
+		}
+	}
+	best := GreedyChromatic(g, i, pasts) // upper bound to prune against
+	colors := make([]int, n)
+
+	var solve func(v, used int) bool
+	solve = func(v, used int) bool {
+		if used >= best {
+			return false
+		}
+		if v == n {
+			best = used
+			return true
+		}
+		// Pick the uncoloured vertex with the most distinctly-coloured
+		// conflicting neighbours (DSATUR), breaking ties by degree.
+		pick, bestSat, bestDeg := -1, -1, -1
+		for u := 0; u < n; u++ {
+			if colors[u] != 0 {
+				continue
+			}
+			sat := make(map[int]bool)
+			deg := 0
+			for w := 0; w < n; w++ {
+				if !adj[u][w] {
+					continue
+				}
+				deg++
+				if colors[w] != 0 {
+					sat[colors[w]] = true
+				}
+			}
+			if len(sat) > bestSat || (len(sat) == bestSat && deg > bestDeg) {
+				pick, bestSat, bestDeg = u, len(sat), deg
+			}
+		}
+		improved := false
+		for c := 1; c <= used+1 && c < best+1; c++ {
+			ok := true
+			for w := 0; w < n; w++ {
+				if adj[pick][w] && colors[w] == c {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			colors[pick] = c
+			nu := used
+			if c > used {
+				nu = c
+			}
+			if solve(v+1, nu) {
+				improved = true
+			}
+			colors[pick] = 0
+		}
+		return improved
+	}
+	solve(0, 0)
+	return best
+}
+
+// TreeClosedForm returns the paper's closed-form exponent for a tree share
+// graph: 2·N_i (i.e. 2·N_i·log m bits).
+func TreeClosedForm(g *sharegraph.Graph, i sharegraph.ReplicaID) int {
+	return 2 * g.Degree(i)
+}
+
+// CycleClosedForm returns the closed-form exponent for a cycle of n
+// replicas: 2n for every replica.
+func CycleClosedForm(n int) int { return 2 * n }

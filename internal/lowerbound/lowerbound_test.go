@@ -1,0 +1,244 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sharegraph"
+)
+
+// TestTreeLowerBoundTight is experiment E8: on trees the conflict-clique
+// bound is m^(2N_i) — 2·N_i·log m bits — and the algorithm's timestamp has
+// exactly 2·N_i counters, so the bound is tight.
+func TestTreeLowerBoundTight(t *testing.T) {
+	graphs := map[string]*sharegraph.Graph{
+		"line3": sharegraph.Line(3),
+		"star4": sharegraph.Star(4),
+		"tree5": sharegraph.Tree([]int{0, 0, 0, 1, 1}),
+	}
+	for name, g := range graphs {
+		for i := 0; i < g.NumReplicas(); i++ {
+			r := sharegraph.ReplicaID(i)
+			b := ComputeBound(g, r, 2)
+			if !b.Verified {
+				t.Errorf("%s replica %d: conflict family failed verification", name, i)
+				continue
+			}
+			want := TreeClosedForm(g, r)
+			if b.Exponent != want {
+				t.Errorf("%s replica %d: exponent = %d, want 2·N_i = %d", name, i, b.Exponent, want)
+			}
+			if !b.Tight() {
+				t.Errorf("%s replica %d: bound not tight: %s", name, i, b)
+			}
+			wantBits := float64(want) // log2(2) = 1
+			if math.Abs(b.Bits()-wantBits) > 1e-9 {
+				t.Errorf("%s replica %d: bits = %v, want %v", name, i, b.Bits(), wantBits)
+			}
+		}
+	}
+}
+
+// TestCycleLowerBoundTight is experiment E9: on an n-cycle every replica's
+// bound is m^(2n) and the algorithm tracks exactly 2n counters.
+func TestCycleLowerBoundTight(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		g := sharegraph.Ring(n)
+		for i := 0; i < n; i++ {
+			b := ComputeBound(g, sharegraph.ReplicaID(i), 2)
+			if !b.Verified {
+				t.Errorf("ring%d replica %d: family failed verification", n, i)
+				continue
+			}
+			if b.Exponent != CycleClosedForm(n) {
+				t.Errorf("ring%d replica %d: exponent = %d, want 2n = %d", n, i, b.Exponent, 2*n)
+			}
+			if !b.Tight() {
+				t.Errorf("ring%d replica %d: not tight: %s", n, i, b)
+			}
+		}
+	}
+}
+
+func TestConflictsIncidentEdge(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	s1 := NewPast(g)
+	s2 := s1.With(sharegraph.Edge{From: 0, To: 1}, 3)
+	if !Conflicts(g, 0, s1, s2) {
+		t.Error("pasts differing on an incident edge must conflict")
+	}
+	if !Conflicts(g, 0, s2, s1) {
+		t.Error("conflict relation must be symmetric")
+	}
+	if Conflicts(g, 0, s1, s1) {
+		t.Error("identical pasts conflict")
+	}
+	// Counts of zero violate condition 1.
+	z := s1.With(sharegraph.Edge{From: 2, To: 3}, 0)
+	z2 := z.With(sharegraph.Edge{From: 0, To: 1}, 5)
+	if Conflicts(g, 0, z, z2) {
+		t.Error("pasts with an empty edge restriction conflict")
+	}
+}
+
+// TestConflictsNonIncidentNeedsLoop: on a tree, pasts differing only on a
+// far-away edge do NOT conflict for replica 0 — the information never
+// needs to reach it, which is exactly why tree timestamps are small.
+func TestConflictsNonIncidentNeedsLoop(t *testing.T) {
+	g := sharegraph.Line(4) // 0–1–2–3
+	s1 := NewPast(g)
+	s2 := s1.With(sharegraph.Edge{From: 2, To: 3}, 4)
+	if Conflicts(g, 0, s1, s2) {
+		t.Error("tree: non-incident difference should not conflict for replica 0")
+	}
+	if !Conflicts(g, 2, s1, s2) {
+		t.Error("the edge is incident at replica 2; conflict expected there")
+	}
+}
+
+// TestConflictsLoopClause: on a ring the loop clause makes far-edge
+// differences conflict for every replica.
+func TestConflictsLoopClause(t *testing.T) {
+	g := sharegraph.Ring(4)
+	far := sharegraph.Edge{From: 2, To: 3}
+	s1 := NewPast(g)
+	s2 := s1.With(far, 2)
+	if !Conflicts(g, 0, s1, s2) {
+		t.Error("ring: far-edge difference should conflict via the loop clause")
+	}
+	// But when the would-be witness loop's chords carry unequal counts,
+	// condition (1) blocks that edge — differing on a second chord edge
+	// still conflicts via that chord's own clause, so to isolate the loop
+	// clause we check loopClauseHolds directly.
+	if !loopClauseHolds(g, 0, far, s1, s2) {
+		t.Error("loopClauseHolds should find the ring loop")
+	}
+}
+
+// TestLoopClauseChordCondition: condition (1) of the loop clause requires
+// equal counts on (r_p, l_q) chords. Build a graph where the only witness
+// loop for e has a chord, and check that unequal chord counts block it.
+func TestLoopClauseChordCondition(t *testing.T) {
+	// Diamond with a chord: 0–1, 1–2, 2–3, 3–0 and chord 1–3, each pair
+	// sharing a unique register. For i=0 and e=e(2,3): l-path 0→3 is
+	// blocked? No — L must end at 3... we want e = e_{r1,ls} with a chord
+	// (r_p, l_q). Take e = e(1,2) at i=0: l-path 0→3→2 (L=[3,2]), r-path
+	// r1=1→0 (t=1). Chord (r_1=1, l_1=3) = edge 1–3 exists and ≠ e.
+	g, err := sharegraph.New([][]sharegraph.Register{
+		{"a", "d"},      // 0: a with 1, d with 3
+		{"a", "b", "x"}, // 1: b with 2, x with 3
+		{"b", "c"},      // 2: c with 3
+		{"c", "d", "x"}, // 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sharegraph.Edge{From: 1, To: 2}
+	s1 := NewPast(g)
+	s2 := s1.With(e, 2)
+	if !loopClauseHolds(g, 0, e, s1, s2) {
+		t.Fatal("witness loop (0,3,2,1,0) should satisfy the clause with equal chords")
+	}
+	// Unequal counts on the chord e(1,3) violate condition (1).
+	chord := sharegraph.Edge{From: 1, To: 3}
+	s1c := s1.With(chord, 5)
+	s2c := s2.With(chord, 6)
+	if loopClauseHolds(g, 0, e, s1c, s2c) {
+		t.Error("loop clause should fail when chord counts differ")
+	}
+}
+
+func TestGreedyChromaticBracketsClique(t *testing.T) {
+	g := sharegraph.Line(3)
+	tsg := sharegraph.BuildTSGraph(g, 0, sharegraph.LoopOptions{})
+	family := enumerateFamily(g, tsg.Edges(), 2)
+	chrom := GreedyChromatic(g, 0, family)
+	if chrom < len(family) {
+		t.Errorf("greedy chromatic %d < clique size %d on a fully conflicting family", chrom, len(family))
+	}
+}
+
+func TestComputeBoundSampledPath(t *testing.T) {
+	// Ring(4) with m=2 gives 2^8 = 256 pasts > verifyCap: the sampled
+	// verification path must still succeed.
+	g := sharegraph.Ring(4)
+	b := ComputeBound(g, 0, 2)
+	if b.Exhaustive {
+		t.Error("expected sampled verification for a 256-member family")
+	}
+	if !b.Verified || b.Exponent != 8 {
+		t.Errorf("bound = %+v", b)
+	}
+	if b.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+// TestExactChromaticMatchesClique: on a pairwise-conflicting family the
+// conflict graph is complete, so χ equals the family size exactly —
+// pinning Theorem 15's bound rather than bracketing it.
+func TestExactChromaticMatchesClique(t *testing.T) {
+	g := sharegraph.Line(3)
+	tsg := sharegraph.BuildTSGraph(g, 0, sharegraph.LoopOptions{})
+	family := enumerateFamily(g, tsg.Edges(), 2) // 4 pasts, all conflicting
+	if got := ExactChromatic(g, 0, family); got != len(family) {
+		t.Errorf("χ = %d, want %d", got, len(family))
+	}
+	if ExactChromatic(g, 0, nil) != 0 {
+		t.Error("empty family should have χ = 0")
+	}
+}
+
+// TestExactChromaticNonClique: mix in pasts that do NOT conflict (they
+// differ only on an edge irrelevant to replica 0) and verify χ < |family|
+// while χ ≥ the clique within it.
+func TestExactChromaticNonClique(t *testing.T) {
+	g := sharegraph.Line(4) // 0–1–2–3; edge 2–3 is invisible to replica 0
+	base := NewPast(g)
+	incident := sharegraph.Edge{From: 0, To: 1}
+	far := sharegraph.Edge{From: 2, To: 3}
+	family := []Past{
+		base,
+		base.With(incident, 2), // conflicts with base
+		base.With(far, 2),      // does NOT conflict with base for replica 0
+	}
+	chrom := ExactChromatic(g, 0, family)
+	if chrom != 2 {
+		t.Errorf("χ = %d, want 2 (two of three pasts are compatible)", chrom)
+	}
+	greedy := GreedyChromatic(g, 0, family)
+	if greedy < chrom {
+		t.Errorf("greedy %d below exact %d", greedy, chrom)
+	}
+}
+
+func TestPastAccessors(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	p := NewPast(g)
+	e := sharegraph.Edge{From: 0, To: 1}
+	if p.Count(e) != 1 {
+		t.Errorf("initial count = %d", p.Count(e))
+	}
+	q := p.With(e, 7)
+	if q.Count(e) != 7 || p.Count(e) != 1 {
+		t.Error("With must not mutate the receiver")
+	}
+}
+
+func BenchmarkComputeBoundLine4(b *testing.B) {
+	g := sharegraph.Line(4)
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		ComputeBound(g, 1, 2)
+	}
+}
+
+func BenchmarkConflicts(b *testing.B) {
+	g := sharegraph.Ring(5)
+	s1 := NewPast(g)
+	s2 := s1.With(sharegraph.Edge{From: 2, To: 3}, 2)
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		Conflicts(g, 0, s1, s2)
+	}
+}

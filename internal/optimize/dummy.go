@@ -1,0 +1,102 @@
+package optimize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+)
+
+// DummyPlan places metadata-only register copies (Section 5 "dummy
+// registers"): a dummy copy participates in the share graph — changing the
+// timestamp graphs — and receives metadata-only update messages, but is
+// never read or written by clients and never stores data.
+type DummyPlan struct {
+	Base *sharegraph.Graph
+	// Dummies[x] lists the replicas holding a dummy copy of register x.
+	Dummies map[sharegraph.Register][]sharegraph.ReplicaID
+}
+
+// NewDummyPlan starts an empty plan over the base placement.
+func NewDummyPlan(g *sharegraph.Graph) *DummyPlan {
+	return &DummyPlan{Base: g, Dummies: make(map[sharegraph.Register][]sharegraph.ReplicaID)}
+}
+
+// Add plants a dummy copy of x at replica r. Adding a dummy where the
+// register genuinely lives is an error.
+func (p *DummyPlan) Add(x sharegraph.Register, r sharegraph.ReplicaID) error {
+	if p.Base.StoresRegister(r, x) {
+		return fmt.Errorf("optimize: replica %d already stores %q", r, x)
+	}
+	for _, held := range p.Dummies[x] {
+		if held == r {
+			return nil // idempotent
+		}
+	}
+	p.Dummies[x] = append(p.Dummies[x], r)
+	return nil
+}
+
+// FullEmulationPlan plants a dummy copy of every register at every replica
+// not genuinely storing it — the Section 5 extreme that emulates full
+// replication: compressed timestamps collapse to length R, and every write
+// broadcasts metadata to all replicas.
+func FullEmulationPlan(g *sharegraph.Graph) *DummyPlan {
+	p := NewDummyPlan(g)
+	for _, x := range g.Registers() {
+		for i := 0; i < g.NumReplicas(); i++ {
+			r := sharegraph.ReplicaID(i)
+			if !g.StoresRegister(r, x) {
+				p.Dummies[x] = append(p.Dummies[x], r)
+			}
+		}
+	}
+	return p
+}
+
+// EffectiveGraph returns the share graph induced by genuine plus dummy
+// copies — the graph the timestamps are computed over.
+func (p *DummyPlan) EffectiveGraph() (*sharegraph.Graph, error) {
+	n := p.Base.NumReplicas()
+	stores := make([]sharegraph.RegisterSet, n)
+	for i := 0; i < n; i++ {
+		stores[i] = p.Base.Stores(sharegraph.ReplicaID(i)).Clone()
+	}
+	for x, rs := range p.Dummies {
+		for _, r := range rs {
+			stores[r].Add(x)
+		}
+	}
+	return sharegraph.NewFromSets(stores)
+}
+
+// Protocol builds the edge-indexed protocol over the effective graph with
+// dummy-aware routing: data to genuine holders, metadata-only messages to
+// dummy holders.
+func (p *DummyPlan) Protocol(name string) (core.Protocol, error) {
+	eff, err := p.EffectiveGraph()
+	if err != nil {
+		return nil, fmt.Errorf("optimize: effective graph: %w", err)
+	}
+	return core.NewEdgeIndexedRouted(eff, p.Base.StoresRegister, name)
+}
+
+// DummyCount returns the number of planted dummy copies.
+func (p *DummyPlan) DummyCount() int {
+	n := 0
+	for _, rs := range p.Dummies {
+		n += len(rs)
+	}
+	return n
+}
+
+// DummyRegisters lists registers with at least one dummy copy, sorted.
+func (p *DummyPlan) DummyRegisters() []sharegraph.Register {
+	out := make([]sharegraph.Register, 0, len(p.Dummies))
+	for x := range p.Dummies {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,236 @@
+package optimize
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+	"repro/internal/timestamp"
+)
+
+// RingBreak implements the Figure 13 optimization: on an n-replica ring,
+// direct communication between replicas 0 and n−1 is disallowed, turning
+// the share graph into a path. Updates to their shared register are
+// relayed hop-by-hop as writes to virtual registers (never client
+// accessed), with the final hop materializing the value. Per-replica
+// timestamps shrink from 2n counters (every replica tracks the whole
+// cycle) to at most 4 (a path has no loops); the relayed register pays
+// n−1 message hops of latency.
+type RingBreak struct {
+	base   *sharegraph.Graph
+	n      int
+	broken sharegraph.Register
+	line   *sharegraph.Graph
+	space  *timestamp.Space
+}
+
+var _ core.Protocol = (*RingBreak)(nil)
+
+// BreakRing builds the broken-ring protocol over sharegraph.Ring(n). The
+// register shared by replicas 0 and n−1 ("ring<n-1>") becomes the relayed
+// register.
+func BreakRing(n int) (*RingBreak, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("optimize: ring break needs n >= 3, got %d", n)
+	}
+	base := sharegraph.Ring(n)
+	broken := sharegraph.Register(fmt.Sprintf("ring%d", n-1))
+	stores := make([]sharegraph.RegisterSet, n)
+	for i := 0; i < n; i++ {
+		s := base.Stores(sharegraph.ReplicaID(i)).Clone()
+		delete(s, broken)
+		stores[i] = s
+	}
+	for i := 0; i < n-1; i++ {
+		vr := relayRegister(i)
+		stores[i].Add(vr)
+		stores[i+1].Add(vr)
+	}
+	line, err := sharegraph.NewFromSets(stores)
+	if err != nil {
+		return nil, fmt.Errorf("optimize: line graph: %w", err)
+	}
+	space, err := timestamp.NewSpace(line, sharegraph.BuildAllTSGraphs(line, sharegraph.LoopOptions{}))
+	if err != nil {
+		return nil, fmt.Errorf("optimize: line space: %w", err)
+	}
+	return &RingBreak{base: base, n: n, broken: broken, line: line, space: space}, nil
+}
+
+// relayRegister names the virtual register carrying relayed updates over
+// the path edge (i, i+1).
+func relayRegister(i int) sharegraph.Register {
+	return sharegraph.Register(fmt.Sprintf("__relay%d", i))
+}
+
+// Base returns the original ring share graph (the oracle's view).
+func (p *RingBreak) Base() *sharegraph.Graph { return p.base }
+
+// Line returns the broken (path) share graph the timestamps run over.
+func (p *RingBreak) Line() *sharegraph.Graph { return p.line }
+
+// Broken returns the relayed register.
+func (p *RingBreak) Broken() sharegraph.Register { return p.broken }
+
+// Name implements core.Protocol.
+func (p *RingBreak) Name() string { return "ring-break" }
+
+// NewNodes implements core.Protocol.
+func (p *RingBreak) NewNodes() ([]core.Node, error) {
+	nodes := make([]core.Node, p.n)
+	for i := range nodes {
+		id := sharegraph.ReplicaID(i)
+		nodes[i] = &relayNode{
+			p:     p,
+			id:    id,
+			τ:     p.space.Zero(id),
+			store: make(map[sharegraph.Register]core.Value),
+		}
+	}
+	return nodes, nil
+}
+
+type relayPending struct {
+	from     sharegraph.ReplicaID
+	ts       timestamp.Vec
+	reg      sharegraph.Register
+	val      core.Value
+	oracleID causality.UpdateID
+}
+
+// relayNode runs the edge-indexed machinery over the path graph and
+// relays broken-register updates hop by hop.
+type relayNode struct {
+	p       *RingBreak
+	id      sharegraph.ReplicaID
+	τ       timestamp.Vec
+	store   map[sharegraph.Register]core.Value
+	pending []relayPending
+}
+
+var _ core.Node = (*relayNode)(nil)
+
+func (n *relayNode) ID() sharegraph.ReplicaID { return n.id }
+
+func (n *relayNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID) ([]core.Envelope, error) {
+	if !n.p.base.StoresRegister(n.id, x) {
+		return nil, &core.NotStoredError{Replica: n.id, Register: x}
+	}
+	n.store[x] = v
+	if x == n.p.broken {
+		// Only replicas 0 and n−1 store the broken register; relay toward
+		// the far end.
+		next := sharegraph.ReplicaID(1)
+		if n.id == sharegraph.ReplicaID(n.p.n-1) {
+			next = sharegraph.ReplicaID(n.p.n - 2)
+		}
+		return []core.Envelope{n.relayEnvelope(next, v, id)}, nil
+	}
+	n.τ = n.p.space.Advance(n.id, n.τ, x)
+	meta := timestamp.Encode(n.τ)
+	recipients := n.p.line.UpdateRecipients(n.id, x)
+	out := make([]core.Envelope, 0, len(recipients))
+	for _, k := range recipients {
+		out = append(out, core.Envelope{
+			From: n.id, To: k, Reg: x, Val: v, Meta: meta, OracleID: id,
+		})
+	}
+	return out, nil
+}
+
+// relayEnvelope advances the timestamp on the virtual register of the hop
+// (n.id → to) and builds the hop message.
+func (n *relayNode) relayEnvelope(to sharegraph.ReplicaID, v core.Value, id causality.UpdateID) core.Envelope {
+	lo := n.id
+	if to < lo {
+		lo = to
+	}
+	vr := relayRegister(int(lo))
+	n.τ = n.p.space.Advance(n.id, n.τ, vr)
+	return core.Envelope{
+		From: n.id, To: to, Reg: vr, Val: v,
+		Meta: timestamp.Encode(n.τ), OracleID: id,
+	}
+}
+
+func (n *relayNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
+	ts, err := timestamp.Decode(env.Meta)
+	if err != nil {
+		log.Printf("ring-break: replica %d dropping corrupt metadata from %d: %v", n.id, env.From, err)
+		return nil, nil
+	}
+	n.pending = append(n.pending, relayPending{
+		from: env.From, ts: ts, reg: env.Reg, val: env.Val, oracleID: env.OracleID,
+	})
+	return n.drain()
+}
+
+func (n *relayNode) drain() ([]core.Applied, []core.Envelope) {
+	var applied []core.Applied
+	var fwd []core.Envelope
+	for {
+		progress := false
+		for idx := 0; idx < len(n.pending); idx++ {
+			u := n.pending[idx]
+			if !n.p.space.Deliverable(n.id, n.τ, u.from, u.ts) {
+				continue
+			}
+			n.p.space.MergeInPlace(n.id, n.τ, u.from, u.ts)
+			n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+			switch {
+			case isRelayRegister(u.reg):
+				// A relayed broken-register update.
+				if n.id == 0 || int(n.id) == n.p.n-1 {
+					// Terminal hop: materialize the value.
+					n.store[n.p.broken] = u.val
+					applied = append(applied, core.Applied{
+						OracleID: u.oracleID, From: u.from, Reg: n.p.broken, Val: u.val,
+					})
+				} else {
+					next := 2*n.id - u.from // keep moving away from the sender
+					fwd = append(fwd, n.relayEnvelope(next, u.val, u.oracleID))
+				}
+			default:
+				n.store[u.reg] = u.val
+				applied = append(applied, core.Applied{
+					OracleID: u.oracleID, From: u.from, Reg: u.reg, Val: u.val,
+				})
+			}
+			progress = true
+			idx--
+		}
+		if !progress {
+			return applied, fwd
+		}
+	}
+}
+
+func (n *relayNode) Read(x sharegraph.Register) (core.Value, bool) {
+	if !n.p.base.StoresRegister(n.id, x) {
+		return 0, false
+	}
+	return n.store[x], true
+}
+
+func (n *relayNode) PendingCount() int { return len(n.pending) }
+
+func (n *relayNode) PendingOracleIDs() []causality.UpdateID {
+	out := make([]causality.UpdateID, 0, len(n.pending))
+	for _, u := range n.pending {
+		// In-transit relays are protocol-internal: the update is not yet
+		// "at" this replica in the oracle's model, so it cannot be a false
+		// dependency here.
+		if !isRelayRegister(u.reg) {
+			out = append(out, u.oracleID)
+		}
+	}
+	return out
+}
+
+func isRelayRegister(x sharegraph.Register) bool {
+	return len(x) > 7 && x[:7] == "__relay"
+}
+
+func (n *relayNode) MetadataEntries() int { return len(n.τ) }

@@ -1,0 +1,39 @@
+package optimize
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+)
+
+// TruncatedProtocol builds the edge-indexed protocol with loop tracking
+// capped at l hops: timestamp graphs include a non-incident edge e_jk only
+// if an (i, e_jk)-loop of at most l+1 vertices exists (Appendix D,
+// "sacrificing causality"). The result is cheaper metadata that remains
+// causally consistent exactly when messages over paths longer than l hops
+// always arrive after single-hop messages — adversarial schedules violate
+// that assumption, and the package tests show the oracle catching it.
+func TruncatedProtocol(g *sharegraph.Graph, l int, name string) (core.Protocol, []*sharegraph.TSGraph, error) {
+	if l < 1 {
+		return nil, nil, fmt.Errorf("optimize: hop bound must be >= 1, got %d", l)
+	}
+	graphs := sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{MaxLen: l + 1})
+	p, err := core.NewEdgeIndexedWithGraphs(g, graphs, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, graphs, nil
+}
+
+// TruncationSavings reports total timestamp entries at a hop bound versus
+// the exact Definition 5 graphs.
+func TruncationSavings(g *sharegraph.Graph, l int) (truncated, exact int) {
+	for _, tg := range sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{MaxLen: l + 1}) {
+		truncated += tg.Len()
+	}
+	for _, tg := range sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{}) {
+		exact += tg.Len()
+	}
+	return truncated, exact
+}

@@ -1,0 +1,346 @@
+package sharegraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ClientID identifies a client in the client-server architecture.
+type ClientID int
+
+// ClientAssignment maps each client to R_c, the set of replicas it may
+// access (Section 6). Client c may operate on any register in ∪_{r∈Rc} X_r.
+type ClientAssignment [][]ReplicaID
+
+// AugmentedGraph is the augmented share graph Ĝ of Definition 16: the
+// share graph plus a directed edge pair between every two replicas that
+// some client can both access. Client edges capture causal-dependency
+// propagation through clients even across replicas sharing no registers.
+type AugmentedGraph struct {
+	G       *Graph
+	clients ClientAssignment
+	// clientPair[e] reports that some client can access both endpoints.
+	clientPair map[Edge]bool
+	adj        [][]ReplicaID // adjacency in Ĝ (share edges ∪ client edges)
+}
+
+// NewAugmented builds Ĝ from a share graph and a client assignment.
+// Every client must name at least one valid replica.
+func NewAugmented(g *Graph, clients ClientAssignment) (*AugmentedGraph, error) {
+	a := &AugmentedGraph{
+		G:          g,
+		clients:    make(ClientAssignment, len(clients)),
+		clientPair: make(map[Edge]bool),
+	}
+	n := g.NumReplicas()
+	adjSet := make([]map[ReplicaID]bool, n)
+	for i := 0; i < n; i++ {
+		adjSet[i] = make(map[ReplicaID]bool)
+		for _, j := range g.Neighbors(ReplicaID(i)) {
+			adjSet[i][j] = true
+		}
+	}
+	for c, rs := range clients {
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("sharegraph: client %d has empty replica set", c)
+		}
+		seen := make(map[ReplicaID]bool, len(rs))
+		for _, r := range rs {
+			if r < 0 || int(r) >= n {
+				return nil, fmt.Errorf("sharegraph: client %d names invalid replica %d", c, r)
+			}
+			if seen[r] {
+				return nil, fmt.Errorf("sharegraph: client %d names replica %d twice", c, r)
+			}
+			seen[r] = true
+		}
+		a.clients[c] = append([]ReplicaID(nil), rs...)
+		for _, p := range rs {
+			for _, q := range rs {
+				if p == q {
+					continue
+				}
+				a.clientPair[Edge{p, q}] = true
+				adjSet[p][q] = true
+			}
+		}
+	}
+	a.adj = make([][]ReplicaID, n)
+	for i := 0; i < n; i++ {
+		for j := range adjSet[i] {
+			a.adj[i] = append(a.adj[i], j)
+		}
+		sort.Slice(a.adj[i], func(x, y int) bool { return a.adj[i][x] < a.adj[i][y] })
+	}
+	return a, nil
+}
+
+// NumClients returns C, the number of clients.
+func (a *AugmentedGraph) NumClients() int { return len(a.clients) }
+
+// ClientReplicas returns R_c for client c. The slice is a copy.
+func (a *AugmentedGraph) ClientReplicas(c ClientID) []ReplicaID {
+	return append([]ReplicaID(nil), a.clients[c]...)
+}
+
+// ClientPair reports whether some client can access both endpoints of e —
+// the condition that adds e to Ê and relaxes the loop side conditions.
+func (a *AugmentedGraph) ClientPair(e Edge) bool { return a.clientPair[e] }
+
+// HasEdge reports whether e ∈ Ê (a share edge or a client edge).
+func (a *AugmentedGraph) HasEdge(e Edge) bool {
+	return a.G.HasEdge(e) || a.clientPair[e]
+}
+
+// Neighbors returns the Ĝ-neighbours of i (shared with the graph; do not
+// modify).
+func (a *AugmentedGraph) Neighbors(i ReplicaID) []ReplicaID { return a.adj[i] }
+
+// ClientsFor returns the clients that may access replica i, sorted.
+func (a *AugmentedGraph) ClientsFor(i ReplicaID) []ClientID {
+	var out []ClientID
+	for c, rs := range a.clients {
+		for _, r := range rs {
+			if r == i {
+				out = append(out, ClientID(c))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// IsAugmentedIEJKLoop checks Definition 27 for a given simple loop in Ĝ:
+// condition (i) is unchanged, while conditions (ii) and (iii) are
+// alternatively satisfied when the two replicas of the hop are both
+// accessible to a single client.
+func (a *AugmentedGraph) IsAugmentedIEJKLoop(lp Loop) bool {
+	s, t := len(lp.L), len(lp.R)
+	if s < 1 || t < 1 {
+		return false
+	}
+	seen := map[ReplicaID]bool{lp.I: true}
+	for _, v := range append(append([]ReplicaID(nil), lp.L...), lp.R...) {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	verts := lp.Vertices()
+	for h := 0; h+1 < len(verts); h++ {
+		if !a.HasEdge(Edge{verts[h], verts[h+1]}) {
+			return false
+		}
+	}
+	j, k := lp.R[0], lp.L[s-1]
+	interior := make(RegisterSet)
+	for _, v := range lp.L[:s-1] {
+		interior.UnionInPlace(a.G.stores[v])
+	}
+	full := interior.Union(a.G.stores[k])
+	if !a.G.shared[Edge{j, k}].DiffNonEmpty(interior) { // (i): real edge only
+		return false
+	}
+	r2 := lp.I
+	if t >= 2 {
+		r2 = lp.R[1]
+	}
+	if !a.hopOK(j, r2, interior) { // (ii)
+		return false
+	}
+	for q := 2; q <= t; q++ { // (iii)
+		cur := lp.R[q-1]
+		next := lp.I
+		if q < t {
+			next = lp.R[q]
+		}
+		if !a.hopOK(cur, next, full) {
+			return false
+		}
+	}
+	return true
+}
+
+// hopOK evaluates "X_uv − excluded ≠ ∅ or u,v ∈ R_c for some client c".
+func (a *AugmentedGraph) hopOK(u, v ReplicaID, excluded RegisterSet) bool {
+	if a.clientPair[Edge{u, v}] {
+		return true
+	}
+	return a.G.shared[Edge{u, v}].DiffNonEmpty(excluded)
+}
+
+// FindAugmentedIEJKLoop searches for an augmented (i, e_jk)-loop
+// (Definition 27). The tracked edge e must be a real share-graph edge;
+// the loop itself may traverse client edges.
+func (a *AugmentedGraph) FindAugmentedIEJKLoop(i ReplicaID, e Edge, opts LoopOptions) (Loop, bool) {
+	j, k := e.From, e.To
+	if i == j || i == k || j == k || !a.G.HasEdge(e) {
+		return Loop{}, false
+	}
+	n := a.G.NumReplicas()
+	maxLen := opts.MaxLen
+	if maxLen <= 0 || maxLen > n {
+		maxLen = n
+	}
+	used := make([]bool, n)
+	used[i] = true
+	used[j] = true
+	var (
+		lpath []ReplicaID
+		found Loop
+		ok    bool
+	)
+	record := func(rpath []ReplicaID) {
+		found = Loop{I: i, L: append([]ReplicaID(nil), lpath...), R: append([]ReplicaID(nil), rpath...)}
+		ok = true
+	}
+
+	var extendR func(rpath []ReplicaID, full RegisterSet) bool
+	extendR = func(rpath []ReplicaID, full RegisterSet) bool {
+		cur := rpath[len(rpath)-1]
+		if a.HasEdge(Edge{cur, i}) && a.hopOK(cur, i, full) {
+			record(rpath)
+			return true
+		}
+		if 1+len(lpath)+len(rpath) >= maxLen {
+			return false
+		}
+		for _, nxt := range a.adj[cur] {
+			if used[nxt] || nxt == i {
+				continue
+			}
+			if !a.hopOK(cur, nxt, full) {
+				continue
+			}
+			used[nxt] = true
+			done := extendR(append(rpath, nxt), full)
+			used[nxt] = false
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+
+	tryRPath := func(interior, full RegisterSet) bool {
+		if a.HasEdge(Edge{j, i}) && a.hopOK(j, i, interior) {
+			record([]ReplicaID{j})
+			return true
+		}
+		if 1+len(lpath)+1 >= maxLen {
+			return false
+		}
+		for _, r2 := range a.adj[j] {
+			if used[r2] || r2 == i {
+				continue
+			}
+			if !a.hopOK(j, r2, interior) {
+				continue
+			}
+			used[r2] = true
+			done := extendR([]ReplicaID{j, r2}, full)
+			used[r2] = false
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+
+	var extendL func(cur ReplicaID, interior RegisterSet) bool
+	extendL = func(cur ReplicaID, interior RegisterSet) bool {
+		if 1+len(lpath)+1 >= maxLen {
+			return false
+		}
+		for _, nxt := range a.adj[cur] {
+			if used[nxt] {
+				continue
+			}
+			if nxt == k {
+				if !a.G.shared[Edge{j, k}].DiffNonEmpty(interior) {
+					continue
+				}
+				lpath = append(lpath, k)
+				used[k] = true
+				done := tryRPath(interior, interior.Union(a.G.stores[k]))
+				used[k] = false
+				lpath = lpath[:len(lpath)-1]
+				if done {
+					return true
+				}
+				continue
+			}
+			used[nxt] = true
+			lpath = append(lpath, nxt)
+			done := extendL(nxt, interior.Union(a.G.stores[nxt]))
+			lpath = lpath[:len(lpath)-1]
+			used[nxt] = false
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+
+	extendL(i, make(RegisterSet))
+	return found, ok
+}
+
+// BuildAugmentedTSGraph computes Ê_i per Definition 28: incident Ê edges
+// and augmented-loop edges, intersected with the real edge set E. The
+// result is returned as a TSGraph whose tracked edges all belong to E.
+func (a *AugmentedGraph) BuildAugmentedTSGraph(i ReplicaID, opts LoopOptions) *TSGraph {
+	t := &TSGraph{
+		Owner: i,
+		index: make(map[Edge]int),
+		loops: make(map[Edge]Loop),
+	}
+	var edges []Edge
+	// Incident edges of Ĝ, intersected with E: exactly the share-graph
+	// incident edges (client-only edges carry no registers).
+	for _, j := range a.G.Neighbors(i) {
+		edges = append(edges, Edge{i, j}, Edge{j, i})
+	}
+	for _, e := range a.G.Edges() {
+		if e.From == i || e.To == i {
+			continue
+		}
+		if lp, ok := a.FindAugmentedIEJKLoop(i, e, opts); ok {
+			edges = append(edges, e)
+			t.loops[e] = lp
+		}
+	}
+	sortEdges(edges)
+	t.edges = edges
+	for idx, e := range edges {
+		t.index[e] = idx
+	}
+	return t
+}
+
+// BuildAllAugmentedTSGraphs computes Ê_i for every replica.
+func (a *AugmentedGraph) BuildAllAugmentedTSGraphs(opts LoopOptions) []*TSGraph {
+	out := make([]*TSGraph, a.G.NumReplicas())
+	for i := range out {
+		out[i] = a.BuildAugmentedTSGraph(ReplicaID(i), opts)
+	}
+	return out
+}
+
+// ClientTSEdges returns the edge universe of client c's timestamp µ_c:
+// ∪_{i∈Rc} Ê_i, in deterministic order (Appendix E.5). graphs must be the
+// per-replica augmented timestamp graphs of the same AugmentedGraph.
+func (a *AugmentedGraph) ClientTSEdges(c ClientID, graphs []*TSGraph) []Edge {
+	set := make(map[Edge]bool)
+	for _, r := range a.clients[c] {
+		for _, e := range graphs[r].Edges() {
+			set[e] = true
+		}
+	}
+	out := make([]Edge, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sortEdges(out)
+	return out
+}

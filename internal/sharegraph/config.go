@@ -1,0 +1,91 @@
+package sharegraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Config is the JSON-serializable description of a system: the register
+// placement and, optionally, client assignments for the client-server
+// architecture. It is the on-disk format consumed by the command-line
+// tools.
+//
+//	{
+//	  "replicas": [
+//	    {"registers": ["x"]},
+//	    {"registers": ["x", "y"]}
+//	  ],
+//	  "clients": [
+//	    {"replicas": [0, 1]}
+//	  ]
+//	}
+type Config struct {
+	Replicas []ReplicaConfig `json:"replicas"`
+	Clients  []ClientConfig  `json:"clients,omitempty"`
+}
+
+// ReplicaConfig is one replica's register set.
+type ReplicaConfig struct {
+	Registers []Register `json:"registers"`
+}
+
+// ClientConfig is one client's accessible replica set (order expresses
+// routing preference).
+type ClientConfig struct {
+	Replicas []ReplicaID `json:"replicas"`
+}
+
+// ParseConfig decodes a Config from JSON.
+func ParseConfig(data []byte) (Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("sharegraph: parse config: %w", err)
+	}
+	if len(c.Replicas) == 0 {
+		return Config{}, fmt.Errorf("sharegraph: config has no replicas")
+	}
+	return c, nil
+}
+
+// Graph builds the share graph described by the config.
+func (c Config) Graph() (*Graph, error) {
+	stores := make([][]Register, len(c.Replicas))
+	for i, r := range c.Replicas {
+		stores[i] = r.Registers
+	}
+	return New(stores)
+}
+
+// Assignment returns the client assignment, or nil when no clients are
+// configured.
+func (c Config) Assignment() ClientAssignment {
+	if len(c.Clients) == 0 {
+		return nil
+	}
+	out := make(ClientAssignment, len(c.Clients))
+	for i, cl := range c.Clients {
+		out[i] = append([]ReplicaID(nil), cl.Replicas...)
+	}
+	return out
+}
+
+// ConfigFromGraph captures an existing graph (and optional assignment) as
+// a serializable Config, with registers sorted for determinism.
+func ConfigFromGraph(g *Graph, clients ClientAssignment) Config {
+	c := Config{Replicas: make([]ReplicaConfig, g.NumReplicas())}
+	for i := range c.Replicas {
+		c.Replicas[i].Registers = g.Stores(ReplicaID(i)).Sorted()
+	}
+	for _, rs := range clients {
+		sorted := append([]ReplicaID(nil), rs...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		c.Clients = append(c.Clients, ClientConfig{Replicas: sorted})
+	}
+	return c
+}
+
+// MarshalIndent renders the config as indented JSON.
+func (c Config) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}

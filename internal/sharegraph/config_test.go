@@ -1,0 +1,64 @@
+package sharegraph
+
+import "testing"
+
+func TestConfigRoundTrip(t *testing.T) {
+	g := Fig5Example()
+	assignment := ClientAssignment{{0, 2}, {1, 3}}
+	cfg := ConfigFromGraph(g, assignment)
+	data, err := cfg.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := parsed.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumReplicas() != g.NumReplicas() {
+		t.Fatalf("replicas %d != %d", g2.NumReplicas(), g.NumReplicas())
+	}
+	for i := 0; i < g.NumReplicas(); i++ {
+		if !g2.Stores(ReplicaID(i)).Equal(g.Stores(ReplicaID(i))) {
+			t.Errorf("replica %d stores differ", i)
+		}
+	}
+	a2 := parsed.Assignment()
+	if len(a2) != 2 || len(a2[0]) != 2 || a2[0][0] != 0 || a2[0][1] != 2 {
+		t.Errorf("assignment = %v", a2)
+	}
+	// Derived structures must match too.
+	for i := 0; i < g.NumReplicas(); i++ {
+		t1 := BuildTSGraph(g, ReplicaID(i), LoopOptions{})
+		t2 := BuildTSGraph(g2, ReplicaID(i), LoopOptions{})
+		if t1.Len() != t2.Len() {
+			t.Errorf("replica %d: timestamp graphs differ after round trip", i)
+		}
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	if _, err := ParseConfig([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ParseConfig([]byte(`{"replicas": []}`)); err == nil {
+		t.Error("empty replica list accepted")
+	}
+	cfg, err := ParseConfig([]byte(`{"replicas": [{"registers": ["a"]}, {"registers": ["a"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Assignment() != nil {
+		t.Error("assignment should be nil without clients")
+	}
+	g, err := cfg.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(Edge{0, 1}) {
+		t.Error("edge missing after parse")
+	}
+}

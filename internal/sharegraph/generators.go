@@ -1,0 +1,301 @@
+package sharegraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides canonical share-graph constructions: the worked
+// examples from the paper's figures (used by tests that reproduce them)
+// and parametric topology families (used by experiments and benchmarks).
+
+// Fig3Example is the Section 3 example accompanying Definition 3:
+// X1 = {x}, X2 = {x, y}, X3 = {y, z}, X4 = {z}, whose share graph is the
+// path 1–2–3–4 (Figure 3). Replicas are zero-based here: X0 = {x}, etc.
+func Fig3Example() *Graph {
+	g, err := New([][]Register{
+		{"x"},
+		{"x", "y"},
+		{"y", "z"},
+		{"z"},
+	})
+	if err != nil {
+		panic(err) // static construction cannot fail
+	}
+	return g
+}
+
+// Fig5Example is the Section 3 example accompanying Definitions 4 and 5:
+// X1 = {a, y, w}, X2 = {b, x, y}, X3 = {c, x, z}, X4 = {d, y, z, w}
+// (Figure 5a). The paper shows that (1,2,3,4) is a (1, e43)-loop and a
+// (1, e32)-loop, while (1,4,3,2) is neither a (1, e34)- nor a (1, e23)-loop,
+// so G_1 contains e43 and e32 but not e34 or e23. Zero-based: replica 0
+// plays the paper's replica 1.
+func Fig5Example() *Graph {
+	g, err := New([][]Register{
+		{"a", "y", "w"},
+		{"b", "x", "y"},
+		{"c", "x", "z"},
+		{"d", "y", "z", "w"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// HM1Roles names the replicas of the Hélary–Milani counterexample graphs
+// so tests can refer to them by the paper's labels.
+type HM1Roles struct {
+	I, A1, A2, K, J, B1, B2 ReplicaID
+}
+
+// HelaryMilani1 is counterexample 1 (Figure 6 / Figure 8a): replicas
+// i, a1, a2, k, j, b1, b2 where j,k share x; b1,b2,a1 share y; b2,a1,a2
+// share z; all other edge labels are unique. The loop
+// (j, b1, b2, i, a1, a2, k) is a minimal x-hoop by Definition 18, yet
+// Theorem 8 does not require i to track e_jk or e_kj — the y and z chords
+// break every candidate (i, e)-loop.
+func HelaryMilani1() (*Graph, HM1Roles) {
+	roles := HM1Roles{I: 0, A1: 1, A2: 2, K: 3, J: 4, B1: 5, B2: 6}
+	stores := make([][]Register, 7)
+	stores[roles.J] = []Register{"x", "p1"}
+	stores[roles.B1] = []Register{"p1", "y"}
+	stores[roles.B2] = []Register{"y", "z", "p2"}
+	stores[roles.I] = []Register{"p2", "p3"}
+	stores[roles.A1] = []Register{"y", "z", "p3"}
+	stores[roles.A2] = []Register{"z", "p4"}
+	stores[roles.K] = []Register{"x", "p4"}
+	g, err := New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g, roles
+}
+
+// HelaryMilani2 is counterexample 2 (Figure 8b): same shape but only
+// register y is multiply shared (by b1, b2, a1); a1–a2 share a fresh
+// register q and there is no z. The loop (j, b1, b2, i, a1, a2, k) is NOT
+// a minimal x-hoop under the modified Definition 20 (label y is stored by
+// three hoop replicas), yet Theorem 8 requires i to track e_kj: the
+// (i, e_kj)-loop (i, b2, b1, j, k, a2, a1, i) satisfies Definition 4.
+func HelaryMilani2() (*Graph, HM1Roles) {
+	roles := HM1Roles{I: 0, A1: 1, A2: 2, K: 3, J: 4, B1: 5, B2: 6}
+	stores := make([][]Register, 7)
+	stores[roles.J] = []Register{"x", "p1"}
+	stores[roles.B1] = []Register{"p1", "y"}
+	stores[roles.B2] = []Register{"y", "p2"}
+	stores[roles.I] = []Register{"p2", "p3"}
+	stores[roles.A1] = []Register{"y", "p3", "q"}
+	stores[roles.A2] = []Register{"q", "p4"}
+	stores[roles.K] = []Register{"x", "p4"}
+	g, err := New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g, roles
+}
+
+// Ring builds the n-replica ring of Appendix D (Figure 13): replica i
+// shares the unique register ring<i> with replica (i+1) mod n and shares
+// nothing with anyone else. Every replica additionally stores a private
+// register priv<i> so reads/writes outside the ring edges are possible.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("sharegraph: ring needs n >= 3, got %d", n))
+	}
+	stores := make([][]Register, n)
+	for i := 0; i < n; i++ {
+		prev := (i - 1 + n) % n
+		stores[i] = []Register{
+			Register(fmt.Sprintf("ring%d", prev)),
+			Register(fmt.Sprintf("ring%d", i)),
+			Register(fmt.Sprintf("priv%d", i)),
+		}
+	}
+	g, err := New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Line builds an n-replica path: replica i shares seg<i> with replica i+1.
+// The share graph is a tree, so no replica tracks any non-incident edge.
+func Line(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("sharegraph: line needs n >= 2, got %d", n))
+	}
+	stores := make([][]Register, n)
+	for i := 0; i < n; i++ {
+		var regs []Register
+		if i > 0 {
+			regs = append(regs, Register(fmt.Sprintf("seg%d", i-1)))
+		}
+		if i < n-1 {
+			regs = append(regs, Register(fmt.Sprintf("seg%d", i)))
+		}
+		regs = append(regs, Register(fmt.Sprintf("priv%d", i)))
+		stores[i] = regs
+	}
+	g, err := New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Star builds a hub-and-spoke share graph: replica 0 shares the unique
+// register spoke<i> with each leaf i ≥ 1. A tree, so timestamp graphs hold
+// only incident edges.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("sharegraph: star needs n >= 2, got %d", n))
+	}
+	stores := make([][]Register, n)
+	stores[0] = []Register{Register("hub")}
+	for i := 1; i < n; i++ {
+		r := Register(fmt.Sprintf("spoke%d", i))
+		stores[0] = append(stores[0], r)
+		stores[i] = []Register{r, Register(fmt.Sprintf("priv%d", i))}
+	}
+	g, err := New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Tree builds a share graph from a parent array: parent[i] < i is the
+// parent of replica i (parent[0] is ignored). Each child shares a unique
+// register with its parent.
+func Tree(parent []int) *Graph {
+	n := len(parent)
+	if n < 1 {
+		panic("sharegraph: tree needs at least one replica")
+	}
+	stores := make([][]Register, n)
+	for i := 0; i < n; i++ {
+		stores[i] = []Register{Register(fmt.Sprintf("priv%d", i))}
+	}
+	for i := 1; i < n; i++ {
+		p := parent[i]
+		if p < 0 || p >= i {
+			panic(fmt.Sprintf("sharegraph: invalid parent %d for replica %d", p, i))
+		}
+		r := Register(fmt.Sprintf("tree%d", i))
+		stores[i] = append(stores[i], r)
+		stores[p] = append(stores[p], r)
+	}
+	g, err := New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FullReplication builds the full-replication special case: every replica
+// stores the identical register set. The share graph is a clique and, per
+// Section 4 and Section 5, compressed timestamps collapse to classic
+// length-R vector clocks.
+func FullReplication(n, registers int) *Graph {
+	if n < 1 || registers < 1 {
+		panic("sharegraph: full replication needs n >= 1 and registers >= 1")
+	}
+	regs := make([]Register, registers)
+	for i := range regs {
+		regs[i] = Register(fmt.Sprintf("r%d", i))
+	}
+	stores := make([][]Register, n)
+	for i := range stores {
+		stores[i] = regs
+	}
+	g, err := New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// PairClique builds a clique where each unordered replica pair shares its
+// own unique register — maximal partial replication density with fully
+// independent edges.
+func PairClique(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("sharegraph: pair clique needs n >= 2, got %d", n))
+	}
+	stores := make([][]Register, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			r := Register(fmt.Sprintf("pair%d_%d", i, j))
+			stores[i] = append(stores[i], r)
+			stores[j] = append(stores[j], r)
+		}
+	}
+	g, err := New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Grid builds a rows×cols mesh: each replica shares a unique register with
+// its right and down neighbours.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic("sharegraph: grid needs positive dimensions")
+	}
+	n := rows * cols
+	stores := make([][]Register, n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := id(r, c)
+			stores[i] = append(stores[i], Register(fmt.Sprintf("priv%d", i)))
+			if c+1 < cols {
+				reg := Register(fmt.Sprintf("h%d_%d", r, c))
+				stores[i] = append(stores[i], reg)
+				stores[id(r, c+1)] = append(stores[id(r, c+1)], reg)
+			}
+			if r+1 < rows {
+				reg := Register(fmt.Sprintf("v%d_%d", r, c))
+				stores[i] = append(stores[i], reg)
+				stores[id(r+1, c)] = append(stores[id(r+1, c)], reg)
+			}
+		}
+	}
+	g, err := New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// RandomK places each of nRegisters registers on k distinct replicas
+// chosen uniformly at random (seeded, deterministic) — the random
+// k-replication workloads used by the metadata experiments. Replicas left
+// with no registers receive a private register so the placement is total.
+func RandomK(nReplicas, nRegisters, k int, seed int64) *Graph {
+	if k < 1 || k > nReplicas {
+		panic(fmt.Sprintf("sharegraph: replication factor %d out of range [1,%d]", k, nReplicas))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stores := make([][]Register, nReplicas)
+	for r := 0; r < nRegisters; r++ {
+		perm := rng.Perm(nReplicas)
+		reg := Register(fmt.Sprintf("r%d", r))
+		for _, i := range perm[:k] {
+			stores[i] = append(stores[i], reg)
+		}
+	}
+	for i := range stores {
+		if len(stores[i]) == 0 {
+			stores[i] = []Register{Register(fmt.Sprintf("priv%d", i))}
+		}
+	}
+	g, err := New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

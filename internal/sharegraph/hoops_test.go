@@ -1,0 +1,143 @@
+package sharegraph
+
+import "testing"
+
+// TestHelaryMilaniCounterexample1 reproduces Section 3.2 / Appendix A
+// counterexample 1 (Figures 6, 8a, 9): the loop (j,b1,b2,i,a1,a2,k) is a
+// minimal x-hoop under the original Definition 18 — so Hélary–Milani's
+// Lemma 19 would force replica i to track information about register x —
+// yet no (i, e_jk)- or (i, e_kj)-loop exists, so Theorem 8 does not
+// require it.
+func TestHelaryMilaniCounterexample1(t *testing.T) {
+	g, roles := HelaryMilani1()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	hoopPath := []ReplicaID{roles.J, roles.B1, roles.B2, roles.I, roles.A1, roles.A2, roles.K}
+	if !g.IsXHoop("x", hoopPath) {
+		t.Fatal("(j,b1,b2,i,a1,a2,k) is not recognized as an x-hoop")
+	}
+	if !g.IsMinimalXHoop("x", hoopPath, Original) {
+		t.Error("(j,b1,b2,i,a1,a2,k) should be minimal under Definition 18")
+	}
+	if _, ok := g.FindMinimalXHoopThrough("x", roles.I, Original); !ok {
+		t.Error("search failed to find the Definition 18 minimal x-hoop through i")
+	}
+
+	// Theorem 8's edge set: neither e_jk nor e_kj is in G_i.
+	ts := BuildTSGraph(g, roles.I, LoopOptions{})
+	if ts.Has(Edge{roles.J, roles.K}) {
+		t.Error("G_i contains e_jk; the y/z chords should break every candidate loop")
+	}
+	if ts.Has(Edge{roles.K, roles.J}) {
+		t.Error("G_i contains e_kj; the y/z chords should break every candidate loop")
+	}
+	// Cross-check with brute force, since this is the paper's key claim.
+	if bruteForceHasLoop(g, roles.I, Edge{roles.J, roles.K}) {
+		t.Error("brute force found an (i,e_jk)-loop")
+	}
+	if bruteForceHasLoop(g, roles.I, Edge{roles.K, roles.J}) {
+		t.Error("brute force found an (i,e_kj)-loop")
+	}
+}
+
+// TestHelaryMilaniCounterexample2 reproduces counterexample 2 (Figure 8b):
+// under the modified Definition 20 the loop is NOT a minimal x-hoop
+// (label y is stored by three hoop replicas), which would exempt i from
+// tracking x — but Theorem 8 requires e_kj ∈ G_i.
+func TestHelaryMilaniCounterexample2(t *testing.T) {
+	g, roles := HelaryMilani2()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	hoopPath := []ReplicaID{roles.J, roles.B1, roles.B2, roles.I, roles.A1, roles.A2, roles.K}
+	if !g.IsXHoop("x", hoopPath) {
+		t.Fatal("(j,b1,b2,i,a1,a2,k) is not recognized as an x-hoop")
+	}
+	if g.IsMinimalXHoop("x", hoopPath, Modified) {
+		t.Error("loop should NOT be minimal under Definition 20 (y held by 3 hoop replicas)")
+	}
+	if _, ok := g.FindMinimalXHoopThrough("x", roles.I, Modified); ok {
+		t.Error("no minimal x-hoop through i should exist under Definition 20")
+	}
+
+	// Yet Theorem 8 requires tracking e_kj: the loop
+	// (i, b2, b1, j, k, a2, a1, i) is an (i, e_kj)-loop.
+	witness := Loop{
+		I: roles.I,
+		L: []ReplicaID{roles.B2, roles.B1, roles.J},
+		R: []ReplicaID{roles.K, roles.A2, roles.A1},
+	}
+	if !g.IsIEJKLoop(witness) {
+		t.Error("(i,b2,b1,j,k,a2,a1,i) should be an (i,e_kj)-loop")
+	}
+	ts := BuildTSGraph(g, roles.I, LoopOptions{})
+	if !ts.Has(Edge{roles.K, roles.J}) {
+		t.Error("G_i missing e_kj, contradicting Theorem 8")
+	}
+	// The reverse direction has no loop (condition (iii) fails on the
+	// b1–b2 hop because y ∈ X_a1), showing the asymmetry again.
+	if ts.Has(Edge{roles.J, roles.K}) {
+		t.Error("G_i contains e_jk; only e_kj should be tracked")
+	}
+}
+
+func TestIsXHoopRejects(t *testing.T) {
+	g, roles := HelaryMilani1()
+	// Endpoint not in C(x).
+	if g.IsXHoop("x", []ReplicaID{roles.B1, roles.B2, roles.I}) {
+		t.Error("hoop with endpoints outside C(x) accepted")
+	}
+	// Interior vertex in C(x): j–k direct edge means path (j, k) is fine
+	// structurally, but a path routing through k's co-holder is not.
+	if g.IsXHoop("x", []ReplicaID{roles.J, roles.K, roles.A2}) {
+		t.Error("hoop with interior vertex in C(x) accepted")
+	}
+	// Too short.
+	if g.IsXHoop("x", []ReplicaID{roles.J}) {
+		t.Error("single-vertex hoop accepted")
+	}
+	// Non-simple.
+	if g.IsXHoop("x", []ReplicaID{roles.J, roles.B1, roles.J}) {
+		t.Error("non-simple hoop accepted")
+	}
+}
+
+func TestMinimalHoopDistinctLabels(t *testing.T) {
+	// Two adjacent edges forced to use the same single register cannot be
+	// labelled distinctly: a–b and b–c both share only register s.
+	g, err := New([][]Register{
+		{"x", "s"},       // 0 = ra, stores x
+		{"s"},            // 1 interior
+		{"s", "x2"},      // 2 interior-ish
+		{"x", "x2", "s"}, // 3 = rb, stores x
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path 0–1–2–3: labels candidates {s},{s},{x2,s}. Edges 0–1 and 1–2
+	// both need s — no distinct labelling exists.
+	if g.IsMinimalXHoop("x", []ReplicaID{0, 1, 2, 3}, Original) {
+		t.Error("hoop with unavoidable duplicate labels accepted as minimal")
+	}
+}
+
+func TestHasDistinctLabels(t *testing.T) {
+	cases := []struct {
+		name string
+		cand [][]Register
+		want bool
+	}{
+		{"empty", nil, true},
+		{"single", [][]Register{{"a"}}, true},
+		{"swap needed", [][]Register{{"a", "b"}, {"a"}}, true},
+		{"impossible", [][]Register{{"a"}, {"a"}}, false},
+		{"chain", [][]Register{{"a"}, {"a", "b"}, {"b", "c"}}, true},
+		{"no candidates", [][]Register{{}}, false},
+	}
+	for _, tc := range cases {
+		if got := hasDistinctLabels(tc.cand); got != tc.want {
+			t.Errorf("%s: hasDistinctLabels = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

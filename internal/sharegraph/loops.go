@@ -1,0 +1,246 @@
+package sharegraph
+
+import "fmt"
+
+// Loop is a simple loop witnessing that e_{jk} must be tracked by replica i
+// (an (i, e_jk)-loop, Definition 4). Written out, the loop is
+//
+//	(i, L[0], …, L[s-1]=k, R[0]=j, …, R[t-1], i)
+//
+// so L is the "l-path" from i to k (l_1 … l_s with l_s = k) and R is the
+// "r-path" from j back towards i (r_1 … r_t with r_1 = j); the loop closes
+// with the edge from R[t-1] to i (the paper defines r_{t+1} = i).
+type Loop struct {
+	I ReplicaID
+	L []ReplicaID // l_1 .. l_s, with l_s = k
+	R []ReplicaID // r_1 .. r_t, with r_1 = j
+}
+
+// Vertices returns the full vertex sequence of the loop starting and
+// ending at I.
+func (lp Loop) Vertices() []ReplicaID {
+	out := make([]ReplicaID, 0, len(lp.L)+len(lp.R)+2)
+	out = append(out, lp.I)
+	out = append(out, lp.L...)
+	out = append(out, lp.R...)
+	out = append(out, lp.I)
+	return out
+}
+
+// Len returns the number of distinct vertices on the loop.
+func (lp Loop) Len() int { return 1 + len(lp.L) + len(lp.R) }
+
+// Edge returns the tracked edge e_jk this loop witnesses.
+func (lp Loop) Edge() Edge {
+	return Edge{From: lp.R[0], To: lp.L[len(lp.L)-1]}
+}
+
+// String renders the loop as loop[i l1 ... k j ... rt i].
+func (lp Loop) String() string {
+	return fmt.Sprintf("loop%v", lp.Vertices())
+}
+
+// LoopOptions controls the (i, e_jk)-loop search.
+type LoopOptions struct {
+	// MaxLen bounds the number of distinct vertices allowed on a loop;
+	// 0 means unbounded. Bounding the loop length implements the
+	// "sacrificing causality" truncation of Appendix D, and also keeps
+	// the exhaustive search tractable on dense graphs.
+	MaxLen int
+}
+
+// IsIEJKLoop checks whether the given simple loop is an (i, e_jk)-loop per
+// Definition 4: it verifies simplicity, presence of all structural edges,
+// s ≥ 1, t ≥ 1, and the three register-set side conditions. The edge e_jk
+// being witnessed is implied by the loop itself (j = R[0], k = L[s-1]).
+func (g *Graph) IsIEJKLoop(lp Loop) bool {
+	s, t := len(lp.L), len(lp.R)
+	if s < 1 || t < 1 {
+		return false
+	}
+	// Simplicity: all vertices distinct.
+	seen := map[ReplicaID]bool{lp.I: true}
+	for _, v := range append(append([]ReplicaID(nil), lp.L...), lp.R...) {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	// Structural edges along the cycle.
+	verts := lp.Vertices()
+	for h := 0; h+1 < len(verts); h++ {
+		if !g.HasEdge(Edge{verts[h], verts[h+1]}) {
+			return false
+		}
+	}
+	j, k := lp.R[0], lp.L[s-1]
+	// interior = ∪_{1≤p≤s-1} X_{l_p}; full = interior ∪ X_{l_s} = interior ∪ X_k.
+	interior := make(RegisterSet)
+	for _, v := range lp.L[:s-1] {
+		interior.UnionInPlace(g.stores[v])
+	}
+	full := interior.Union(g.stores[k])
+	// (i) X_jk − interior ≠ ∅.
+	if !g.shared[Edge{j, k}].DiffNonEmpty(interior) {
+		return false
+	}
+	// (ii) X_{j r_2} − interior ≠ ∅, where r_2 = R[1] if t ≥ 2 else i.
+	r2 := lp.I
+	if t >= 2 {
+		r2 = lp.R[1]
+	}
+	if !g.shared[Edge{j, r2}].DiffNonEmpty(interior) {
+		return false
+	}
+	// (iii) for 2 ≤ q ≤ t: X_{r_q r_{q+1}} − full ≠ ∅, with r_{t+1} = i.
+	for q := 2; q <= t; q++ {
+		cur := lp.R[q-1]
+		next := lp.I
+		if q < t {
+			next = lp.R[q]
+		}
+		if !g.shared[Edge{cur, next}].DiffNonEmpty(full) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindIEJKLoop searches for an (i, e_jk)-loop (Definition 4) and returns a
+// witness if one exists. The search is an exhaustive DFS over simple loops
+// through i with the register-set conditions evaluated incrementally, so
+// it decides existence exactly (subject to opts.MaxLen). Worst-case cost
+// is exponential in the number of replicas, as expected for the exact
+// definition; the package benchmarks quantify it.
+func (g *Graph) FindIEJKLoop(i ReplicaID, e Edge, opts LoopOptions) (Loop, bool) {
+	j, k := e.From, e.To
+	if i == j || i == k || j == k || !g.HasEdge(e) {
+		return Loop{}, false
+	}
+	maxLen := opts.MaxLen
+	if maxLen <= 0 || maxLen > g.r {
+		maxLen = g.r
+	}
+	used := make([]bool, g.r)
+	used[i] = true
+	used[j] = true // j sits on the loop; the l-path must avoid it
+	var (
+		lpath []ReplicaID
+		found Loop
+		ok    bool
+	)
+
+	record := func(rpath []ReplicaID) {
+		found = Loop{
+			I: i,
+			L: append([]ReplicaID(nil), lpath...),
+			R: append([]ReplicaID(nil), rpath...),
+		}
+		ok = true
+	}
+
+	// Phase 2: extend the r-path beyond r_2. Every hop here (including the
+	// closing hop to i) is an "r_q → r_{q+1}, q ≥ 2" hop, so it must
+	// satisfy condition (iii) against full.
+	var extendR func(rpath []ReplicaID, full RegisterSet) bool
+	extendR = func(rpath []ReplicaID, full RegisterSet) bool {
+		cur := rpath[len(rpath)-1]
+		if g.HasEdge(Edge{cur, i}) && g.shared[Edge{cur, i}].DiffNonEmpty(full) {
+			record(rpath)
+			return true
+		}
+		if 1+len(lpath)+len(rpath) >= maxLen {
+			return false
+		}
+		for _, nxt := range g.adj[cur] {
+			if used[nxt] || nxt == i {
+				continue
+			}
+			if !g.shared[Edge{cur, nxt}].DiffNonEmpty(full) {
+				continue
+			}
+			used[nxt] = true
+			done := extendR(append(rpath, nxt), full)
+			used[nxt] = false
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+
+	// tryRPath starts the r-path once the l-path is complete (lpath ends
+	// in k and condition (i) holds). interior excludes X_k; full includes it.
+	tryRPath := func(interior, full RegisterSet) bool {
+		// t = 1: the loop closes j → i directly; condition (ii) applies to
+		// X_{j i} against interior, and condition (iii) is vacuous.
+		if g.HasEdge(Edge{j, i}) && g.shared[Edge{j, i}].DiffNonEmpty(interior) {
+			record([]ReplicaID{j})
+			return true
+		}
+		if 1+len(lpath)+1 >= maxLen {
+			return false
+		}
+		// t ≥ 2: first hop j → r_2 must satisfy condition (ii) (interior).
+		for _, r2 := range g.adj[j] {
+			if used[r2] || r2 == i {
+				continue
+			}
+			if !g.shared[Edge{j, r2}].DiffNonEmpty(interior) {
+				continue
+			}
+			used[r2] = true
+			done := extendR([]ReplicaID{j, r2}, full)
+			used[r2] = false
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Phase 1: grow the l-path from i towards k, avoiding j.
+	var extendL func(cur ReplicaID, interior RegisterSet) bool
+	extendL = func(cur ReplicaID, interior RegisterSet) bool {
+		if 1+len(lpath)+1 >= maxLen { // must still fit k and at least j
+			return false
+		}
+		for _, nxt := range g.adj[cur] {
+			if used[nxt] {
+				continue
+			}
+			if nxt == k {
+				if !g.shared[Edge{j, k}].DiffNonEmpty(interior) {
+					continue // condition (i) fails for this interior set
+				}
+				lpath = append(lpath, k)
+				used[k] = true
+				done := tryRPath(interior, interior.Union(g.stores[k]))
+				used[k] = false
+				lpath = lpath[:len(lpath)-1]
+				if done {
+					return true
+				}
+				continue
+			}
+			used[nxt] = true
+			lpath = append(lpath, nxt)
+			done := extendL(nxt, interior.Union(g.stores[nxt]))
+			lpath = lpath[:len(lpath)-1]
+			used[nxt] = false
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+
+	extendL(i, make(RegisterSet))
+	return found, ok
+}
+
+// HasIEJKLoop reports whether any (i, e_jk)-loop exists.
+func (g *Graph) HasIEJKLoop(i ReplicaID, e Edge, opts LoopOptions) bool {
+	_, ok := g.FindIEJKLoop(i, e, opts)
+	return ok
+}

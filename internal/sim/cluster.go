@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+	"repro/internal/workload"
+)
+
+// Cluster runs one goroutine-free node per replica behind per-node locks,
+// delivering every message on its own goroutine after a pseudo-random
+// delay — a live concurrent runtime over the same protocol state machines
+// the deterministic runner drives. Message delays make delivery order
+// non-FIFO, as the paper's system model demands.
+type Cluster struct {
+	g       *sharegraph.Graph
+	tracker *causality.Tracker
+	nodes   []core.Node
+	nodeMu  []sync.Mutex
+
+	maxDelay time.Duration
+	seq      atomic.Uint64 // per-message counter driving delay jitter
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	outstanding int
+	closed      bool
+	wg          sync.WaitGroup
+
+	msgs      atomic.Int64
+	metaBytes atomic.Int64
+}
+
+// ClusterOption customizes a Cluster.
+type ClusterOption func(*Cluster)
+
+// WithMaxDelay sets the maximum artificial delivery delay (default 1ms).
+// Zero disables delays (messages still hop goroutines, so order remains
+// nondeterministic).
+func WithMaxDelay(d time.Duration) ClusterOption {
+	return func(c *Cluster) { c.maxDelay = d }
+}
+
+// NewCluster builds and starts a live cluster for the protocol.
+func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOption) (*Cluster, error) {
+	nodes, err := protocol.NewNodes()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: build nodes: %w", err)
+	}
+	c := &Cluster{
+		g:        g,
+		tracker:  causality.NewTracker(g),
+		nodes:    nodes,
+		nodeMu:   make([]sync.Mutex, len(nodes)),
+		maxDelay: time.Millisecond,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Tracker exposes the oracle auditing this cluster.
+func (c *Cluster) Tracker() *causality.Tracker { return c.tracker }
+
+// Write performs a client write at replica r.
+func (c *Cluster) Write(r sharegraph.ReplicaID, x sharegraph.Register, v core.Value) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: closed")
+	}
+	c.mu.Unlock()
+
+	c.nodeMu[r].Lock()
+	id := c.tracker.OnIssue(r, x)
+	envs, err := c.nodes[r].HandleWrite(x, v, id)
+	c.nodeMu[r].Unlock()
+	if err != nil {
+		return fmt.Errorf("cluster: write at %d: %w", r, err)
+	}
+	c.dispatch(envs)
+	return nil
+}
+
+// Read returns replica r's local copy of x.
+func (c *Cluster) Read(r sharegraph.ReplicaID, x sharegraph.Register) (core.Value, bool) {
+	c.nodeMu[r].Lock()
+	defer c.nodeMu[r].Unlock()
+	return c.nodes[r].Read(x)
+}
+
+func (c *Cluster) dispatch(envs []core.Envelope) {
+	if len(envs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.outstanding += len(envs)
+	c.mu.Unlock()
+	for _, env := range envs {
+		c.msgs.Add(1)
+		c.metaBytes.Add(int64(len(env.Meta)))
+		env := env
+		c.wg.Add(1)
+		go c.deliver(env)
+	}
+}
+
+func (c *Cluster) deliver(env core.Envelope) {
+	defer c.wg.Done()
+	if c.maxDelay > 0 {
+		// splitmix64-style hash of the message sequence number gives a
+		// deterministic-ish jitter without sharing a PRNG across
+		// goroutines.
+		z := c.seq.Add(1) * 0x9e3779b97f4a7c15
+		z ^= z >> 31
+		time.Sleep(time.Duration(z % uint64(c.maxDelay)))
+	}
+	c.nodeMu[env.To].Lock()
+	applied, fwd := c.nodes[env.To].HandleMessage(env)
+	for _, a := range applied {
+		c.tracker.OnApply(env.To, a.OracleID)
+	}
+	c.nodeMu[env.To].Unlock()
+	c.dispatch(fwd)
+
+	c.mu.Lock()
+	c.outstanding--
+	if c.outstanding == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// Quiesce blocks until no messages are in flight. Updates stuck in pending
+// buffers (a liveness failure) do not count as in flight, so Quiesce
+// terminates even for broken protocols.
+func (c *Cluster) Quiesce() {
+	c.mu.Lock()
+	for c.outstanding != 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Close waits for all in-flight deliveries to finish and shuts the
+// cluster down. Further writes fail.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// PendingTotal sums buffered-but-unapplied updates across replicas.
+func (c *Cluster) PendingTotal() int {
+	total := 0
+	for r := range c.nodes {
+		c.nodeMu[r].Lock()
+		total += c.nodes[r].PendingCount()
+		c.nodeMu[r].Unlock()
+	}
+	return total
+}
+
+// MessagesSent returns the number of messages dispatched so far.
+func (c *Cluster) MessagesSent() int64 { return c.msgs.Load() }
+
+// MetaBytes returns total metadata bytes dispatched so far.
+func (c *Cluster) MetaBytes() int64 { return c.metaBytes.Load() }
+
+// RunScript executes a workload concurrently: one driver goroutine per
+// replica issues that replica's operations in script order, then the
+// cluster quiesces. Returns the oracle verdicts (including liveness).
+func (c *Cluster) RunScript(script workload.Script) []causality.Violation {
+	n := c.g.NumReplicas()
+	queues := make([][]workload.Op, n)
+	for _, op := range script {
+		queues[op.Replica] = append(queues[op.Replica], op)
+	}
+	var wg sync.WaitGroup
+	var val atomic.Int64
+	for r := 0; r < n; r++ {
+		if len(queues[r]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for _, op := range queues[r] {
+				if op.IsRead {
+					c.Read(sharegraph.ReplicaID(r), op.Reg)
+					continue
+				}
+				// Errors can only be NotStoredError from a malformed
+				// script; generators never produce those.
+				_ = c.Write(sharegraph.ReplicaID(r), op.Reg, core.Value(val.Add(1)))
+			}
+		}(r)
+	}
+	wg.Wait()
+	c.Quiesce()
+	c.tracker.CheckLiveness()
+	return c.tracker.Violations()
+}

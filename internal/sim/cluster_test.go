@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/optimize"
+	"repro/internal/sharegraph"
+	"repro/internal/workload"
+)
+
+// TestClusterEdgeIndexedConcurrent runs the live goroutine runtime with
+// concurrent writers on several topologies and audits with the oracle —
+// the concurrency-hardening counterpart of the deterministic sweeps.
+func TestClusterEdgeIndexedConcurrent(t *testing.T) {
+	graphs := map[string]*sharegraph.Graph{
+		"fig5":    sharegraph.Fig5Example(),
+		"ring5":   sharegraph.Ring(5),
+		"clique4": sharegraph.PairClique(4),
+	}
+	for name, g := range graphs {
+		c, err := NewCluster(g, edgeIndexed(t, g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		script := workload.Uniform(g, 300, 42)
+		violations := c.RunScript(script)
+		if len(violations) != 0 {
+			t.Errorf("%s: live cluster violations: %v", name, violations)
+		}
+		if c.PendingTotal() != 0 {
+			t.Errorf("%s: %d updates stuck pending after quiescence", name, c.PendingTotal())
+		}
+		if c.MessagesSent() == 0 {
+			t.Errorf("%s: no messages sent", name)
+		}
+		if c.MetaBytes() == 0 {
+			t.Errorf("%s: no metadata bytes recorded", name)
+		}
+		c.Close()
+	}
+}
+
+func TestClusterMatrixConcurrent(t *testing.T) {
+	g := sharegraph.Ring(4)
+	c, err := NewCluster(g, baseline.NewMatrix(g), WithMaxDelay(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := c.RunScript(workload.Uniform(g, 200, 9)); len(violations) != 0 {
+		t.Errorf("matrix live cluster violations: %v", violations)
+	}
+	c.Close()
+}
+
+func TestClusterReadAndLifecycle(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	c, err := NewCluster(g, edgeIndexed(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(0, "x", 7); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	if v, ok := c.Read(1, "x"); !ok || v != 7 {
+		t.Errorf("Read(1, x) = (%d, %v), want (7, true)", v, ok)
+	}
+	if _, ok := c.Read(3, "x"); ok {
+		t.Error("Read of unstored register reported ok")
+	}
+	if err := c.Write(0, "zzz", 1); err == nil {
+		t.Error("write to unstored register accepted")
+	}
+	if c.Tracker() == nil {
+		t.Error("nil tracker")
+	}
+	c.Close()
+	if err := c.Write(0, "x", 8); err == nil {
+		t.Error("write after Close accepted")
+	}
+}
+
+// TestClusterRingBreakRelay exercises message forwarding (HandleMessage
+// emitting new envelopes) under live concurrency: relayed updates must
+// keep the outstanding counter balanced and satisfy the oracle.
+func TestClusterRingBreakRelay(t *testing.T) {
+	rb, err := optimize.BreakRing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(rb.Base(), rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	script := workload.SharedOnly(rb.Base(), 200, 17)
+	if violations := c.RunScript(script); len(violations) != 0 {
+		t.Errorf("ring-break live cluster violations: %v", violations)
+	}
+	if c.PendingTotal() != 0 {
+		t.Errorf("%d updates stuck pending", c.PendingTotal())
+	}
+	// Relays must reach the far holder: write the broken register and
+	// check the other end observes it.
+	if err := c.Write(0, rb.Broken(), 1234); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	if v, ok := c.Read(4, rb.Broken()); !ok || v != 1234 {
+		t.Errorf("far-end read = (%d,%v), want (1234,true)", v, ok)
+	}
+}
+
+func TestClusterQuiesceIdempotent(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	c, err := NewCluster(g, edgeIndexed(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce() // no traffic: returns immediately
+	c.Quiesce()
+	c.Close()
+}

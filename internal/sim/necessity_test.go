@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+)
+
+// harness direct-drives protocol nodes with full control over delivery
+// order — the executable analogue of the hand-constructed executions in
+// the proof of Theorem 8.
+type harness struct {
+	t       *testing.T
+	g       *sharegraph.Graph
+	nodes   []core.Node
+	tracker *causality.Tracker
+	nextVal core.Value
+}
+
+func newHarness(t *testing.T, g *sharegraph.Graph, p core.Protocol) *harness {
+	t.Helper()
+	nodes, err := p.NewNodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{t: t, g: g, nodes: nodes, tracker: causality.NewTracker(g), nextVal: 1}
+}
+
+// write performs a client write and returns the update messages.
+func (h *harness) write(r sharegraph.ReplicaID, x sharegraph.Register) []core.Envelope {
+	h.t.Helper()
+	id := h.tracker.OnIssue(r, x)
+	envs, err := h.nodes[r].HandleWrite(x, h.nextVal, id)
+	if err != nil {
+		h.t.Fatalf("write %q at %d: %v", x, r, err)
+	}
+	h.nextVal++
+	return envs
+}
+
+// deliver hands one envelope to its destination and reports applies to
+// the oracle.
+func (h *harness) deliver(env core.Envelope) {
+	applied, fwd := h.nodes[env.To].HandleMessage(env)
+	for _, a := range applied {
+		h.tracker.OnApply(env.To, a.OracleID)
+	}
+	for _, f := range fwd {
+		h.deliver(f)
+	}
+}
+
+// deliverTo delivers the (unique) message destined for replica to from the
+// batch, failing if absent.
+func (h *harness) deliverTo(envs []core.Envelope, to sharegraph.ReplicaID) {
+	h.t.Helper()
+	for _, e := range envs {
+		if e.To == to {
+			h.deliver(e)
+			return
+		}
+	}
+	h.t.Fatalf("no message destined for replica %d in batch", to)
+}
+
+// weakenedGraphs returns Definition 5 timestamp graphs with `drop` removed
+// from replica owner's edge set.
+func weakenedGraphs(g *sharegraph.Graph, owner sharegraph.ReplicaID, drop sharegraph.Edge) []*sharegraph.TSGraph {
+	graphs := sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{})
+	var kept []sharegraph.Edge
+	for _, e := range graphs[owner].Edges() {
+		if e != drop {
+			kept = append(kept, e)
+		}
+	}
+	graphs[owner] = sharegraph.NewTSGraphFromEdges(owner, kept)
+	return graphs
+}
+
+// TestLoopEdgeNecessity is the Case 3 execution of Theorem 8's proof,
+// staged on the Figure 5 example: replica 0 (the paper's replica 1) must
+// track the non-incident edge e43 (our e(3→2)). With the full timestamp
+// graph the dependent update blocks at replica 2 until its transitive
+// dependency arrives; with e(3→2) dropped from G_0, replica 2 applies it
+// early and the oracle reports a safety violation.
+func TestLoopEdgeNecessity(t *testing.T) {
+	g := sharegraph.Fig5Example()
+	dropped := sharegraph.Edge{From: 3, To: 2}
+
+	// Preconditions of the staged execution (verified, not assumed):
+	// e(3→2) is tracked by replicas 0, 1 and 2 under Definition 5.
+	full := sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{})
+	for _, r := range []sharegraph.ReplicaID{0, 1, 2} {
+		if !full[r].Has(dropped) {
+			t.Fatalf("precondition: e(3->2) should be in E_%d", r)
+		}
+	}
+
+	run := func(p core.Protocol) *harness {
+		h := newHarness(t, g, p)
+		// u0: replica 3 writes z (z ∈ X23, sent to replica 2 only) — the
+		// update whose knowledge must survive the chain.
+		u0 := h.write(3, "z")
+		// u1: replica 3 writes w (w ∈ X03, sent to replica 0): u0 ↪ u1.
+		u1 := h.write(3, "w")
+		h.deliverTo(u1, 0)
+		// uy: replica 0 writes y (sent to 1 and 3): u1 ↪ uy.
+		uy := h.write(0, "y")
+		h.deliverTo(uy, 1)
+		// ux: replica 1 writes x (x ∈ X12, sent to replica 2): uy ↪ ux,
+		// hence u0 ↪ ux transitively — and z is stored at replica 2.
+		ux := h.write(1, "x")
+		// Adversarial asynchrony: ux reaches 2 before u0 does.
+		h.deliverTo(ux, 2)
+		h.deliverTo(u0, 2)
+		return h
+	}
+
+	// Full Definition 5 graphs: safe (ux buffered until u0 applied).
+	pFull, err := core.NewEdgeIndexedWithGraphs(g, full, "edge-indexed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := run(pFull)
+	if !h.tracker.Ok() {
+		t.Errorf("full timestamp graphs violated safety: %v", h.tracker.Violations())
+	}
+	if n := h.nodes[2].PendingCount(); n != 0 {
+		t.Errorf("full graphs left %d updates pending at replica 2", n)
+	}
+
+	// Weakened G_0 (e(3→2) dropped): the chain loses the z-counter and
+	// replica 2 applies ux before u0 — exactly the Theorem 8 violation.
+	pWeak, err := core.NewEdgeIndexedWithGraphs(g, weakenedGraphs(g, 0, dropped), "edge-indexed-weakened")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = run(pWeak)
+	sawSafety := false
+	for _, v := range h.tracker.Violations() {
+		if v.Kind == causality.SafetyViolation && v.Replica == 2 {
+			sawSafety = true
+		}
+	}
+	if !sawSafety {
+		t.Errorf("dropping e(3->2) from G_0 did not produce the Theorem 8 safety violation: %v",
+			h.tracker.Violations())
+	}
+}
+
+// TestIncomingEdgeNecessity is Theorem 8 Case 2: a replica oblivious to an
+// incoming incident edge cannot order that neighbour's updates; in this
+// implementation the delivery plan degenerates and updates stall forever
+// (liveness failure).
+func TestIncomingEdgeNecessity(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	p, err := core.NewEdgeIndexedWithGraphs(g, weakenedGraphs(g, 0, sharegraph.Edge{From: 1, To: 0}), "weakened")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, g, p)
+	envs := h.write(1, "x") // x ∈ X01: sent to replica 0
+	h.deliverTo(envs, 0)
+	if h.nodes[0].PendingCount() == 0 {
+		t.Fatal("update applied despite replica 0 lacking the e(1->0) counter")
+	}
+	if vs := h.tracker.CheckLiveness(); len(vs) == 0 {
+		t.Error("expected a liveness violation")
+	}
+}
+
+// TestOutgoingEdgeNecessity is Theorem 8 Case 1: a replica oblivious to an
+// outgoing incident edge attaches indistinguishable timestamps to
+// successive updates on that edge; the receiver cannot order them and, in
+// this implementation, stalls.
+func TestOutgoingEdgeNecessity(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	p, err := core.NewEdgeIndexedWithGraphs(g, weakenedGraphs(g, 0, sharegraph.Edge{From: 0, To: 1}), "weakened")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, g, p)
+	u1 := h.write(0, "x")
+	u2 := h.write(0, "x")
+	// Non-FIFO channel: second write arrives first.
+	h.deliverTo(u2, 1)
+	h.deliverTo(u1, 1)
+	if h.nodes[1].PendingCount() == 0 && h.tracker.Ok() {
+		t.Fatal("receiver ordered updates correctly despite the sender being oblivious to e(0->1)")
+	}
+}

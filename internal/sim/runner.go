@@ -1,0 +1,245 @@
+// Package sim drives protocol state machines over the simulated network:
+// a deterministic single-threaded runner (seeded/adversarial schedules,
+// used by the correctness experiments) and a live goroutine-per-replica
+// cluster (used to exercise real concurrency). Both audit executions with
+// the causality oracle and collect the metadata metrics the experiments
+// report.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// Config configures one deterministic run.
+type Config struct {
+	Graph    *sharegraph.Graph
+	Protocol core.Protocol
+	Script   workload.Script
+	Sched    transport.Scheduler
+	// MaxSteps bounds the run as a safety net; 0 derives a generous bound
+	// from the script size.
+	MaxSteps int
+	// TrackFalseDeps enables per-step oracle queries on pending updates
+	// (quadratic-ish cost; off for throughput benchmarks).
+	TrackFalseDeps bool
+}
+
+// Result holds the measurements of one run.
+type Result struct {
+	Protocol  string
+	Scheduler string
+	Steps     int
+
+	// Messages.
+	MessagesSent     int
+	MetaOnlyMessages int
+	MetaBytes        int
+
+	// Updates.
+	Writes  int
+	Reads   int
+	Applies int
+
+	// Consistency verdicts.
+	Violations []causality.Violation
+	// StuckPending counts updates still buffered at quiescence (delivered
+	// but never applicable — the naive-vector liveness failure mode).
+	StuckPending int
+
+	// False dependencies: distinct updates that were buffered while the
+	// oracle said all their true dependencies were satisfied, and the
+	// total number of step-update pairs spent in that state.
+	FalseDepUpdates int
+	FalseDepDelay   int
+
+	// Metadata sizing.
+	MetadataEntriesPerReplica []int
+	MaxPending                int
+
+	// Delivery latency, in scheduler steps between an update message
+	// being sent and its value being applied at the destination. Relayed
+	// protocols (Appendix D ring breaking) pay multiple hops here.
+	DeliveryDelayTotal int
+	DeliveryDelayMax   int
+	DeliveryCount      int
+}
+
+// AvgDeliveryDelay returns mean steps from send to apply.
+func (r *Result) AvgDeliveryDelay() float64 {
+	if r.DeliveryCount == 0 {
+		return 0
+	}
+	return float64(r.DeliveryDelayTotal) / float64(r.DeliveryCount)
+}
+
+// AvgMetaBytes returns mean metadata bytes per sent message.
+func (r *Result) AvgMetaBytes() float64 {
+	if r.MessagesSent == 0 {
+		return 0
+	}
+	return float64(r.MetaBytes) / float64(r.MessagesSent)
+}
+
+// TotalMetadataEntries sums per-replica timestamp entry counts.
+func (r *Result) TotalMetadataEntries() int {
+	total := 0
+	for _, n := range r.MetadataEntriesPerReplica {
+		total += n
+	}
+	return total
+}
+
+// Ok reports whether the run finished with no violations and no stuck
+// updates.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 && r.StuckPending == 0 }
+
+// Summary renders a one-line digest.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s: steps=%d writes=%d applies=%d msgs=%d (meta-only %d) metaBytes=%d",
+		r.Protocol, r.Scheduler, r.Steps, r.Writes, r.Applies, r.MessagesSent, r.MetaOnlyMessages, r.MetaBytes)
+	fmt.Fprintf(&b, " falseDeps=%d stuck=%d violations=%d", r.FalseDepUpdates, r.StuckPending, len(r.Violations))
+	return b.String()
+}
+
+// Run executes the configured script to quiescence (or MaxSteps) and
+// returns measurements plus the oracle's verdicts. The runner interleaves
+// client operations and message deliveries under the scheduler's control;
+// per-replica operation order follows the script.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Graph == nil || cfg.Protocol == nil || cfg.Sched == nil {
+		return nil, fmt.Errorf("sim: Graph, Protocol and Sched are required")
+	}
+	nodes, err := cfg.Protocol.NewNodes()
+	if err != nil {
+		return nil, fmt.Errorf("sim: build nodes: %w", err)
+	}
+	n := cfg.Graph.NumReplicas()
+	if len(nodes) != n {
+		return nil, fmt.Errorf("sim: protocol built %d nodes for %d replicas", len(nodes), n)
+	}
+	tracker := causality.NewTracker(cfg.Graph)
+	res := &Result{Protocol: cfg.Protocol.Name(), Scheduler: cfg.Sched.Name()}
+
+	// Per-replica op queues preserving script order.
+	queues := make([][]workload.Op, n)
+	for _, op := range cfg.Script {
+		if int(op.Replica) < 0 || int(op.Replica) >= n {
+			return nil, fmt.Errorf("sim: script names invalid replica %d", op.Replica)
+		}
+		queues[op.Replica] = append(queues[op.Replica], op)
+	}
+
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		// Every op sends at most n messages; each step consumes an op or a
+		// message, so this bound is unreachable absent a protocol bug.
+		maxSteps = (len(cfg.Script)+1)*(n+2) + 64
+	}
+
+	var pool transport.Pool
+	nextVal := core.Value(1)
+	// falseDeps tracks oracle IDs that have ever been blocked while
+	// oracle-deliverable.
+	falseDeps := make(map[causality.UpdateID]bool)
+	// sentAt records the step at which each update was issued, for
+	// end-to-end delivery-latency accounting: a relayed update's latency
+	// counts from the original write, not the last hop.
+	sentAt := make(map[causality.UpdateID]int)
+
+	for step := 0; step < maxSteps; step++ {
+		// Choices: one per replica with remaining ops, then one per
+		// in-flight message.
+		var opReplicas []int
+		for r := 0; r < n; r++ {
+			if len(queues[r]) > 0 {
+				opReplicas = append(opReplicas, r)
+			}
+		}
+		total := len(opReplicas) + pool.Len()
+		if total == 0 {
+			res.Steps = step
+			break
+		}
+		choice := cfg.Sched.Pick(total)
+		if choice < len(opReplicas) {
+			r := opReplicas[choice]
+			op := queues[r][0]
+			queues[r] = queues[r][1:]
+			if op.IsRead {
+				nodes[r].Read(op.Reg)
+				res.Reads++
+			} else {
+				id := tracker.OnIssue(op.Replica, op.Reg)
+				envs, err := nodes[r].HandleWrite(op.Reg, nextVal, id)
+				if err != nil {
+					return nil, fmt.Errorf("sim: write at replica %d: %w", r, err)
+				}
+				nextVal++
+				res.Writes++
+				recordSent(res, envs)
+				sentAt[id] = step
+				pool.Add(envs...)
+			}
+		} else {
+			env := pool.Take(choice - len(opReplicas))
+			applied, fwd := nodes[env.To].HandleMessage(env)
+			for _, a := range applied {
+				tracker.OnApply(env.To, a.OracleID)
+				res.Applies++
+				if at, ok := sentAt[a.OracleID]; ok {
+					d := step - at
+					res.DeliveryDelayTotal += d
+					if d > res.DeliveryDelayMax {
+						res.DeliveryDelayMax = d
+					}
+					res.DeliveryCount++
+				}
+			}
+			recordSent(res, fwd)
+			pool.Add(fwd...)
+		}
+		if cfg.TrackFalseDeps {
+			for r := 0; r < n; r++ {
+				for _, id := range nodes[r].PendingOracleIDs() {
+					if tracker.OracleDeliverable(sharegraph.ReplicaID(r), id) {
+						res.FalseDepDelay++
+						falseDeps[id] = true
+					}
+				}
+			}
+		}
+		for r := 0; r < n; r++ {
+			if p := nodes[r].PendingCount(); p > res.MaxPending {
+				res.MaxPending = p
+			}
+		}
+		res.Steps = step + 1
+	}
+
+	for r := 0; r < n; r++ {
+		res.StuckPending += nodes[r].PendingCount()
+		res.MetadataEntriesPerReplica = append(res.MetadataEntriesPerReplica, nodes[r].MetadataEntries())
+	}
+	res.FalseDepUpdates = len(falseDeps)
+	tracker.CheckLiveness()
+	res.Violations = tracker.Violations()
+	return res, nil
+}
+
+func recordSent(res *Result, envs []core.Envelope) {
+	for _, e := range envs {
+		res.MessagesSent++
+		res.MetaBytes += len(e.Meta)
+		if e.MetaOnly {
+			res.MetaOnlyMessages++
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// corpus returns the share-graph test corpus used across correctness
+// sweeps: the paper's worked examples plus the parametric families.
+func corpus() map[string]*sharegraph.Graph {
+	hm1, _ := sharegraph.HelaryMilani1()
+	hm2, _ := sharegraph.HelaryMilani2()
+	return map[string]*sharegraph.Graph{
+		"fig3":     sharegraph.Fig3Example(),
+		"fig5":     sharegraph.Fig5Example(),
+		"hm1":      hm1,
+		"hm2":      hm2,
+		"ring4":    sharegraph.Ring(4),
+		"ring6":    sharegraph.Ring(6),
+		"line5":    sharegraph.Line(5),
+		"star5":    sharegraph.Star(5),
+		"clique5":  sharegraph.PairClique(5),
+		"grid2x3":  sharegraph.Grid(2, 3),
+		"fullrep4": sharegraph.FullReplication(4, 2),
+		"randk2":   sharegraph.RandomK(6, 12, 2, 11),
+		"randk3":   sharegraph.RandomK(6, 12, 3, 12),
+	}
+}
+
+func edgeIndexed(t testing.TB, g *sharegraph.Graph) core.Protocol {
+	t.Helper()
+	p, err := core.NewEdgeIndexed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEdgeIndexedCausalConsistencySweep is experiment E6: the paper's
+// algorithm must be safe and live (Theorem 24) on every topology, under
+// benign, random and adversarial schedules — with zero false dependencies
+// (its predicate blocks only on true causal predecessors).
+func TestEdgeIndexedCausalConsistencySweep(t *testing.T) {
+	for name, g := range corpus() {
+		script, err := workload.Generate(g, workload.Options{Ops: 150, ReadFraction: 0.2, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheds := []transport.Scheduler{
+			transport.FIFOScheduler{},
+			transport.LIFOScheduler{},
+			transport.NewRandom(1),
+			transport.NewRandom(2),
+			transport.NewRandom(3),
+		}
+		for _, sched := range scheds {
+			res, err := Run(Config{
+				Graph: g, Protocol: edgeIndexed(t, g), Script: script,
+				Sched: sched, TrackFalseDeps: true,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, sched.Name(), err)
+			}
+			if !res.Ok() {
+				t.Errorf("%s/%s: %s\nviolations: %v", name, sched.Name(), res.Summary(), res.Violations)
+			}
+			if res.FalseDepUpdates != 0 {
+				t.Errorf("%s/%s: edge-indexed should induce no false dependencies, got %d",
+					name, sched.Name(), res.FalseDepUpdates)
+			}
+			if res.Applies == 0 && res.Writes > 0 && g.NumUndirectedEdges() > 0 {
+				t.Errorf("%s/%s: no updates applied (writes=%d)", name, sched.Name(), res.Writes)
+			}
+		}
+	}
+}
+
+// TestMatrixCausalConsistencySweep: the R×R matrix baseline is also safe
+// and live, with zero false dependencies, at quadratic metadata cost.
+func TestMatrixCausalConsistencySweep(t *testing.T) {
+	for name, g := range corpus() {
+		script := workload.SharedOnly(g, 120, 3)
+		for _, sched := range []transport.Scheduler{transport.LIFOScheduler{}, transport.NewRandom(5)} {
+			res, err := Run(Config{
+				Graph: g, Protocol: baseline.NewMatrix(g), Script: script,
+				Sched: sched, TrackFalseDeps: true,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !res.Ok() {
+				t.Errorf("%s/%s: matrix violated consistency: %v", name, sched.Name(), res.Violations)
+			}
+			if res.FalseDepUpdates != 0 {
+				t.Errorf("%s/%s: matrix should induce no false dependencies, got %d",
+					name, sched.Name(), res.FalseDepUpdates)
+			}
+		}
+	}
+}
+
+// TestBroadcastCausalConsistencySweep: the dummy-register emulation is
+// safe and live; unlike edge-indexed and matrix it may delay updates on
+// false dependencies, and it sends extra metadata-only messages.
+func TestBroadcastCausalConsistencySweep(t *testing.T) {
+	sawMetaOnly := false
+	for name, g := range corpus() {
+		script := workload.SharedOnly(g, 120, 4)
+		res, err := Run(Config{
+			Graph: g, Protocol: baseline.NewBroadcast(g), Script: script,
+			Sched: transport.NewRandom(9), TrackFalseDeps: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Ok() {
+			t.Errorf("%s: broadcast violated consistency: %v", name, res.Violations)
+		}
+		if res.MetaOnlyMessages > 0 {
+			sawMetaOnly = true
+		}
+	}
+	if !sawMetaOnly {
+		t.Error("broadcast emulation never sent a metadata-only message")
+	}
+}
+
+// TestFIFOOnlyViolatesSafety is the executable core of Theorem 8: a
+// protocol oblivious to everything but per-channel order must violate
+// safety once a dependency propagates through a third replica. We sweep
+// random schedules on a triangle until the oracle catches it.
+func TestFIFOOnlyViolatesSafety(t *testing.T) {
+	g := sharegraph.FullReplication(3, 1) // all replicas share register r0
+	script := workload.SharedOnly(g, 30, 2)
+	sawSafety := false
+	for seed := int64(0); seed < 40 && !sawSafety; seed++ {
+		res, err := Run(Config{
+			Graph: g, Protocol: baseline.NewFIFOOnly(g), Script: script,
+			Sched: transport.NewRandom(seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Violations {
+			if v.Kind == causality.SafetyViolation {
+				sawSafety = true
+			}
+		}
+	}
+	if !sawSafety {
+		t.Error("fifo-only never violated safety across 40 random schedules; expected Theorem 8 failure")
+	}
+}
+
+// TestNaiveVectorLivenessFailure: classic length-R vectors without
+// metadata broadcast block forever when a dependency was never sent to
+// the waiting replica — safety holds, liveness does not (the reason the
+// full-replication recipe does not transfer to partial replication).
+func TestNaiveVectorLivenessFailure(t *testing.T) {
+	g := sharegraph.Fig3Example() // path 0–1–2–3
+	// Stage precisely: 0 writes x; its update reaches 1; 1 writes y; the
+	// y-update reaches 2, which now waits for an x-update that will never
+	// come (2 does not store x).
+	script := workload.Script{
+		{Replica: 0, Reg: "x"},
+		{Replica: 1, Reg: "y"},
+	}
+	// Choice indices: step1 picks op@0 (index 0); step2 delivers the x
+	// update to 1 (after ops, pool has [x→1]; ops list = [op@1], so index
+	// 1); step3 picks op@1 (index 0); then FIFO drains the rest.
+	sched := transport.NewScripted(0, 1, 0)
+	res, err := Run(Config{
+		Graph: g, Protocol: baseline.NewNaiveVector(g), Script: script,
+		Sched: sched, TrackFalseDeps: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StuckPending == 0 {
+		t.Fatalf("expected naive-vector to strand the y-update at replica 2: %s", res.Summary())
+	}
+	sawLiveness := false
+	for _, v := range res.Violations {
+		if v.Kind == causality.LivenessViolation {
+			sawLiveness = true
+		}
+		if v.Kind == causality.SafetyViolation {
+			t.Errorf("naive-vector should never violate safety, got %v", v)
+		}
+	}
+	if !sawLiveness {
+		t.Errorf("expected a liveness violation: %v", res.Violations)
+	}
+	if res.FalseDepUpdates == 0 {
+		t.Error("the stranded update is a false dependency; none recorded")
+	}
+	// The same staging under the paper's algorithm is perfectly fine.
+	res2, err := Run(Config{
+		Graph: g, Protocol: edgeIndexed(t, g), Script: script,
+		Sched: transport.NewScripted(0, 1, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Ok() {
+		t.Errorf("edge-indexed failed the staged schedule: %v", res2.Violations)
+	}
+}
+
+// TestEdgeIndexedQuickProperty is the flagship property test: on random
+// placements, random workloads and random schedules, the paper's
+// algorithm never violates safety or liveness.
+func TestEdgeIndexedQuickProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(seed)
+		script, err := workload.Generate(g, workload.Options{Ops: 80, Seed: seed ^ 0x5a5a})
+		if err != nil {
+			return false
+		}
+		p, err := core.NewEdgeIndexed(g)
+		if err != nil {
+			return false
+		}
+		res, err := Run(Config{
+			Graph: g, Protocol: p, Script: script,
+			Sched: transport.NewRandom(seed ^ 0xa5a5), TrackFalseDeps: true,
+		})
+		if err != nil {
+			return false
+		}
+		if !res.Ok() || res.FalseDepUpdates != 0 {
+			t.Logf("seed %d: %s\nviolations: %v\n%s", seed, res.Summary(), res.Violations, g)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomGraph derives a small random placement from a seed (2–6 replicas,
+// up to 10 registers, random holder sets).
+func randomGraph(seed int64) *sharegraph.Graph {
+	rng := transport.NewRandom(seed)
+	n := 2 + rng.Pick(5)
+	nRegs := 1 + rng.Pick(10)
+	stores := make([][]sharegraph.Register, n)
+	for r := 0; r < nRegs; r++ {
+		reg := sharegraph.Register(rune('a' + r))
+		placed := false
+		for i := 0; i < n; i++ {
+			if rng.Pick(3) == 0 {
+				stores[i] = append(stores[i], reg)
+				placed = true
+			}
+		}
+		if !placed {
+			stores[rng.Pick(n)] = append(stores[rng.Pick(n)], reg)
+		}
+	}
+	for i := range stores {
+		if len(stores[i]) == 0 {
+			stores[i] = []sharegraph.Register{sharegraph.Register(rune('A' + i))}
+		}
+	}
+	g, err := sharegraph.New(stores)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestRunValidation(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	p := edgeIndexed(t, g)
+	if _, err := Run(Config{
+		Graph: g, Protocol: p,
+		Script: workload.Script{{Replica: 99, Reg: "x"}},
+		Sched:  transport.FIFOScheduler{},
+	}); err == nil {
+		t.Error("script with invalid replica accepted")
+	}
+	if _, err := Run(Config{
+		Graph: g, Protocol: p,
+		Script: workload.Script{{Replica: 3, Reg: "x"}}, // 3 does not store x
+		Sched:  transport.FIFOScheduler{},
+	}); err == nil {
+		t.Error("write to unstored register accepted")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{MessagesSent: 4, MetaBytes: 40, MetadataEntriesPerReplica: []int{2, 3}}
+	if r.AvgMetaBytes() != 10 {
+		t.Errorf("AvgMetaBytes = %v", r.AvgMetaBytes())
+	}
+	if r.TotalMetadataEntries() != 5 {
+		t.Errorf("TotalMetadataEntries = %v", r.TotalMetadataEntries())
+	}
+	if (&Result{}).AvgMetaBytes() != 0 {
+		t.Error("AvgMetaBytes on empty result should be 0")
+	}
+	if r.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func BenchmarkRunEdgeIndexedRing6(b *testing.B) {
+	g := sharegraph.Ring(6)
+	p, err := core.NewEdgeIndexed(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	script := workload.Uniform(g, 200, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		res, err := Run(Config{Graph: g, Protocol: p, Script: script, Sched: transport.NewRandom(int64(n))})
+		if err != nil || !res.Ok() {
+			b.Fatalf("run failed: %v %v", err, res.Violations)
+		}
+	}
+}
+
+func BenchmarkRunMatrixRing6(b *testing.B) {
+	g := sharegraph.Ring(6)
+	script := workload.Uniform(g, 200, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		res, err := Run(Config{Graph: g, Protocol: baseline.NewMatrix(g), Script: script, Sched: transport.NewRandom(int64(n))})
+		if err != nil || !res.Ok() {
+			b.Fatalf("run failed: %v %v", err, res.Violations)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package timestamp implements the edge-indexed vector timestamps of
+// Section 3.3 of Xiang & Vaidya (PODC 2019): each replica i keeps one
+// integer counter per edge of its timestamp graph G_i, and the three
+// protocol operations — advance (on local writes), merge (on applying a
+// remote update) and the delivery predicate J — manipulate those counters.
+//
+// Timestamps of different replicas have different lengths and are indexed
+// by different edge sets; a Space precomputes the pairwise intersections
+// E_i ∩ E_k that merge and J operate on, so the per-operation cost is
+// linear in the intersection size with no map lookups.
+package timestamp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/sharegraph"
+)
+
+// Vec is an edge-indexed vector timestamp. Position p counts updates on
+// the p-th edge of the owner's timestamp-graph edge order.
+type Vec []uint64
+
+// Clone returns an independent copy of the vector.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether two vectors are identical.
+func (v Vec) Equal(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the raw counter values.
+func (v Vec) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// pairIdx aligns one edge's position in two different timestamp orders.
+type pairIdx struct {
+	a int // index in the first vector
+	b int // index in the second vector
+}
+
+// deliveryPlan precomputes what predicate J(i, ·, k, ·) inspects for a
+// fixed (receiver i, sender k) pair: the position of e_{ki} in both
+// vectors, and the aligned positions of every other incoming edge
+// e_{ji} ∈ E_i ∩ E_k (j ≠ k).
+type deliveryPlan struct {
+	valid    bool
+	ekiRecv  int // index of e_{ki} in τ_i
+	ekiSend  int // index of e_{ki} in T (sender's order)
+	incoming []pairIdx
+}
+
+// Space holds the per-replica timestamp graphs plus every precomputed
+// intersection and delivery plan. One Space is shared by all replicas of
+// a system; it is immutable after construction and safe for concurrent
+// use.
+type Space struct {
+	graphs []*sharegraph.TSGraph
+	// advanceIdx[i][x] lists the positions in τ_i that a write to x at i
+	// increments: edges e_{ij} with x ∈ X_ij.
+	advanceIdx []map[sharegraph.Register][]int
+	// inter[i][k] aligns E_i ∩ E_k as (pos in τ_i, pos in τ_k).
+	inter [][][]pairIdx
+	// plans[i][k] is the predicate-J plan for i receiving from k.
+	plans [][]deliveryPlan
+}
+
+// NewSpace builds a Space for the given share graph and per-replica
+// timestamp graphs. graphs[i].Owner must be i; graphs typically come from
+// sharegraph.BuildAllTSGraphs, but optimized or truncated edge sets
+// (Appendix D) are accepted as long as each still contains the edges the
+// delivery predicate needs for the pairs that actually exchange updates.
+func NewSpace(g *sharegraph.Graph, graphs []*sharegraph.TSGraph) (*Space, error) {
+	n := g.NumReplicas()
+	if len(graphs) != n {
+		return nil, fmt.Errorf("timestamp: have %d timestamp graphs for %d replicas", len(graphs), n)
+	}
+	for i, tg := range graphs {
+		if tg.Owner != sharegraph.ReplicaID(i) {
+			return nil, fmt.Errorf("timestamp: graph %d has owner %d", i, tg.Owner)
+		}
+	}
+	s := &Space{
+		graphs:     graphs,
+		advanceIdx: make([]map[sharegraph.Register][]int, n),
+		inter:      make([][][]pairIdx, n),
+		plans:      make([][]deliveryPlan, n),
+	}
+	for i := 0; i < n; i++ {
+		ri := sharegraph.ReplicaID(i)
+		s.advanceIdx[i] = make(map[sharegraph.Register][]int)
+		for _, j := range g.Neighbors(ri) {
+			e := sharegraph.Edge{From: ri, To: j}
+			idx, ok := graphs[i].Index(e)
+			if !ok {
+				continue // truncated edge sets may omit even incident edges
+			}
+			for x := range g.Shared(ri, j) {
+				s.advanceIdx[i][x] = append(s.advanceIdx[i][x], idx)
+			}
+		}
+		s.inter[i] = make([][]pairIdx, n)
+		s.plans[i] = make([]deliveryPlan, n)
+		for k := 0; k < n; k++ {
+			if k == i {
+				continue
+			}
+			pairs := graphs[i].Intersection(graphs[k])
+			ip := make([]pairIdx, len(pairs))
+			for p, pr := range pairs {
+				ip[p] = pairIdx{a: pr[0], b: pr[1]}
+			}
+			s.inter[i][k] = ip
+			s.plans[i][k] = buildPlan(graphs[i], graphs[k], ri, sharegraph.ReplicaID(k))
+		}
+	}
+	return s, nil
+}
+
+func buildPlan(gi, gk *sharegraph.TSGraph, i, k sharegraph.ReplicaID) deliveryPlan {
+	eki := sharegraph.Edge{From: k, To: i}
+	recvIdx, okR := gi.Index(eki)
+	sendIdx, okS := gk.Index(eki)
+	if !okR || !okS {
+		return deliveryPlan{}
+	}
+	plan := deliveryPlan{valid: true, ekiRecv: recvIdx, ekiSend: sendIdx}
+	for _, e := range gi.Edges() {
+		if e.To != i || e.From == k {
+			continue
+		}
+		if sidx, ok := gk.Index(e); ok {
+			ridx, _ := gi.Index(e)
+			plan.incoming = append(plan.incoming, pairIdx{a: ridx, b: sidx})
+		}
+	}
+	return plan
+}
+
+// Graph returns replica i's timestamp graph.
+func (s *Space) Graph(i sharegraph.ReplicaID) *sharegraph.TSGraph { return s.graphs[i] }
+
+// NumReplicas returns the number of replicas the space was built for.
+func (s *Space) NumReplicas() int { return len(s.graphs) }
+
+// Zero returns replica i's initial timestamp: all counters zero.
+func (s *Space) Zero(i sharegraph.ReplicaID) Vec {
+	return make(Vec, s.graphs[i].Len())
+}
+
+// Len returns |E_i|, the number of counters in replica i's timestamp.
+func (s *Space) Len(i sharegraph.ReplicaID) int { return s.graphs[i].Len() }
+
+// Advance implements advance(i, τ_i, x, v): it returns a new vector with
+// the counters of edges e_{ij} such that x ∈ X_ij incremented (the write's
+// value v does not influence the timestamp). τ is not modified.
+func (s *Space) Advance(i sharegraph.ReplicaID, τ Vec, x sharegraph.Register) Vec {
+	out := τ.Clone()
+	for _, idx := range s.advanceIdx[i][x] {
+		out[idx]++
+	}
+	return out
+}
+
+// AdvanceIndexes returns the positions in τ_i incremented by a write to x
+// at replica i (diagnostics and compression use this).
+func (s *Space) AdvanceIndexes(i sharegraph.ReplicaID, x sharegraph.Register) []int {
+	return s.advanceIdx[i][x]
+}
+
+// Merge implements merge(i, τ_i, k, T): element-wise max over E_i ∩ E_k,
+// leaving counters for E_i − E_k untouched. τ is not modified.
+func (s *Space) Merge(i sharegraph.ReplicaID, τ Vec, k sharegraph.ReplicaID, T Vec) Vec {
+	out := τ.Clone()
+	for _, p := range s.inter[i][k] {
+		if T[p.b] > out[p.a] {
+			out[p.a] = T[p.b]
+		}
+	}
+	return out
+}
+
+// MergeInPlace is Merge without the defensive copy, for hot paths that own τ.
+func (s *Space) MergeInPlace(i sharegraph.ReplicaID, τ Vec, k sharegraph.ReplicaID, T Vec) {
+	for _, p := range s.inter[i][k] {
+		if T[p.b] > τ[p.a] {
+			τ[p.a] = T[p.b]
+		}
+	}
+}
+
+// Deliverable implements predicate J(i, τ_i, k, T) for k ≠ i:
+//
+//	τ_i[e_ki] = T[e_ki] − 1, and
+//	τ_i[e_ji] ≥ T[e_ji] for every e_ji ∈ E_i ∩ E_k with j ≠ k.
+//
+// It reports false when e_ki is untracked by either side (which cannot
+// happen for updates the protocol actually sends, since senders share a
+// register with recipients).
+func (s *Space) Deliverable(i sharegraph.ReplicaID, τ Vec, k sharegraph.ReplicaID, T Vec) bool {
+	plan := &s.plans[i][k]
+	if !plan.valid {
+		return false
+	}
+	if τ[plan.ekiRecv] != T[plan.ekiSend]-1 {
+		return false
+	}
+	for _, p := range plan.incoming {
+		if τ[p.a] < T[p.b] {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodedSize returns the number of bytes Encode will produce for v.
+func EncodedSize(v Vec) int {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(v)))
+	for _, x := range v {
+		n += binary.PutUvarint(buf[:], x)
+	}
+	return n
+}
+
+// Encode serializes v with varint encoding (length-prefixed). The wire
+// format is what the metadata-size experiments measure.
+func Encode(v Vec) []byte {
+	out := make([]byte, 0, 2+len(v))
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(v)))
+	out = append(out, buf[:n]...)
+	for _, x := range v {
+		n = binary.PutUvarint(buf[:], x)
+		out = append(out, buf[:n]...)
+	}
+	return out
+}
+
+// Decode parses a vector produced by Encode.
+func Decode(data []byte) (Vec, error) {
+	ln, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("timestamp: corrupt length prefix")
+	}
+	if ln > uint64(len(data)) { // cheap sanity bound: ≥1 byte per element
+		return nil, fmt.Errorf("timestamp: implausible length %d for %d bytes", ln, len(data))
+	}
+	data = data[n:]
+	out := make(Vec, ln)
+	for i := range out {
+		x, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("timestamp: corrupt element %d", i)
+		}
+		out[i] = x
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("timestamp: %d trailing bytes", len(data))
+	}
+	return out, nil
+}

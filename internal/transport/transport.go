@@ -1,0 +1,126 @@
+// Package transport provides the simulated asynchronous network of the
+// paper's system model (Section 2): reliable, point-to-point, and —
+// crucially for the lower-bound arguments — NOT FIFO. In-flight messages
+// live in a Pool; a Scheduler decides which one is delivered next, letting
+// tests explore seeded-random and adversarial reorderings reproducibly.
+package transport
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Pool is the multiset of in-flight messages. The zero value is ready to
+// use. Pool is not safe for concurrent use; the deterministic runner owns
+// it single-threaded.
+type Pool struct {
+	msgs []core.Envelope
+}
+
+// Add inserts messages into the pool.
+func (p *Pool) Add(envs ...core.Envelope) {
+	p.msgs = append(p.msgs, envs...)
+}
+
+// Len returns the number of in-flight messages.
+func (p *Pool) Len() int { return len(p.msgs) }
+
+// Peek returns the message at index idx without removing it.
+func (p *Pool) Peek(idx int) core.Envelope { return p.msgs[idx] }
+
+// Take removes and returns the message at index idx. Removal preserves
+// the relative order of the remaining messages, so FIFO scheduling over
+// the pool really is per-arrival FIFO.
+func (p *Pool) Take(idx int) core.Envelope {
+	m := p.msgs[idx]
+	p.msgs = append(p.msgs[:idx], p.msgs[idx+1:]...)
+	return m
+}
+
+// Scheduler picks which of n pending choices happens next. Implementations
+// must be deterministic given their construction parameters.
+type Scheduler interface {
+	// Pick returns an index in [0, n). n ≥ 1.
+	Pick(n int) int
+	// Name identifies the schedule in experiment output.
+	Name() string
+}
+
+// RandomScheduler delivers uniformly at random from a seeded PRNG —
+// the workhorse reordering adversary.
+type RandomScheduler struct {
+	rng *rand.Rand
+}
+
+var _ Scheduler = (*RandomScheduler)(nil)
+
+// NewRandom builds a seeded random scheduler.
+func NewRandom(seed int64) *RandomScheduler {
+	return &RandomScheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Scheduler.
+func (s *RandomScheduler) Pick(n int) int { return s.rng.Intn(n) }
+
+// Name implements Scheduler.
+func (s *RandomScheduler) Name() string { return "random" }
+
+// FIFOScheduler always delivers the oldest choice — the most benign
+// schedule (per-channel FIFO and op order preserved).
+type FIFOScheduler struct{}
+
+var _ Scheduler = FIFOScheduler{}
+
+// Pick implements Scheduler.
+func (FIFOScheduler) Pick(int) int { return 0 }
+
+// Name implements Scheduler.
+func (FIFOScheduler) Name() string { return "fifo" }
+
+// ScriptedScheduler replays a fixed pick sequence, then falls back to
+// FIFO. Picks out of range are clamped to the newest choice. It drives the
+// precisely staged executions of the Theorem 8 necessity experiments.
+type ScriptedScheduler struct {
+	picks []int
+	pos   int
+}
+
+var _ Scheduler = (*ScriptedScheduler)(nil)
+
+// NewScripted builds a scheduler replaying picks.
+func NewScripted(picks ...int) *ScriptedScheduler {
+	return &ScriptedScheduler{picks: picks}
+}
+
+// Pick implements Scheduler.
+func (s *ScriptedScheduler) Pick(n int) int {
+	if s.pos >= len(s.picks) {
+		return 0
+	}
+	p := s.picks[s.pos]
+	s.pos++
+	if p >= n {
+		p = n - 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Name implements Scheduler.
+func (s *ScriptedScheduler) Name() string { return "scripted" }
+
+// LIFOScheduler always delivers the newest choice, maximally reversing
+// per-channel order — the adversary used by the Theorem 8 necessity
+// executions, which rely on a later message overtaking an earlier one.
+type LIFOScheduler struct{}
+
+var _ Scheduler = LIFOScheduler{}
+
+// Pick implements Scheduler.
+func (LIFOScheduler) Pick(n int) int { return n - 1 }
+
+// Name implements Scheduler.
+func (LIFOScheduler) Name() string { return "lifo" }

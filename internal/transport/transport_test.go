@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPoolOrderPreserved(t *testing.T) {
+	var p Pool
+	p.Add(core.Envelope{Val: 1}, core.Envelope{Val: 2}, core.Envelope{Val: 3})
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if got := p.Take(1); got.Val != 2 {
+		t.Errorf("Take(1) = %v, want Val 2", got.Val)
+	}
+	// Remaining order must be 1, 3.
+	if p.Peek(0).Val != 1 || p.Peek(1).Val != 3 {
+		t.Errorf("order broken: %v %v", p.Peek(0).Val, p.Peek(1).Val)
+	}
+}
+
+func TestSchedulers(t *testing.T) {
+	if (FIFOScheduler{}).Pick(5) != 0 {
+		t.Error("FIFO should pick 0")
+	}
+	if (LIFOScheduler{}).Pick(5) != 4 {
+		t.Error("LIFO should pick n-1")
+	}
+	r1, r2 := NewRandom(7), NewRandom(7)
+	for i := 0; i < 100; i++ {
+		if r1.Pick(10) != r2.Pick(10) {
+			t.Fatal("random scheduler not deterministic per seed")
+		}
+	}
+	for _, s := range []Scheduler{FIFOScheduler{}, LIFOScheduler{}, NewRandom(1), NewScripted(1)} {
+		if s.Name() == "" {
+			t.Error("empty scheduler name")
+		}
+		if got := s.Pick(1); got != 0 {
+			t.Errorf("%s: Pick(1) = %d, want 0", s.Name(), got)
+		}
+	}
+}
+
+func TestScriptedScheduler(t *testing.T) {
+	s := NewScripted(2, 99, -1)
+	if got := s.Pick(5); got != 2 {
+		t.Errorf("pick 1 = %d, want 2", got)
+	}
+	if got := s.Pick(3); got != 2 { // 99 clamped to n-1
+		t.Errorf("pick 2 = %d, want 2", got)
+	}
+	if got := s.Pick(3); got != 0 { // -1 clamped to 0
+		t.Errorf("pick 3 = %d, want 0", got)
+	}
+	if got := s.Pick(9); got != 0 { // exhausted → FIFO fallback
+		t.Errorf("pick 4 = %d, want 0", got)
+	}
+}

@@ -1,0 +1,122 @@
+// Package workload generates deterministic client operation scripts for
+// the simulation experiments. The paper places no constraints on client
+// behaviour, so workloads are the experiments' independent variable:
+// uniform writes, hotspot (skewed) writes, and read/write mixes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sharegraph"
+)
+
+// Op is one client operation, performed at a specific replica (the
+// peer-to-peer model: each peer's client talks to its local replica).
+type Op struct {
+	Replica sharegraph.ReplicaID
+	Reg     sharegraph.Register
+	IsRead  bool
+}
+
+// Script is an ordered list of per-replica operations. Operations of
+// different replicas may interleave arbitrarily at run time; the script
+// order is each replica's program order.
+type Script []Op
+
+// Writes returns the number of write operations in the script.
+func (s Script) Writes() int {
+	n := 0
+	for _, op := range s {
+		if !op.IsRead {
+			n++
+		}
+	}
+	return n
+}
+
+// Options configures generation.
+type Options struct {
+	// Ops is the total number of operations to generate.
+	Ops int
+	// ReadFraction in [0,1] is the probability an operation is a read.
+	ReadFraction float64
+	// HotspotAlpha in [0,1) skews register choice within a replica: with
+	// probability HotspotAlpha the replica's first register is chosen.
+	// 0 means uniform.
+	HotspotAlpha float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generate produces a script where each operation picks a replica
+// uniformly and a register the replica stores (registers a replica does
+// not store cannot be addressed in the peer-to-peer model).
+func Generate(g *sharegraph.Graph, opts Options) (Script, error) {
+	if opts.Ops < 0 {
+		return nil, fmt.Errorf("workload: negative op count %d", opts.Ops)
+	}
+	if opts.ReadFraction < 0 || opts.ReadFraction > 1 {
+		return nil, fmt.Errorf("workload: read fraction %v out of [0,1]", opts.ReadFraction)
+	}
+	if opts.HotspotAlpha < 0 || opts.HotspotAlpha >= 1 {
+		return nil, fmt.Errorf("workload: hotspot alpha %v out of [0,1)", opts.HotspotAlpha)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := g.NumReplicas()
+	regs := make([][]sharegraph.Register, n)
+	for i := 0; i < n; i++ {
+		regs[i] = g.Stores(sharegraph.ReplicaID(i)).Sorted()
+	}
+	out := make(Script, 0, opts.Ops)
+	for len(out) < opts.Ops {
+		r := rng.Intn(n)
+		if len(regs[r]) == 0 {
+			continue
+		}
+		var reg sharegraph.Register
+		if opts.HotspotAlpha > 0 && rng.Float64() < opts.HotspotAlpha {
+			reg = regs[r][0]
+		} else {
+			reg = regs[r][rng.Intn(len(regs[r]))]
+		}
+		out = append(out, Op{
+			Replica: sharegraph.ReplicaID(r),
+			Reg:     reg,
+			IsRead:  rng.Float64() < opts.ReadFraction,
+		})
+	}
+	return out, nil
+}
+
+// Uniform is Generate with all writes, uniform register choice.
+func Uniform(g *sharegraph.Graph, ops int, seed int64) Script {
+	s, err := Generate(g, Options{Ops: ops, Seed: seed})
+	if err != nil {
+		panic(err) // impossible: options are valid by construction
+	}
+	return s
+}
+
+// SharedOnly generates writes restricted to registers stored on at least
+// two replicas, maximizing inter-replica traffic.
+func SharedOnly(g *sharegraph.Graph, ops int, seed int64) Script {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumReplicas()
+	var choices []Op
+	for i := 0; i < n; i++ {
+		for _, reg := range g.Stores(sharegraph.ReplicaID(i)).Sorted() {
+			if len(g.Holders(reg)) >= 2 {
+				choices = append(choices, Op{Replica: sharegraph.ReplicaID(i), Reg: reg})
+			}
+		}
+	}
+	if len(choices) == 0 {
+		return nil
+	}
+	out := make(Script, ops)
+	for i := range out {
+		out[i] = choices[rng.Intn(len(choices))]
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sharegraph"
+)
+
+func TestGenerateTargetsStoredRegisters(t *testing.T) {
+	g := sharegraph.Fig5Example()
+	s, err := Generate(g, Options{Ops: 500, ReadFraction: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 500 {
+		t.Fatalf("len = %d, want 500", len(s))
+	}
+	reads := 0
+	for _, op := range s {
+		if !g.StoresRegister(op.Replica, op.Reg) {
+			t.Fatalf("op targets unstored register: %+v", op)
+		}
+		if op.IsRead {
+			reads++
+		}
+	}
+	if reads == 0 || reads == 500 {
+		t.Errorf("reads = %d, expected a mix", reads)
+	}
+	if s.Writes() != 500-reads {
+		t.Errorf("Writes() = %d, want %d", s.Writes(), 500-reads)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := sharegraph.Ring(5)
+	a, _ := Generate(g, Options{Ops: 100, Seed: 9})
+	b, _ := Generate(g, Options{Ops: 100, Seed: 9})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scripts diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	if _, err := Generate(g, Options{Ops: -1}); err == nil {
+		t.Error("negative ops accepted")
+	}
+	if _, err := Generate(g, Options{Ops: 1, ReadFraction: 1.5}); err == nil {
+		t.Error("bad read fraction accepted")
+	}
+	if _, err := Generate(g, Options{Ops: 1, HotspotAlpha: 1.0}); err == nil {
+		t.Error("bad hotspot alpha accepted")
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	g := sharegraph.Ring(4)
+	s, err := Generate(g, Options{Ops: 2000, HotspotAlpha: 0.9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With alpha 0.9, each replica's lexicographically-first register must
+	// dominate its op mix.
+	first := make(map[sharegraph.ReplicaID]sharegraph.Register)
+	for i := 0; i < g.NumReplicas(); i++ {
+		first[sharegraph.ReplicaID(i)] = g.Stores(sharegraph.ReplicaID(i)).Sorted()[0]
+	}
+	hot, total := 0, 0
+	for _, op := range s {
+		total++
+		if op.Reg == first[op.Replica] {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(total); frac < 0.8 {
+		t.Errorf("hotspot fraction = %v, want > 0.8", frac)
+	}
+}
+
+func TestSharedOnly(t *testing.T) {
+	g := sharegraph.Ring(4) // priv registers are single-holder
+	s := SharedOnly(g, 300, 5)
+	if len(s) != 300 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, op := range s {
+		if len(g.Holders(op.Reg)) < 2 {
+			t.Fatalf("SharedOnly picked single-holder register %q", op.Reg)
+		}
+		if op.IsRead {
+			t.Fatal("SharedOnly generated a read")
+		}
+	}
+	// A graph with no shared registers yields an empty script.
+	iso, err := sharegraph.New([][]sharegraph.Register{{"a"}, {"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SharedOnly(iso, 10, 1); got != nil {
+		t.Errorf("expected nil script, got %v", got)
+	}
+}
+
+func TestUniformProperty(t *testing.T) {
+	g := sharegraph.Grid(2, 2)
+	prop := func(seed int64) bool {
+		s := Uniform(g, 50, seed)
+		if len(s) != 50 {
+			return false
+		}
+		for _, op := range s {
+			if op.IsRead || !g.StoresRegister(op.Replica, op.Reg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package prcc is a partially replicated causally consistent shared
+// memory, implementing the algorithm and analyses of Xiang & Vaidya,
+// "Partially Replicated Causally Consistent Shared Memory: Lower Bounds
+// and An Algorithm" (PODC 2019).
+//
+// A System is defined by a register placement: which replica stores which
+// shared read/write registers. From the placement the library derives the
+// share graph (Definition 3), each replica's timestamp graph (the exact
+// set of edge counters Theorem 8 proves necessary and Theorem 24 proves
+// sufficient), and runs the Section 3.3 edge-indexed protocol over either
+// a live goroutine-per-replica cluster or a deterministic simulator.
+//
+// Quick start:
+//
+//	sys, err := prcc.New([][]prcc.Register{
+//	    {"x"}, {"x", "y"}, {"y", "z"}, {"z"},
+//	})
+//	cluster, err := sys.Cluster()
+//	cluster.Write(1, "y", 42)
+//	cluster.Sync()
+//	v, ok := cluster.Read(2, "y") // 42, true — causally consistent
+//	err = cluster.Check()          // audit with the happened-before oracle
+//	cluster.Close()
+//
+// Beyond the protocol itself the package exposes the paper's analyses:
+// metadata sizing and compression (Section 5), conflict-graph lower bounds
+// on timestamp size (Section 4), baseline protocols for comparison, the
+// client-server architecture (Appendix E), and the Appendix D
+// optimizations (dummy registers, ring breaking, loop truncation).
+package prcc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/optimize"
+	"repro/internal/sharegraph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// Register names a shared read/write register.
+type Register = sharegraph.Register
+
+// ReplicaID identifies a replica (0-based).
+type ReplicaID = sharegraph.ReplicaID
+
+// Value is the content of a register write.
+type Value = core.Value
+
+// Violation is a detected causal-consistency violation.
+type Violation = causality.Violation
+
+// System is a partially replicated shared-memory configuration: the
+// placement, its derived share and timestamp graphs, and the edge-indexed
+// protocol instance. Systems are immutable and safe to share.
+type System struct {
+	graph    *sharegraph.Graph
+	tsgraphs []*sharegraph.TSGraph
+	protocol *core.EdgeIndexed
+}
+
+// New builds a System from a register placement: stores[i] lists the
+// registers replicated at replica i.
+func New(stores [][]Register) (*System, error) {
+	g, err := sharegraph.New(stores)
+	if err != nil {
+		return nil, fmt.Errorf("prcc: %w", err)
+	}
+	graphs := sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{})
+	p, err := core.NewEdgeIndexedWithGraphs(g, graphs, "edge-indexed")
+	if err != nil {
+		return nil, fmt.Errorf("prcc: %w", err)
+	}
+	return &System{graph: g, tsgraphs: graphs, protocol: p}, nil
+}
+
+// NumReplicas returns the number of replicas.
+func (s *System) NumReplicas() int { return s.graph.NumReplicas() }
+
+// Registers lists every register in the system, sorted.
+func (s *System) Registers() []Register { return s.graph.Registers() }
+
+// Stores reports whether replica i stores register x.
+func (s *System) Stores(i ReplicaID, x Register) bool {
+	return s.graph.StoresRegister(i, x)
+}
+
+// Holders returns the replicas storing register x.
+func (s *System) Holders(x Register) []ReplicaID { return s.graph.Holders(x) }
+
+// MetadataEntries returns |E_i| — the number of integer counters in
+// replica i's timestamp, the quantity the paper's lower bounds govern.
+func (s *System) MetadataEntries(i ReplicaID) int { return s.tsgraphs[i].Len() }
+
+// TrackedEdges renders replica i's timestamp-graph edges (Definition 5) in
+// e(j->k) notation.
+func (s *System) TrackedEdges(i ReplicaID) []string {
+	edges := s.tsgraphs[i].Edges()
+	out := make([]string, len(edges))
+	for p, e := range edges {
+		out[p] = e.String()
+	}
+	return out
+}
+
+// ShareGraph renders the placement and share graph for inspection.
+func (s *System) ShareGraph() string { return s.graph.String() }
+
+// Cluster starts a live goroutine-per-replica cluster running the
+// edge-indexed protocol, audited by the happened-before oracle.
+func (s *System) Cluster() (*Cluster, error) {
+	c, err := sim.NewCluster(s.graph, s.protocol)
+	if err != nil {
+		return nil, fmt.Errorf("prcc: %w", err)
+	}
+	return &Cluster{inner: c}, nil
+}
+
+// Cluster is a running shared-memory deployment.
+type Cluster struct {
+	inner *sim.Cluster
+}
+
+// Write performs a client write at replica r. It fails if r does not
+// store x.
+func (c *Cluster) Write(r ReplicaID, x Register, v Value) error {
+	return c.inner.Write(r, x, v)
+}
+
+// Read returns replica r's local copy of x (reads never block; this is
+// the causal-consistency read of the replica prototype).
+func (c *Cluster) Read(r ReplicaID, x Register) (Value, bool) {
+	return c.inner.Read(r, x)
+}
+
+// Sync blocks until all in-flight updates have been delivered and applied.
+func (c *Cluster) Sync() { c.inner.Quiesce() }
+
+// Check audits the execution so far against replica-centric causal
+// consistency (Definition 2) using the ground-truth happened-before
+// oracle; it returns an error describing the first violation, if any.
+// Call Sync first to include liveness at quiescence.
+func (c *Cluster) Check() error {
+	vs := c.inner.Tracker().Violations()
+	if len(vs) == 0 {
+		return nil
+	}
+	msgs := make([]string, 0, len(vs))
+	for _, v := range vs {
+		msgs = append(msgs, v.String())
+	}
+	return fmt.Errorf("prcc: %d violations: %s", len(vs), strings.Join(msgs, "; "))
+}
+
+// Stats reports transport-level counters.
+func (c *Cluster) Stats() (messages int64, metaBytes int64) {
+	return c.inner.MessagesSent(), c.inner.MetaBytes()
+}
+
+// Close shuts the cluster down after draining in-flight deliveries.
+func (c *Cluster) Close() { c.inner.Close() }
+
+// ProtocolKind selects a protocol for Simulate.
+type ProtocolKind int
+
+// Protocols available to Simulate.
+const (
+	// EdgeIndexedProtocol is the paper's Section 3.3 algorithm.
+	EdgeIndexedProtocol ProtocolKind = iota + 1
+	// MatrixProtocol is the R×R matrix-clock baseline (safe, quadratic).
+	MatrixProtocol
+	// BroadcastProtocol is the dummy-register full-replication emulation.
+	BroadcastProtocol
+	// NaiveVectorProtocol is the classic length-R vector baseline
+	// (safe but not live under partial replication).
+	NaiveVectorProtocol
+	// FIFOOnlyProtocol is the per-channel sequencing baseline
+	// (violates causal safety).
+	FIFOOnlyProtocol
+)
+
+func (k ProtocolKind) String() string {
+	switch k {
+	case EdgeIndexedProtocol:
+		return "edge-indexed"
+	case MatrixProtocol:
+		return "matrix"
+	case BroadcastProtocol:
+		return "dummy-broadcast"
+	case NaiveVectorProtocol:
+		return "naive-vector"
+	case FIFOOnlyProtocol:
+		return "fifo-only"
+	default:
+		return fmt.Sprintf("ProtocolKind(%d)", int(k))
+	}
+}
+
+// SimOptions configures a deterministic simulation.
+type SimOptions struct {
+	// Protocol defaults to EdgeIndexedProtocol.
+	Protocol ProtocolKind
+	// Ops is the number of client operations (default 200).
+	Ops int
+	// ReadFraction in [0,1] (default 0).
+	ReadFraction float64
+	// Seed drives workload and schedule (default 1).
+	Seed int64
+	// Adversarial uses LIFO (maximally reordering) delivery instead of
+	// seeded-random.
+	Adversarial bool
+	// TrackFalseDeps enables false-dependency accounting (slower).
+	TrackFalseDeps bool
+}
+
+// SimReport is the outcome of a deterministic simulation.
+type SimReport struct {
+	Protocol         string
+	Writes           int
+	Applies          int
+	Messages         int
+	MetaOnlyMessages int
+	MetaBytes        int
+	AvgMetaBytes     float64
+	FalseDeps        int
+	StuckUpdates     int
+	Violations       []Violation
+	EntriesPerNode   []int
+}
+
+// Ok reports a clean run.
+func (r SimReport) Ok() bool { return len(r.Violations) == 0 && r.StuckUpdates == 0 }
+
+// Simulate runs a seeded workload under a deterministic scheduler and
+// returns measurements plus the oracle's verdicts.
+func (s *System) Simulate(opts SimOptions) (SimReport, error) {
+	var p core.Protocol
+	switch opts.Protocol {
+	case EdgeIndexedProtocol, 0:
+		p = s.protocol
+	case MatrixProtocol:
+		p = baseline.NewMatrix(s.graph)
+	case BroadcastProtocol:
+		p = baseline.NewBroadcast(s.graph)
+	case NaiveVectorProtocol:
+		p = baseline.NewNaiveVector(s.graph)
+	case FIFOOnlyProtocol:
+		p = baseline.NewFIFOOnly(s.graph)
+	default:
+		return SimReport{}, fmt.Errorf("prcc: unknown protocol %v", opts.Protocol)
+	}
+	ops := opts.Ops
+	if ops == 0 {
+		ops = 200
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	script, err := workload.Generate(s.graph, workload.Options{
+		Ops: ops, ReadFraction: opts.ReadFraction, Seed: seed,
+	})
+	if err != nil {
+		return SimReport{}, fmt.Errorf("prcc: %w", err)
+	}
+	var sched transport.Scheduler = transport.NewRandom(seed)
+	if opts.Adversarial {
+		sched = transport.LIFOScheduler{}
+	}
+	res, err := sim.Run(sim.Config{
+		Graph: s.graph, Protocol: p, Script: script,
+		Sched: sched, TrackFalseDeps: opts.TrackFalseDeps,
+	})
+	if err != nil {
+		return SimReport{}, fmt.Errorf("prcc: %w", err)
+	}
+	return SimReport{
+		Protocol:         res.Protocol,
+		Writes:           res.Writes,
+		Applies:          res.Applies,
+		Messages:         res.MessagesSent,
+		MetaOnlyMessages: res.MetaOnlyMessages,
+		MetaBytes:        res.MetaBytes,
+		AvgMetaBytes:     res.AvgMetaBytes(),
+		FalseDeps:        res.FalseDepUpdates,
+		StuckUpdates:     res.StuckPending,
+		Violations:       res.Violations,
+		EntriesPerNode:   res.MetadataEntriesPerReplica,
+	}, nil
+}
+
+// CompressionReport describes Section 5 timestamp compression for one
+// replica.
+type CompressionReport struct {
+	Replica    ReplicaID
+	Entries    int
+	Compressed int
+}
+
+// Compression analyzes timestamp compression for every replica.
+func (s *System) Compression() []CompressionReport {
+	reports := optimize.AnalyzeAll(s.graph, s.tsgraphs)
+	out := make([]CompressionReport, len(reports))
+	for i, r := range reports {
+		out[i] = CompressionReport{Replica: r.Replica, Entries: r.Entries, Compressed: r.Compressed}
+	}
+	return out
+}
+
+// LowerBound computes the Section 4 conflict-clique lower bound on the
+// timestamp space of replica i when each replica issues up to m updates:
+// σ_i(m) ≥ m^Exponent. Tight reports whether the algorithm's timestamp
+// dimension matches.
+type LowerBound struct {
+	Exponent int
+	Bits     float64
+	Tight    bool
+	Verified bool
+}
+
+// LowerBound computes the bound for replica i with per-edge update budget m.
+func (s *System) LowerBound(i ReplicaID, m int) LowerBound {
+	b := lowerbound.ComputeBound(s.graph, i, m)
+	return LowerBound{Exponent: b.Exponent, Bits: b.Bits(), Tight: b.Tight(), Verified: b.Verified}
+}

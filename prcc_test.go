@@ -1,0 +1,182 @@
+package prcc
+
+import (
+	"strings"
+	"testing"
+)
+
+func fig3System(t testing.TB) *System {
+	t.Helper()
+	sys, err := New([][]Register{{"x"}, {"x", "y"}, {"y", "z"}, {"z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := fig3System(t)
+	if sys.NumReplicas() != 4 {
+		t.Fatalf("NumReplicas = %d", sys.NumReplicas())
+	}
+	if !sys.Stores(1, "y") || sys.Stores(0, "y") {
+		t.Error("Stores wrong")
+	}
+	if hs := sys.Holders("y"); len(hs) != 2 || hs[0] != 1 || hs[1] != 2 {
+		t.Errorf("Holders(y) = %v", hs)
+	}
+	if len(sys.Registers()) != 3 {
+		t.Errorf("Registers = %v", sys.Registers())
+	}
+	if sys.MetadataEntries(1) != 4 { // path graph: 2 neighbours × 2 directions
+		t.Errorf("MetadataEntries(1) = %d, want 4", sys.MetadataEntries(1))
+	}
+	if edges := sys.TrackedEdges(0); len(edges) != 2 {
+		t.Errorf("TrackedEdges(0) = %v", edges)
+	}
+	if !strings.Contains(sys.ShareGraph(), "share graph") {
+		t.Error("ShareGraph render empty")
+	}
+
+	cluster, err := sys.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Write(1, "y", 42); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Sync()
+	if v, ok := cluster.Read(2, "y"); !ok || v != 42 {
+		t.Errorf("Read(2,y) = (%d,%v), want (42,true)", v, ok)
+	}
+	if err := cluster.Check(); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	msgs, bytes := cluster.Stats()
+	if msgs == 0 || bytes == 0 {
+		t.Errorf("Stats = (%d,%d)", msgs, bytes)
+	}
+	if err := cluster.Write(0, "zzz", 1); err == nil {
+		t.Error("write to unstored register accepted")
+	}
+}
+
+func TestSimulateProtocols(t *testing.T) {
+	sys := fig3System(t)
+	for _, kind := range []ProtocolKind{EdgeIndexedProtocol, MatrixProtocol, BroadcastProtocol} {
+		rep, err := sys.Simulate(SimOptions{Protocol: kind, Ops: 100, Seed: 3, TrackFalseDeps: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Errorf("%v: violations %v", kind, rep.Violations)
+		}
+		if rep.Writes == 0 || rep.Messages == 0 {
+			t.Errorf("%v: empty run %+v", kind, rep)
+		}
+		if rep.AvgMetaBytes <= 0 {
+			t.Errorf("%v: AvgMetaBytes = %v", kind, rep.AvgMetaBytes)
+		}
+	}
+	// The unsafe/non-live baselines must be runnable too (their failures
+	// are the experiment).
+	if _, err := sys.Simulate(SimOptions{Protocol: NaiveVectorProtocol, Ops: 50}); err != nil {
+		t.Error(err)
+	}
+	if _, err := sys.Simulate(SimOptions{Protocol: FIFOOnlyProtocol, Ops: 50, Adversarial: true}); err != nil {
+		t.Error(err)
+	}
+	if _, err := sys.Simulate(SimOptions{Protocol: ProtocolKind(99)}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	for _, k := range []ProtocolKind{EdgeIndexedProtocol, MatrixProtocol, BroadcastProtocol, NaiveVectorProtocol, FIFOOnlyProtocol, ProtocolKind(99)} {
+		if k.String() == "" {
+			t.Error("empty protocol name")
+		}
+	}
+}
+
+func TestCompressionAndLowerBound(t *testing.T) {
+	sys := fig3System(t)
+	for _, rep := range sys.Compression() {
+		if rep.Compressed > rep.Entries {
+			t.Errorf("replica %d: compressed %d > entries %d", rep.Replica, rep.Compressed, rep.Entries)
+		}
+	}
+	lb := sys.LowerBound(1, 2)
+	if !lb.Verified || !lb.Tight {
+		t.Errorf("LowerBound(1,2) = %+v; path graphs are tight", lb)
+	}
+	if lb.Exponent != 4 || lb.Bits != 4 {
+		t.Errorf("LowerBound(1,2) = %+v, want exponent 4", lb)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("New(nil) accepted")
+	}
+}
+
+func TestClientServerFacade(t *testing.T) {
+	cs, err := NewClientServer(
+		[][]Register{{"a", "c"}, {"a"}, {"b"}, {"b", "c"}},
+		[][]ReplicaID{{1, 2}, {3, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.ServerEntries(0) == 0 || cs.ClientEntries(0) == 0 {
+		t.Error("empty timestamp dimensions")
+	}
+	rep, err := cs.Simulate([][]ClientOp{
+		{{Reg: "a"}, {Reg: "b"}},
+		{{Reg: "c"}, {Reg: "c", IsRead: true}},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Errorf("client-server run not clean: %+v", rep)
+	}
+	if rep.Requests != 4 || rep.Responses != 4 {
+		t.Errorf("requests/responses = %d/%d", rep.Requests, rep.Responses)
+	}
+	if _, err := NewClientServer(nil, nil); err == nil {
+		t.Error("empty stores accepted")
+	}
+	if _, err := NewClientServer([][]Register{{"a"}}, [][]ReplicaID{{9}}); err == nil {
+		t.Error("invalid client assignment accepted")
+	}
+}
+
+func TestLiveClientServerFacade(t *testing.T) {
+	cs, err := NewClientServer(
+		[][]Register{{"a", "c"}, {"a"}, {"b"}, {"b", "c"}},
+		[][]ReplicaID{{1, 2}, {3, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := cs.Live()
+	defer live.Close()
+	alice := live.Client(0)
+	bob := live.Client(1)
+	if err := alice.Write("a", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Write("b", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Write("c", 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := bob.Read("c"); err != nil || v != 9 {
+		t.Fatalf("Read(c) = (%d, %v), want 9", v, err)
+	}
+	live.Sync()
+	if err := live.Check(); err != nil {
+		t.Error(err)
+	}
+}
