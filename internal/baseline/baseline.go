@@ -32,14 +32,26 @@ import (
 )
 
 // decodeMeta decodes envelope metadata, logging (not crashing) on harness
-// bugs, mirroring the core protocol's behaviour.
-func decodeMeta(proto string, self sharegraph.ReplicaID, env core.Envelope) (timestamp.Vec, bool) {
-	v, err := timestamp.Decode(env.Meta)
+// bugs, mirroring the core protocol's behaviour. free is the caller's
+// freelist of vectors recycled by earlier applies.
+func decodeMeta(proto string, self sharegraph.ReplicaID, env core.Envelope, free *[]timestamp.Vec) (timestamp.Vec, bool) {
+	v, err := timestamp.DecodeReuse(free, env.Meta)
 	if err != nil {
 		log.Printf("%s: replica %d dropping corrupt metadata from %d: %v", proto, self, env.From, err)
 		return nil, false
 	}
 	return v, true
+}
+
+// validSender reports whether the envelope's sender indexes the replica
+// set; both engines index per-sender state by it, so an out-of-range
+// sender is harness corruption that must be dropped, not dereferenced.
+func validSender(proto string, self sharegraph.ReplicaID, env core.Envelope, n int) bool {
+	if int(env.From) >= 0 && int(env.From) < n {
+		return true
+	}
+	log.Printf("%s: replica %d dropping update from invalid sender %d", proto, self, env.From)
+	return false
 }
 
 // ---------------------------------------------------------------------------
@@ -52,6 +64,8 @@ func decodeMeta(proto string, self sharegraph.ReplicaID, env core.Envelope) (tim
 // catches.
 type FIFOOnly struct {
 	g *sharegraph.Graph
+	// naive selects the reference full-buffer rescan (differential tests).
+	naive bool
 }
 
 var _ core.Protocol = (*FIFOOnly)(nil)
@@ -59,20 +73,30 @@ var _ core.Protocol = (*FIFOOnly)(nil)
 // NewFIFOOnly builds the protocol.
 func NewFIFOOnly(g *sharegraph.Graph) *FIFOOnly { return &FIFOOnly{g: g} }
 
+// NewFIFOOnlyRescan builds the protocol with the reference full-buffer
+// rescan engine, for differential tests against the indexed engine.
+func NewFIFOOnlyRescan(g *sharegraph.Graph) *FIFOOnly { return &FIFOOnly{g: g, naive: true} }
+
 // Name implements core.Protocol.
 func (p *FIFOOnly) Name() string { return "fifo-only" }
 
 // NewNodes implements core.Protocol.
 func (p *FIFOOnly) NewNodes() ([]core.Node, error) {
-	nodes := make([]core.Node, p.g.NumReplicas())
+	n := p.g.NumReplicas()
+	nodes := make([]core.Node, n)
 	for i := range nodes {
-		nodes[i] = &fifoNode{
+		fn := &fifoNode{
 			id:     sharegraph.ReplicaID(i),
 			g:      p.g,
-			sentTo: make(map[sharegraph.ReplicaID]uint64),
-			recvd:  make(map[sharegraph.ReplicaID]uint64),
+			naive:  p.naive,
+			sentTo: make([]uint64, n),
+			recvd:  make([]uint64, n),
 			store:  make(map[sharegraph.Register]core.Value),
 		}
+		if !p.naive {
+			fn.queues = make([]map[uint64]core.Envelope, n)
+		}
+		nodes[i] = fn
 	}
 	return nodes, nil
 }
@@ -82,13 +106,25 @@ type fifoPending struct {
 	seq uint64
 }
 
+// fifoNode delivers per sender in sequence order. Its predicate involves
+// only the sender's own counter, so the indexed engine is a pure chain:
+// file each update under its sequence number and, whenever the head
+// matches recvd+1, pop consecutive entries.
 type fifoNode struct {
-	id      sharegraph.ReplicaID
-	g       *sharegraph.Graph
-	sentTo  map[sharegraph.ReplicaID]uint64
-	recvd   map[sharegraph.ReplicaID]uint64
-	store   map[sharegraph.Register]core.Value
-	pending []fifoPending
+	id     sharegraph.ReplicaID
+	g      *sharegraph.Graph
+	sentTo []uint64
+	recvd  []uint64
+	store  map[sharegraph.Register]core.Value
+
+	naive   bool
+	pending []fifoPending // reference engine
+
+	queues   []map[uint64]core.Envelope // indexed engine: seq-keyed per sender
+	dead     []fifoPending
+	pendingN int
+	applyBuf []core.Applied
+	vecFree  []timestamp.Vec
 }
 
 var _ core.Node = (*fifoNode)(nil)
@@ -113,11 +149,56 @@ func (n *fifoNode) HandleWrite(x sharegraph.Register, v core.Value, id causality
 }
 
 func (n *fifoNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
-	meta, ok := decodeMeta("fifo-only", n.id, env)
-	if !ok || len(meta) != 1 {
+	meta, ok := decodeMeta("fifo-only", n.id, env, &n.vecFree)
+	if !ok || len(meta) != 1 || !validSender("fifo-only", n.id, env, len(n.recvd)) {
 		return nil, nil
 	}
-	n.pending = append(n.pending, fifoPending{env: env, seq: meta[0]})
+	seq := meta[0]
+	// The sequence number is all the metadata carries; recycle the vector
+	// immediately (fifoPending keeps only the envelope and seq).
+	n.vecFree = append(n.vecFree, meta)
+	if n.naive {
+		return n.drainNaive(fifoPending{env: env, seq: seq}), nil
+	}
+	from := env.From
+	if seq <= n.recvd[from] {
+		n.dead = append(n.dead, fifoPending{env: env, seq: seq})
+		n.pendingN++
+		return nil, nil
+	}
+	if _, dup := n.queues[from][seq]; dup {
+		n.dead = append(n.dead, fifoPending{env: env, seq: seq})
+		n.pendingN++
+		return nil, nil
+	}
+	if n.queues[from] == nil {
+		n.queues[from] = make(map[uint64]core.Envelope)
+	}
+	n.queues[from][seq] = env
+	n.pendingN++
+	if seq != n.recvd[from]+1 {
+		return nil, nil
+	}
+	out := n.applyBuf[:0]
+	for {
+		e, ok := n.queues[from][n.recvd[from]+1]
+		if !ok {
+			break
+		}
+		delete(n.queues[from], n.recvd[from]+1)
+		n.pendingN--
+		n.recvd[from]++
+		n.store[e.Reg] = e.Val
+		out = append(out, core.Applied{
+			OracleID: e.OracleID, From: e.From, Reg: e.Reg, Val: e.Val,
+		})
+	}
+	n.applyBuf = out
+	return out, nil
+}
+
+func (n *fifoNode) drainNaive(u fifoPending) []core.Applied {
+	n.pending = append(n.pending, u)
 	var out []core.Applied
 	for {
 		progress := false
@@ -136,7 +217,7 @@ func (n *fifoNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Enve
 			idx--
 		}
 		if !progress {
-			return out, nil
+			return out
 		}
 	}
 }
@@ -148,12 +229,29 @@ func (n *fifoNode) Read(x sharegraph.Register) (core.Value, bool) {
 	return n.store[x], true
 }
 
-func (n *fifoNode) PendingCount() int { return len(n.pending) }
+func (n *fifoNode) PendingCount() int {
+	if n.naive {
+		return len(n.pending)
+	}
+	return n.pendingN
+}
 
 func (n *fifoNode) PendingOracleIDs() []causality.UpdateID {
-	out := make([]causality.UpdateID, len(n.pending))
-	for i, u := range n.pending {
-		out[i] = u.env.OracleID
+	if n.naive {
+		out := make([]causality.UpdateID, len(n.pending))
+		for i, u := range n.pending {
+			out[i] = u.env.OracleID
+		}
+		return out
+	}
+	out := make([]causality.UpdateID, 0, n.pendingN)
+	for _, q := range n.queues {
+		for _, e := range q {
+			out = append(out, e.OracleID)
+		}
+	}
+	for _, u := range n.dead {
+		out = append(out, u.env.OracleID)
 	}
 	return out
 }
@@ -168,6 +266,12 @@ type vecPending struct {
 	w   timestamp.Vec
 }
 
+// vectorNode's predicate is the classic causal-broadcast condition: the
+// sender's entry must be exactly one past the local clock, every other
+// entry at most equal. Its indexed engine files updates per sender keyed
+// by w[from]; an apply advances only v[from] (all other entries were
+// already dominated), so after each apply only the queue heads — at most
+// one per sender, the exact key v[k]+1 — need re-examination.
 type vectorNode struct {
 	id        sharegraph.ReplicaID
 	g         *sharegraph.Graph
@@ -175,7 +279,15 @@ type vectorNode struct {
 	broadcast bool // Broadcast variant: metadata goes to every replica
 	v         timestamp.Vec
 	store     map[sharegraph.Register]core.Value
-	pending   []vecPending
+
+	naive   bool
+	pending []vecPending // reference engine
+
+	queues   []map[uint64]vecPending // indexed engine: seq-keyed per sender
+	dead     []vecPending
+	pendingN int
+	applyBuf []core.Applied
+	vecFree  []timestamp.Vec
 }
 
 var _ core.Node = (*vectorNode)(nil)
@@ -212,11 +324,77 @@ func (n *vectorNode) HandleWrite(x sharegraph.Register, v core.Value, id causali
 }
 
 func (n *vectorNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
-	w, ok := decodeMeta(n.proto, n.id, env)
-	if !ok || len(w) != len(n.v) {
+	w, ok := decodeMeta(n.proto, n.id, env, &n.vecFree)
+	if !ok || len(w) != len(n.v) || !validSender(n.proto, n.id, env, len(n.v)) {
 		return nil, nil
 	}
-	n.pending = append(n.pending, vecPending{env: env, w: w})
+	u := vecPending{env: env, w: w}
+	if n.naive {
+		return n.drainNaive(u), nil
+	}
+	from := env.From
+	seq := w[from]
+	if seq <= n.v[from] {
+		n.dead = append(n.dead, u)
+		n.pendingN++
+		return nil, nil
+	}
+	if _, dup := n.queues[from][seq]; dup {
+		n.dead = append(n.dead, u)
+		n.pendingN++
+		return nil, nil
+	}
+	if n.queues[from] == nil {
+		n.queues[from] = make(map[uint64]vecPending)
+	}
+	n.queues[from][seq] = u
+	n.pendingN++
+	if seq != n.v[from]+1 {
+		return nil, nil
+	}
+	return n.drainHeads(), nil
+}
+
+// drainHeads re-examines every sender's queue head until a fixpoint. Each
+// pass is O(R) map lookups; the full predicate runs only on heads whose
+// sequence number matches the gate exactly.
+func (n *vectorNode) drainHeads() []core.Applied {
+	out := n.applyBuf[:0]
+	for {
+		progress := false
+		for k := range n.queues {
+			if len(n.queues[k]) == 0 {
+				continue
+			}
+			u, ok := n.queues[k][n.v[k]+1]
+			if !ok || !n.vectorDeliverable(u) {
+				continue
+			}
+			delete(n.queues[k], n.v[k]+1)
+			n.pendingN--
+			for p := range n.v {
+				if u.w[p] > n.v[p] {
+					n.v[p] = u.w[p]
+				}
+			}
+			n.vecFree = append(n.vecFree, u.w)
+			if !u.env.MetaOnly {
+				n.store[u.env.Reg] = u.env.Val
+				out = append(out, core.Applied{
+					OracleID: u.env.OracleID, From: u.env.From, Reg: u.env.Reg, Val: u.env.Val,
+				})
+			}
+			progress = true
+		}
+		if !progress {
+			n.applyBuf = out
+			return out
+		}
+	}
+}
+
+func (n *vectorNode) drainNaive(u vecPending) []core.Applied {
+	n.pending = append(n.pending, u)
 	var out []core.Applied
 	for {
 		progress := false
@@ -243,7 +421,7 @@ func (n *vectorNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.En
 			idx--
 		}
 		if !progress {
-			return out, nil
+			return out
 		}
 	}
 }
@@ -273,11 +451,32 @@ func (n *vectorNode) Read(x sharegraph.Register) (core.Value, bool) {
 	return n.store[x], true
 }
 
-func (n *vectorNode) PendingCount() int { return len(n.pending) }
+func (n *vectorNode) PendingCount() int {
+	if n.naive {
+		return len(n.pending)
+	}
+	return n.pendingN
+}
 
 func (n *vectorNode) PendingOracleIDs() []causality.UpdateID {
-	out := make([]causality.UpdateID, 0, len(n.pending))
-	for _, u := range n.pending {
+	if n.naive {
+		out := make([]causality.UpdateID, 0, len(n.pending))
+		for _, u := range n.pending {
+			if !u.env.MetaOnly {
+				out = append(out, u.env.OracleID)
+			}
+		}
+		return out
+	}
+	out := make([]causality.UpdateID, 0, n.pendingN)
+	for _, q := range n.queues {
+		for _, u := range q {
+			if !u.env.MetaOnly {
+				out = append(out, u.env.OracleID)
+			}
+		}
+	}
+	for _, u := range n.dead {
 		if !u.env.MetaOnly {
 			out = append(out, u.env.OracleID)
 		}
@@ -291,13 +490,18 @@ func (n *vectorNode) MetadataEntries() int { return len(n.v) }
 // replication without metadata broadcast. See the package comment: safe
 // but not live.
 type NaiveVector struct {
-	g *sharegraph.Graph
+	g     *sharegraph.Graph
+	naive bool
 }
 
 var _ core.Protocol = (*NaiveVector)(nil)
 
 // NewNaiveVector builds the protocol.
 func NewNaiveVector(g *sharegraph.Graph) *NaiveVector { return &NaiveVector{g: g} }
+
+// NewNaiveVectorRescan builds the protocol with the reference full-buffer
+// rescan engine, for differential tests against the indexed engine.
+func NewNaiveVectorRescan(g *sharegraph.Graph) *NaiveVector { return &NaiveVector{g: g, naive: true} }
 
 // Name implements core.Protocol.
 func (p *NaiveVector) Name() string { return "naive-vector" }
@@ -306,11 +510,7 @@ func (p *NaiveVector) Name() string { return "naive-vector" }
 func (p *NaiveVector) NewNodes() ([]core.Node, error) {
 	nodes := make([]core.Node, p.g.NumReplicas())
 	for i := range nodes {
-		nodes[i] = &vectorNode{
-			id: sharegraph.ReplicaID(i), g: p.g, proto: p.Name(),
-			v:     make(timestamp.Vec, p.g.NumReplicas()),
-			store: make(map[sharegraph.Register]core.Value),
-		}
+		nodes[i] = newVectorNode(p.g, sharegraph.ReplicaID(i), p.Name(), false, p.naive)
 	}
 	return nodes, nil
 }
@@ -318,13 +518,18 @@ func (p *NaiveVector) NewNodes() ([]core.Node, error) {
 // Broadcast is the Section 5 dummy-register emulation of full
 // replication: length-R vectors plus metadata-only broadcast.
 type Broadcast struct {
-	g *sharegraph.Graph
+	g     *sharegraph.Graph
+	naive bool
 }
 
 var _ core.Protocol = (*Broadcast)(nil)
 
 // NewBroadcast builds the protocol.
 func NewBroadcast(g *sharegraph.Graph) *Broadcast { return &Broadcast{g: g} }
+
+// NewBroadcastRescan builds the protocol with the reference full-buffer
+// rescan engine, for differential tests against the indexed engine.
+func NewBroadcastRescan(g *sharegraph.Graph) *Broadcast { return &Broadcast{g: g, naive: true} }
 
 // Name implements core.Protocol.
 func (p *Broadcast) Name() string { return "dummy-broadcast" }
@@ -333,13 +538,21 @@ func (p *Broadcast) Name() string { return "dummy-broadcast" }
 func (p *Broadcast) NewNodes() ([]core.Node, error) {
 	nodes := make([]core.Node, p.g.NumReplicas())
 	for i := range nodes {
-		nodes[i] = &vectorNode{
-			id: sharegraph.ReplicaID(i), g: p.g, proto: p.Name(), broadcast: true,
-			v:     make(timestamp.Vec, p.g.NumReplicas()),
-			store: make(map[sharegraph.Register]core.Value),
-		}
+		nodes[i] = newVectorNode(p.g, sharegraph.ReplicaID(i), p.Name(), true, p.naive)
 	}
 	return nodes, nil
+}
+
+func newVectorNode(g *sharegraph.Graph, id sharegraph.ReplicaID, proto string, broadcast, naive bool) *vectorNode {
+	n := &vectorNode{
+		id: id, g: g, proto: proto, broadcast: broadcast, naive: naive,
+		v:     make(timestamp.Vec, g.NumReplicas()),
+		store: make(map[sharegraph.Register]core.Value),
+	}
+	if !naive {
+		n.queues = make([]map[uint64]vecPending, g.NumReplicas())
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------------
@@ -349,13 +562,18 @@ func (p *Broadcast) NewNodes() ([]core.Node, error) {
 // entry (l, d) counts the messages l is known to have sent to d. Safe and
 // live under partial replication at quadratic metadata cost.
 type Matrix struct {
-	g *sharegraph.Graph
+	g     *sharegraph.Graph
+	naive bool
 }
 
 var _ core.Protocol = (*Matrix)(nil)
 
 // NewMatrix builds the protocol.
 func NewMatrix(g *sharegraph.Graph) *Matrix { return &Matrix{g: g} }
+
+// NewMatrixRescan builds the protocol with the reference full-buffer
+// rescan engine, for differential tests against the indexed engine.
+func NewMatrixRescan(g *sharegraph.Graph) *Matrix { return &Matrix{g: g, naive: true} }
 
 // Name implements core.Protocol.
 func (p *Matrix) Name() string { return "matrix" }
@@ -365,11 +583,15 @@ func (p *Matrix) NewNodes() ([]core.Node, error) {
 	n := p.g.NumReplicas()
 	nodes := make([]core.Node, n)
 	for i := range nodes {
-		nodes[i] = &matrixNode{
-			id: sharegraph.ReplicaID(i), g: p.g, r: n,
+		mn := &matrixNode{
+			id: sharegraph.ReplicaID(i), g: p.g, r: n, naive: p.naive,
 			m:     make(timestamp.Vec, n*n),
 			store: make(map[sharegraph.Register]core.Value),
 		}
+		if !p.naive {
+			mn.queues = make([]map[uint64]matrixPending, n)
+		}
+		nodes[i] = mn
 	}
 	return nodes, nil
 }
@@ -379,13 +601,26 @@ type matrixPending struct {
 	w   timestamp.Vec
 }
 
+// matrixNode's predicate reads only column "me" of the clock: the sender's
+// entry must be exactly one past the local count (a per-receiver sequence
+// number) and every other entry in the column at most equal — the same
+// shape as the vector predicate, so the same per-sender seq-keyed engine
+// applies.
 type matrixNode struct {
-	id      sharegraph.ReplicaID
-	g       *sharegraph.Graph
-	r       int
-	m       timestamp.Vec // row-major r×r: m[l*r+d] = msgs l sent to d (known)
-	store   map[sharegraph.Register]core.Value
-	pending []matrixPending
+	id    sharegraph.ReplicaID
+	g     *sharegraph.Graph
+	r     int
+	m     timestamp.Vec // row-major r×r: m[l*r+d] = msgs l sent to d (known)
+	store map[sharegraph.Register]core.Value
+
+	naive   bool
+	pending []matrixPending // reference engine
+
+	queues   []map[uint64]matrixPending // indexed engine: seq-keyed per sender
+	dead     []matrixPending
+	pendingN int
+	applyBuf []core.Applied
+	vecFree  []timestamp.Vec
 }
 
 var _ core.Node = (*matrixNode)(nil)
@@ -416,11 +651,76 @@ func (n *matrixNode) HandleWrite(x sharegraph.Register, v core.Value, id causali
 }
 
 func (n *matrixNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
-	w, ok := decodeMeta("matrix", n.id, env)
-	if !ok || len(w) != n.r*n.r {
+	w, ok := decodeMeta("matrix", n.id, env, &n.vecFree)
+	if !ok || len(w) != n.r*n.r || !validSender("matrix", n.id, env, n.r) {
 		return nil, nil
 	}
-	n.pending = append(n.pending, matrixPending{env: env, w: w})
+	u := matrixPending{env: env, w: w}
+	if n.naive {
+		return n.drainNaive(u), nil
+	}
+	from := env.From
+	seq := n.at(w, from, n.id)
+	gate := n.at(n.m, from, n.id)
+	if seq <= gate {
+		n.dead = append(n.dead, u)
+		n.pendingN++
+		return nil, nil
+	}
+	if _, dup := n.queues[from][seq]; dup {
+		n.dead = append(n.dead, u)
+		n.pendingN++
+		return nil, nil
+	}
+	if n.queues[from] == nil {
+		n.queues[from] = make(map[uint64]matrixPending)
+	}
+	n.queues[from][seq] = u
+	n.pendingN++
+	if seq != gate+1 {
+		return nil, nil
+	}
+	return n.drainHeads(), nil
+}
+
+// drainHeads re-examines every sender's queue head until a fixpoint,
+// mirroring vectorNode.drainHeads over column "me" of the matrix clock.
+func (n *matrixNode) drainHeads() []core.Applied {
+	out := n.applyBuf[:0]
+	for {
+		progress := false
+		for k := range n.queues {
+			if len(n.queues[k]) == 0 {
+				continue
+			}
+			key := n.at(n.m, sharegraph.ReplicaID(k), n.id) + 1
+			u, ok := n.queues[k][key]
+			if !ok || !n.matrixDeliverable(u) {
+				continue
+			}
+			delete(n.queues[k], key)
+			n.pendingN--
+			for p := range n.m {
+				if u.w[p] > n.m[p] {
+					n.m[p] = u.w[p]
+				}
+			}
+			n.vecFree = append(n.vecFree, u.w)
+			n.store[u.env.Reg] = u.env.Val
+			out = append(out, core.Applied{
+				OracleID: u.env.OracleID, From: u.env.From, Reg: u.env.Reg, Val: u.env.Val,
+			})
+			progress = true
+		}
+		if !progress {
+			n.applyBuf = out
+			return out
+		}
+	}
+}
+
+func (n *matrixNode) drainNaive(u matrixPending) []core.Applied {
+	n.pending = append(n.pending, u)
 	var out []core.Applied
 	for {
 		progress := false
@@ -443,7 +743,7 @@ func (n *matrixNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.En
 			idx--
 		}
 		if !progress {
-			return out, nil
+			return out
 		}
 	}
 }
@@ -475,12 +775,29 @@ func (n *matrixNode) Read(x sharegraph.Register) (core.Value, bool) {
 	return n.store[x], true
 }
 
-func (n *matrixNode) PendingCount() int { return len(n.pending) }
+func (n *matrixNode) PendingCount() int {
+	if n.naive {
+		return len(n.pending)
+	}
+	return n.pendingN
+}
 
 func (n *matrixNode) PendingOracleIDs() []causality.UpdateID {
-	out := make([]causality.UpdateID, len(n.pending))
-	for i, u := range n.pending {
-		out[i] = u.env.OracleID
+	if n.naive {
+		out := make([]causality.UpdateID, len(n.pending))
+		for i, u := range n.pending {
+			out[i] = u.env.OracleID
+		}
+		return out
+	}
+	out := make([]causality.UpdateID, 0, n.pendingN)
+	for _, q := range n.queues {
+		for _, u := range q {
+			out = append(out, u.env.OracleID)
+		}
+	}
+	for _, u := range n.dead {
+		out = append(out, u.env.OracleID)
 	}
 	return out
 }

@@ -222,7 +222,10 @@ func TestAllProtocolsDropCorruptMetadata(t *testing.T) {
 	g := sharegraph.Fig3Example()
 	bad := core.Envelope{From: 0, To: 1, Reg: "x", Meta: []byte{0xff}}
 	short := core.Envelope{From: 0, To: 1, Reg: "x", Meta: []byte{0x00}} // zero-length vector
-	for _, p := range []core.Protocol{NewFIFOOnly(g), NewNaiveVector(g), NewBroadcast(g), NewMatrix(g)} {
+	for _, p := range []core.Protocol{
+		NewFIFOOnly(g), NewNaiveVector(g), NewBroadcast(g), NewMatrix(g),
+		NewFIFOOnlyRescan(g), NewNaiveVectorRescan(g), NewBroadcastRescan(g), NewMatrixRescan(g),
+	} {
 		nodes := build(t, p)
 		if applied, _ := nodes[1].HandleMessage(bad); len(applied) != 0 {
 			t.Errorf("%s: applied corrupt message", p.Name())
@@ -232,6 +235,34 @@ func TestAllProtocolsDropCorruptMetadata(t *testing.T) {
 		}
 		if nodes[1].PendingCount() != 0 {
 			t.Errorf("%s: corrupt message buffered", p.Name())
+		}
+	}
+}
+
+// TestAllProtocolsDropInvalidSender guards the per-sender indexing both
+// engines do: a sender outside the replica set must be dropped (logged),
+// not dereferenced.
+func TestAllProtocolsDropInvalidSender(t *testing.T) {
+	g := sharegraph.Fig3Example()
+	for _, p := range []core.Protocol{
+		NewFIFOOnly(g), NewNaiveVector(g), NewBroadcast(g), NewMatrix(g),
+		NewFIFOOnlyRescan(g), NewNaiveVectorRescan(g), NewBroadcastRescan(g), NewMatrixRescan(g),
+	} {
+		nodes := build(t, p)
+		// Craft plausibly sized metadata so only the sender is invalid.
+		envs, err := nodes[0].HandleWrite("x", 1, 0)
+		if err != nil || len(envs) == 0 {
+			t.Fatalf("%s: seed write failed: %v", p.Name(), err)
+		}
+		for _, from := range []sharegraph.ReplicaID{-1, sharegraph.ReplicaID(g.NumReplicas())} {
+			env := envs[0]
+			env.From = from
+			if applied, _ := nodes[1].HandleMessage(env); len(applied) != 0 {
+				t.Errorf("%s: applied message from invalid sender %d", p.Name(), from)
+			}
+		}
+		if nodes[1].PendingCount() != 0 {
+			t.Errorf("%s: invalid-sender message buffered", p.Name())
 		}
 	}
 }

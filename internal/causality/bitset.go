@@ -78,5 +78,46 @@ func (b *bitset) forEachAndNot(excl *bitset, fn func(idx int) bool) {
 	}
 }
 
+// maskedWord returns b ∩ mask ∩ ¬excl restricted to word wi.
+func maskedWord(b, mask, excl *bitset, wi int) uint64 {
+	w := b.words[wi]
+	if wi < len(mask.words) {
+		w &= mask.words[wi]
+	} else {
+		return 0
+	}
+	if wi < len(excl.words) {
+		w &^= excl.words[wi]
+	}
+	return w
+}
+
+// intersectsDiff reports whether b ∩ mask ∩ ¬excl is non-empty, purely
+// with word operations — the oracle's per-apply safety test runs on this
+// instead of per-element callbacks.
+func (b *bitset) intersectsDiff(mask, excl *bitset) bool {
+	for wi := range b.words {
+		if maskedWord(b, mask, excl, wi) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachDiff calls fn for every element of b ∩ mask ∩ ¬excl, stopping
+// early if fn returns false.
+func (b *bitset) forEachDiff(mask, excl *bitset, fn func(idx int) bool) {
+	for wi := range b.words {
+		w := maskedWord(b, mask, excl, wi)
+		for w != 0 {
+			bit := trailingZeros(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 func popcount(x uint64) int      { return bits.OnesCount64(x) }
 func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

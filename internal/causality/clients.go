@@ -17,12 +17,10 @@ func (t *Tracker) OnClientAccess(c sharegraph.ClientID, i sharegraph.ReplicaID) 
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	past := t.clientPast(c)
-	past.forEachAndNot(t.applied[int(i)], func(u int) bool {
-		if t.g.StoresRegister(i, t.updates[u].reg) {
-			t.violations = append(t.violations, Violation{
-				Kind: StaleAccess, Replica: i, Update: UpdateID(u), Missing: UpdateID(u),
-			})
-		}
+	past.forEachDiff(t.relevant[int(i)], t.applied[int(i)], func(u int) bool {
+		t.violations = append(t.violations, Violation{
+			Kind: StaleAccess, Replica: i, Update: UpdateID(u), Missing: UpdateID(u),
+		})
 		return true
 	})
 	past.orWith(t.knownPast[int(i)])
@@ -41,6 +39,9 @@ func (t *Tracker) OnClientWrite(c sharegraph.ClientID, i sharegraph.ReplicaID, x
 	past := t.clientPast(c)
 	preds.orWith(past)
 	t.updates = append(t.updates, updateInfo{issuer: i, reg: x, preds: preds})
+	for _, h := range t.holders(x) {
+		t.relevant[int(h)].set(int(id))
+	}
 	t.applied[int(i)].set(int(id))
 	t.knownPast[int(i)].set(int(id))
 	t.knownPast[int(i)].orWith(preds)

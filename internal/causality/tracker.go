@@ -96,10 +96,15 @@ type updateInfo struct {
 type Tracker struct {
 	g *sharegraph.Graph
 
-	mu         sync.Mutex
-	updates    []updateInfo
-	applied    []*bitset // applied[i] = set of updates applied at replica i
-	knownPast  []*bitset // knownPast[i] = ∪ over applied u of {u} ∪ preds(u)
+	mu        sync.Mutex
+	updates   []updateInfo
+	applied   []*bitset // applied[i] = set of updates applied at replica i
+	knownPast []*bitset // knownPast[i] = ∪ over applied u of {u} ∪ preds(u)
+	// relevant[i] = updates on registers replica i stores. Safety checks
+	// intersect against it so the per-apply test is pure word arithmetic
+	// instead of one placement lookup per causal predecessor.
+	relevant   []*bitset
+	holderIdx  map[sharegraph.Register][]sharegraph.ReplicaID
 	clients    map[sharegraph.ClientID]*bitset
 	violations []Violation
 }
@@ -111,12 +116,25 @@ func NewTracker(g *sharegraph.Graph) *Tracker {
 		g:         g,
 		applied:   make([]*bitset, n),
 		knownPast: make([]*bitset, n),
+		relevant:  make([]*bitset, n),
+		holderIdx: make(map[sharegraph.Register][]sharegraph.ReplicaID),
 	}
 	for i := range t.applied {
 		t.applied[i] = &bitset{}
 		t.knownPast[i] = &bitset{}
+		t.relevant[i] = &bitset{}
 	}
 	return t
+}
+
+// holders caches g.Holders per register (the graph accessor copies).
+func (t *Tracker) holders(x sharegraph.Register) []sharegraph.ReplicaID {
+	hs, ok := t.holderIdx[x]
+	if !ok {
+		hs = t.g.Holders(x)
+		t.holderIdx[x] = hs
+	}
+	return hs
 }
 
 // OnIssue records that replica i issued an update on register x and
@@ -132,6 +150,9 @@ func (t *Tracker) OnIssue(i sharegraph.ReplicaID, x sharegraph.Register) UpdateI
 		reg:    x,
 		preds:  t.knownPast[i].clone(),
 	})
+	for _, h := range t.holders(x) {
+		t.relevant[int(h)].set(int(id))
+	}
 	t.applied[int(i)].set(int(id))
 	t.knownPast[int(i)].set(int(id))
 	return id
@@ -156,14 +177,16 @@ func (t *Tracker) OnApply(j sharegraph.ReplicaID, id UpdateID) {
 		t.violations = append(t.violations, Violation{Kind: DuplicateApply, Replica: j, Update: id})
 		return
 	}
-	u.preds.forEachAndNot(t.applied[int(j)], func(pred int) bool {
-		if t.g.StoresRegister(j, t.updates[pred].reg) {
+	// Fast path: pure word arithmetic. Only on an actual violation does
+	// the per-element walk run to name the missing predecessors.
+	if u.preds.intersectsDiff(t.relevant[int(j)], t.applied[int(j)]) {
+		u.preds.forEachDiff(t.relevant[int(j)], t.applied[int(j)], func(pred int) bool {
 			t.violations = append(t.violations, Violation{
 				Kind: SafetyViolation, Replica: j, Update: id, Missing: UpdateID(pred),
 			})
-		}
-		return true
-	})
+			return true
+		})
+	}
 	t.applied[int(j)].set(int(id))
 	t.knownPast[int(j)].set(int(id))
 	t.knownPast[int(j)].orWith(u.preds)
@@ -180,15 +203,7 @@ func (t *Tracker) OracleDeliverable(j sharegraph.ReplicaID, id UpdateID) bool {
 	if int(id) >= len(t.updates) {
 		return false
 	}
-	deliverable := true
-	t.updates[id].preds.forEachAndNot(t.applied[int(j)], func(pred int) bool {
-		if t.g.StoresRegister(j, t.updates[pred].reg) {
-			deliverable = false
-			return false
-		}
-		return true
-	})
-	return deliverable
+	return !t.updates[id].preds.intersectsDiff(t.relevant[int(j)], t.applied[int(j)])
 }
 
 // HappenedBefore reports whether a ↪ b under the true relation.
@@ -242,7 +257,7 @@ func (t *Tracker) CheckLiveness() []Violation {
 	defer t.mu.Unlock()
 	var out []Violation
 	for id, u := range t.updates {
-		for _, h := range t.g.Holders(u.reg) {
+		for _, h := range t.holders(u.reg) {
 			if !t.applied[int(h)].has(id) {
 				v := Violation{Kind: LivenessViolation, Replica: h, Update: UpdateID(id)}
 				out = append(out, v)

@@ -22,6 +22,10 @@ type EdgeIndexed struct {
 	// share graph for timestamp purposes only). Defaults to the share
 	// graph's own placement.
 	realStore func(sharegraph.ReplicaID, sharegraph.Register) bool
+	// naive selects the reference O(P²) full-buffer rescan instead of the
+	// indexed per-sender delivery engine. Differential tests and
+	// benchmarks compare the two; production paths never set it.
+	naive bool
 }
 
 var _ Protocol = (*EdgeIndexed)(nil)
@@ -30,6 +34,19 @@ var _ Protocol = (*EdgeIndexed)(nil)
 // Definition 5 (exhaustive loop search).
 func NewEdgeIndexed(g *sharegraph.Graph) (*EdgeIndexed, error) {
 	return NewEdgeIndexedWithGraphs(g, sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{}), "edge-indexed")
+}
+
+// NewEdgeIndexedNaive builds the protocol with the reference full-buffer
+// rescan drain instead of the indexed delivery engine. It exists to
+// differentially test and benchmark the engine: both must produce
+// identical applies, messages and oracle verdicts on every schedule.
+func NewEdgeIndexedNaive(g *sharegraph.Graph) (*EdgeIndexed, error) {
+	p, err := NewEdgeIndexedWithGraphs(g, sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{}), "edge-indexed-naive")
+	if err != nil {
+		return nil, err
+	}
+	p.naive = true
+	return p, nil
 }
 
 // NewEdgeIndexedWithGraphs builds the protocol over caller-supplied
@@ -59,6 +76,15 @@ func NewEdgeIndexedRouted(effective *sharegraph.Graph, realStore func(sharegraph
 	return p, nil
 }
 
+// AsNaive returns a copy of p that builds nodes with the reference
+// rescan engine; differential tests use it to compare engines over
+// identical graphs, routing and naming-independent measurements.
+func AsNaive(p *EdgeIndexed) *EdgeIndexed {
+	q := *p
+	q.naive = true
+	return &q
+}
+
 // Name implements Protocol.
 func (p *EdgeIndexed) Name() string { return p.name }
 
@@ -67,17 +93,24 @@ func (p *EdgeIndexed) Space() *timestamp.Space { return p.space }
 
 // NewNodes implements Protocol.
 func (p *EdgeIndexed) NewNodes() ([]Node, error) {
-	nodes := make([]Node, p.g.NumReplicas())
+	n := p.g.NumReplicas()
+	nodes := make([]Node, n)
 	for i := range nodes {
 		id := sharegraph.ReplicaID(i)
-		nodes[i] = &edgeNode{
+		en := &edgeNode{
 			id:        id,
 			g:         p.g,
 			space:     p.space,
 			realStore: p.realStore,
+			naive:     p.naive,
 			τ:         p.space.Zero(id),
 			store:     make(map[sharegraph.Register]Value, p.g.Stores(id).Len()),
 		}
+		if !p.naive {
+			en.queues = make([]senderQueue, n)
+			en.inWork = make([]bool, n)
+		}
+		nodes[i] = en
 	}
 	return nodes, nil
 }
@@ -92,7 +125,21 @@ type pendingUpdate struct {
 	oracleID causality.UpdateID
 }
 
-// edgeNode is one replica running the Section 3.3 algorithm.
+// senderQueue buffers the not-yet-deliverable updates from one sender,
+// keyed by the update's e_{ki} counter (its per-receiver sequence number).
+// Predicate J admits an update only when its sequence number is exactly
+// one past the receiver's gate counter, so at most one entry — the exact
+// key gate+1 — can ever be deliverable, and lookup is O(1).
+type senderQueue struct {
+	bySeq map[uint64]pendingUpdate
+}
+
+// edgeNode is one replica running the Section 3.3 algorithm. The default
+// delivery engine exploits the structure of predicate J: updates are filed
+// in per-sender queues keyed by their e_{ki} sequence number, and after
+// each merge only the sender heads whose gate counter just advanced are
+// re-examined — O(1) amortized per message instead of the reference
+// engine's O(P²) full-buffer rescans.
 type edgeNode struct {
 	id        sharegraph.ReplicaID
 	g         *sharegraph.Graph
@@ -100,7 +147,21 @@ type edgeNode struct {
 	realStore func(sharegraph.ReplicaID, sharegraph.Register) bool
 	τ         timestamp.Vec
 	store     map[sharegraph.Register]Value
-	pending   []pendingUpdate
+
+	// Reference engine (naive = true): flat buffer, full rescan.
+	naive   bool
+	pending []pendingUpdate
+
+	// Indexed engine state.
+	queues   []senderQueue // one per sender replica
+	dead     []pendingUpdate
+	pendingN int
+
+	// Reusable scratch, valid until the next call on this node.
+	applyBuf []Applied
+	vecFree  []timestamp.Vec
+	work     []sharegraph.ReplicaID
+	inWork   []bool
 }
 
 var _ Node = (*edgeNode)(nil)
@@ -115,7 +176,7 @@ func (n *edgeNode) HandleWrite(x sharegraph.Register, v Value, id causality.Upda
 		return nil, &NotStoredError{Replica: n.id, Register: x}
 	}
 	n.store[x] = v
-	n.τ = n.space.Advance(n.id, n.τ, x)
+	n.space.AdvanceInPlace(n.id, n.τ, x)
 	meta := timestamp.Encode(n.τ)
 	recipients := n.g.UpdateRecipients(n.id, x)
 	out := make([]Envelope, 0, len(recipients))
@@ -131,23 +192,134 @@ func (n *edgeNode) HandleWrite(x sharegraph.Register, v Value, id causality.Upda
 // HandleMessage implements steps 3–4: buffer the update, then repeatedly
 // apply any buffered update whose predicate J evaluates true, merging
 // timestamps as we go, until no buffered update is deliverable.
+//
+// The returned Applied slice is owned by the node and valid until the
+// next call on it; runtimes consume it before dispatching further events
+// to the same node.
 func (n *edgeNode) HandleMessage(env Envelope) ([]Applied, []Envelope) {
-	ts, err := timestamp.Decode(env.Meta)
+	ts, err := timestamp.DecodeReuse(&n.vecFree, env.Meta)
 	if err != nil {
 		// A corrupt message indicates a harness bug, not a protocol state;
 		// surface loudly but do not crash the run.
 		log.Printf("edge-indexed: replica %d dropping corrupt metadata from %d: %v", n.id, env.From, err)
 		return nil, nil
 	}
-	n.pending = append(n.pending, pendingUpdate{
+	// Both engines index plans and the decoded vector by sender; a sender
+	// outside the replica set or a wrong-length vector is harness
+	// corruption that must be dropped, not dereferenced.
+	if int(env.From) < 0 || int(env.From) >= n.space.NumReplicas() {
+		log.Printf("edge-indexed: replica %d dropping update from invalid sender %d", n.id, env.From)
+		return nil, nil
+	}
+	if len(ts) != n.space.Len(env.From) {
+		log.Printf("edge-indexed: replica %d dropping update from %d with %d-entry timestamp, want %d",
+			n.id, env.From, len(ts), n.space.Len(env.From))
+		return nil, nil
+	}
+	u := pendingUpdate{
 		from: env.From, ts: ts, reg: env.Reg, val: env.Val,
 		metaOnly: env.MetaOnly, oracleID: env.OracleID,
-	})
-	return n.drain(), nil
+	}
+	if n.naive {
+		n.pending = append(n.pending, u)
+		return n.drainNaive(), nil
+	}
+
+	seqPos, ok := n.space.SeqPos(n.id, env.From)
+	if !ok {
+		// e_{ki} untracked (truncated graphs, or a self-addressed
+		// message): predicate J can never admit this update. Park it with
+		// the dead buffer so pending accounting matches the reference
+		// engine, which keeps rescanning it forever in vain.
+		n.dead = append(n.dead, u)
+		n.pendingN++
+		return nil, nil
+	}
+	gatePos, _ := n.space.GatePos(n.id, env.From)
+	seq := ts[seqPos]
+	gate := n.τ[gatePos]
+	q := &n.queues[env.From]
+	if seq <= gate {
+		// The gate only grows, so strict equality τ[e_ki] = seq − 1 can
+		// never hold again; undeliverable forever (reliable transport
+		// never produces this, but corrupt or replayed metadata could).
+		n.dead = append(n.dead, u)
+		n.pendingN++
+		return nil, nil
+	}
+	if _, dup := q.bySeq[seq]; dup {
+		n.dead = append(n.dead, u)
+		n.pendingN++
+		return nil, nil
+	}
+	if q.bySeq == nil {
+		q.bySeq = make(map[uint64]pendingUpdate)
+	}
+	q.bySeq[seq] = u
+	n.pendingN++
+	if seq != gate+1 {
+		// Nothing in τ changed; no other buffered update can have become
+		// deliverable. Most out-of-order arrivals take this O(1) exit.
+		return nil, nil
+	}
+	return n.drainFrom(env.From), nil
 }
 
-// drain applies deliverable pending updates until a fixpoint.
-func (n *edgeNode) drain() []Applied {
+// drainFrom applies deliverable pending updates until a fixpoint, starting
+// with sender k whose gate may now match its queue head. Each apply
+// advances exactly one gate counter (the applied sender's own e_{ki};
+// merge cannot move any other incoming-edge counter, since predicate J
+// required τ to already dominate them), so only the sender heads listed in
+// the space's precomputed recheck set need re-examination.
+func (n *edgeNode) drainFrom(k sharegraph.ReplicaID) []Applied {
+	out := n.applyBuf[:0]
+	work := n.work[:0]
+	work = append(work, k)
+	n.inWork[k] = true
+	for len(work) > 0 {
+		j := work[len(work)-1]
+		work = work[:len(work)-1]
+		n.inWork[j] = false
+		gatePos, ok := n.space.GatePos(n.id, j)
+		if !ok {
+			continue
+		}
+		q := &n.queues[j]
+		for {
+			u, ok := q.bySeq[n.τ[gatePos]+1]
+			if !ok || !n.space.Deliverable(n.id, n.τ, j, u.ts) {
+				break
+			}
+			delete(q.bySeq, n.τ[gatePos]+1)
+			n.pendingN--
+			if !u.metaOnly {
+				n.store[u.reg] = u.val
+			}
+			n.space.MergeInPlace(n.id, n.τ, j, u.ts)
+			n.vecFree = append(n.vecFree, u.ts)
+			if !u.metaOnly {
+				out = append(out, Applied{
+					OracleID: u.oracleID, From: u.from, Reg: u.reg, Val: u.val,
+				})
+			}
+			// j's own next head is retried by this loop; queue the other
+			// affected senders.
+			for _, m := range n.space.RecheckOnApply(n.id, j) {
+				if m != j && !n.inWork[m] && len(n.queues[m].bySeq) > 0 {
+					work = append(work, m)
+					n.inWork[m] = true
+				}
+			}
+		}
+	}
+	n.applyBuf = out
+	n.work = work
+	return out
+}
+
+// drainNaive is the reference engine: rescan the whole buffer until no
+// pending update is deliverable.
+func (n *edgeNode) drainNaive() []Applied {
 	var out []Applied
 	for {
 		progress := false
@@ -186,11 +358,32 @@ func (n *edgeNode) Read(x sharegraph.Register) (Value, bool) {
 	return n.store[x], true
 }
 
-func (n *edgeNode) PendingCount() int { return len(n.pending) }
+func (n *edgeNode) PendingCount() int {
+	if n.naive {
+		return len(n.pending)
+	}
+	return n.pendingN
+}
 
 func (n *edgeNode) PendingOracleIDs() []causality.UpdateID {
-	out := make([]causality.UpdateID, 0, len(n.pending))
-	for _, u := range n.pending {
+	if n.naive {
+		out := make([]causality.UpdateID, 0, len(n.pending))
+		for _, u := range n.pending {
+			if !u.metaOnly {
+				out = append(out, u.oracleID)
+			}
+		}
+		return out
+	}
+	out := make([]causality.UpdateID, 0, n.pendingN)
+	for k := range n.queues {
+		for _, u := range n.queues[k].bySeq {
+			if !u.metaOnly {
+				out = append(out, u.oracleID)
+			}
+		}
+	}
+	for _, u := range n.dead {
 		if !u.metaOnly {
 			out = append(out, u.oracleID)
 		}

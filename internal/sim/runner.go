@@ -147,17 +147,22 @@ func Run(cfg Config) (*Result, error) {
 	var pool transport.Pool
 	nextVal := core.Value(1)
 	// falseDeps tracks oracle IDs that have ever been blocked while
-	// oracle-deliverable.
-	falseDeps := make(map[causality.UpdateID]bool)
+	// oracle-deliverable. UpdateIDs are issued sequentially, so a dense
+	// slice replaces the map the runner used to allocate per lookup.
+	var falseDeps []bool
+	falseDepCount := 0
 	// sentAt records the step at which each update was issued, for
 	// end-to-end delivery-latency accounting: a relayed update's latency
-	// counts from the original write, not the last hop.
-	sentAt := make(map[causality.UpdateID]int)
+	// counts from the original write, not the last hop. Indexed by
+	// UpdateID; -1 marks updates issued outside this runner.
+	var sentAt []int
+	// opReplicas is rebuilt in place every step.
+	opReplicas := make([]int, 0, n)
 
 	for step := 0; step < maxSteps; step++ {
 		// Choices: one per replica with remaining ops, then one per
 		// in-flight message.
-		var opReplicas []int
+		opReplicas = opReplicas[:0]
 		for r := 0; r < n; r++ {
 			if len(queues[r]) > 0 {
 				opReplicas = append(opReplicas, r)
@@ -185,6 +190,9 @@ func Run(cfg Config) (*Result, error) {
 				nextVal++
 				res.Writes++
 				recordSent(res, envs)
+				for int(id) >= len(sentAt) {
+					sentAt = append(sentAt, -1)
+				}
 				sentAt[id] = step
 				pool.Add(envs...)
 			}
@@ -194,8 +202,8 @@ func Run(cfg Config) (*Result, error) {
 			for _, a := range applied {
 				tracker.OnApply(env.To, a.OracleID)
 				res.Applies++
-				if at, ok := sentAt[a.OracleID]; ok {
-					d := step - at
+				if int(a.OracleID) < len(sentAt) && sentAt[a.OracleID] >= 0 {
+					d := step - sentAt[a.OracleID]
 					res.DeliveryDelayTotal += d
 					if d > res.DeliveryDelayMax {
 						res.DeliveryDelayMax = d
@@ -211,7 +219,13 @@ func Run(cfg Config) (*Result, error) {
 				for _, id := range nodes[r].PendingOracleIDs() {
 					if tracker.OracleDeliverable(sharegraph.ReplicaID(r), id) {
 						res.FalseDepDelay++
-						falseDeps[id] = true
+						for int(id) >= len(falseDeps) {
+							falseDeps = append(falseDeps, false)
+						}
+						if !falseDeps[id] {
+							falseDeps[id] = true
+							falseDepCount++
+						}
 					}
 				}
 			}
@@ -228,7 +242,7 @@ func Run(cfg Config) (*Result, error) {
 		res.StuckPending += nodes[r].PendingCount()
 		res.MetadataEntriesPerReplica = append(res.MetadataEntriesPerReplica, nodes[r].MetadataEntries())
 	}
-	res.FalseDepUpdates = len(falseDeps)
+	res.FalseDepUpdates = falseDepCount
 	tracker.CheckLiveness()
 	res.Violations = tracker.Violations()
 	return res, nil

@@ -1,0 +1,56 @@
+package timestamp
+
+// FuzzDecode drives the wire-format parser with arbitrary bytes: it must
+// never panic, and whenever it accepts an input, re-encoding the parsed
+// vector must produce bytes that decode to the same vector (varints are
+// not canonical, so the bytes themselves may differ). DecodeInto with a
+// dirty reused buffer must agree with the allocating path on both the
+// verdict and the value.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(Encode(Vec{}))
+	f.Add(Encode(Vec{0, 1, 2, 3}))
+	f.Add(Encode(Vec{1 << 40, 7, 1<<64 - 1}))
+	f.Add([]byte{0xff})                   // truncated length varint
+	f.Add([]byte{0x05, 0x01})             // length overruns data
+	f.Add([]byte{0x01, 0x80})             // truncated element varint
+	f.Add([]byte{0x01, 0x01, 0x01})       // trailing bytes
+	f.Add([]byte{0x80, 0x01, 0x01, 0x01}) // non-minimal length varint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		dirty := make(Vec, 3, 64)
+		dirty[0], dirty[1], dirty[2] = 99, 98, 97
+		v2, err2 := DecodeInto(dirty, data)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("Decode err=%v but DecodeInto err=%v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if !v.Equal(v2) {
+			t.Fatalf("Decode = %v but DecodeInto = %v", v, v2)
+		}
+		re := Encode(v)
+		if len(re) != EncodedSize(v) {
+			t.Fatalf("EncodedSize = %d, Encode produced %d bytes", EncodedSize(v), len(re))
+		}
+		rv, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of %x failed: %v", re, err)
+		}
+		if !rv.Equal(v) {
+			t.Fatalf("round trip %v → %x → %v", v, re, rv)
+		}
+		// Canonical inputs round-trip bit-for-bit.
+		if bytes.Equal(re, data) {
+			return
+		}
+	})
+}

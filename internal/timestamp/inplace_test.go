@@ -1,0 +1,158 @@
+package timestamp
+
+// Tests for the zero-allocation operation variants: the in-place advance
+// and merge must agree bit-for-bit with their copying counterparts, and
+// the append-style codec must round-trip through reused buffers.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sharegraph"
+)
+
+func TestAdvanceInPlaceMatchesAdvance(t *testing.T) {
+	for _, g := range []*sharegraph.Graph{
+		sharegraph.Fig5Example(), sharegraph.Ring(8), sharegraph.Grid(3, 3),
+	} {
+		s := newSpace(t, g)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < g.NumReplicas(); i++ {
+			ri := sharegraph.ReplicaID(i)
+			τ := randomVec(rng, s.Len(ri))
+			for x := range g.Stores(ri) {
+				want := s.Advance(ri, τ, x)
+				got := τ.Clone()
+				s.AdvanceInPlace(ri, got, x)
+				if !got.Equal(want) {
+					t.Errorf("replica %d write %q: AdvanceInPlace = %v, Advance = %v", i, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeInPlaceMatchesMerge(t *testing.T) {
+	for _, g := range []*sharegraph.Graph{
+		sharegraph.Fig5Example(), sharegraph.Ring(8), sharegraph.Grid(3, 3),
+	} {
+		s := newSpace(t, g)
+		rng := rand.New(rand.NewSource(6))
+		n := g.NumReplicas()
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				if k == i {
+					continue
+				}
+				ri, rk := sharegraph.ReplicaID(i), sharegraph.ReplicaID(k)
+				τ := randomVec(rng, s.Len(ri))
+				T := randomVec(rng, s.Len(rk))
+				want := s.Merge(ri, τ, rk, T)
+				got := τ.Clone()
+				s.MergeInPlace(ri, got, rk, T)
+				if !got.Equal(want) {
+					t.Errorf("merge(%d ← %d): MergeInPlace = %v, Merge = %v", i, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeToAppendsAndReuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := randomVec(rng, 17)
+	want := Encode(v)
+
+	// Appending after a prefix leaves the prefix intact.
+	buf := []byte{0xAA, 0xBB}
+	out := EncodeTo(buf, v)
+	if out[0] != 0xAA || out[1] != 0xBB {
+		t.Fatal("EncodeTo clobbered the prefix")
+	}
+	if string(out[2:]) != string(want) {
+		t.Fatalf("EncodeTo = %x, want %x", out[2:], want)
+	}
+
+	// Reusing a sized buffer must not allocate.
+	scratch := make([]byte, 0, EncodedSize(v))
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = EncodeTo(scratch[:0], v)
+	})
+	if allocs != 0 {
+		t.Errorf("EncodeTo with sized buffer allocates %v times", allocs)
+	}
+}
+
+func TestDecodeIntoReusesCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	v := randomVec(rng, 23)
+	enc := Encode(v)
+
+	buf := make(Vec, 0, 64)
+	got, err := DecodeInto(buf, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatalf("DecodeInto = %v, want %v", got, v)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("DecodeInto did not reuse the supplied storage")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeInto(buf, enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeInto with capacity allocates %v times", allocs)
+	}
+
+	// Undersized buffers grow transparently.
+	small := make(Vec, 0, 2)
+	got, err = DecodeInto(small, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatalf("grown DecodeInto = %v, want %v", got, v)
+	}
+}
+
+func TestSeqGateRecheckConsistency(t *testing.T) {
+	// SeqPos/GatePos must name the same edge e_{ki} in the two orders, and
+	// every sender must appear first in its own recheck list.
+	for _, g := range []*sharegraph.Graph{
+		sharegraph.Fig5Example(), sharegraph.Ring(8),
+	} {
+		s := newSpace(t, g)
+		n := g.NumReplicas()
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				if k == i {
+					continue
+				}
+				ri, rk := sharegraph.ReplicaID(i), sharegraph.ReplicaID(k)
+				sp, okS := s.SeqPos(ri, rk)
+				gp, okG := s.GatePos(ri, rk)
+				if okS != okG {
+					t.Fatalf("(%d←%d): SeqPos ok=%v but GatePos ok=%v", i, k, okS, okG)
+				}
+				if !okS {
+					continue
+				}
+				eki := sharegraph.Edge{From: rk, To: ri}
+				if idx, ok := s.Graph(rk).Index(eki); !ok || idx != sp {
+					t.Errorf("(%d←%d): SeqPos = %d, sender order has e_ki at %d (ok=%v)", i, k, sp, idx, ok)
+				}
+				if idx, ok := s.Graph(ri).Index(eki); !ok || idx != gp {
+					t.Errorf("(%d←%d): GatePos = %d, receiver order has e_ki at %d (ok=%v)", i, k, gp, idx, ok)
+				}
+				rl := s.RecheckOnApply(ri, rk)
+				if len(rl) == 0 || rl[0] != rk {
+					t.Errorf("(%d←%d): recheck list %v does not start with the sender", i, k, rl)
+				}
+			}
+		}
+	}
+}

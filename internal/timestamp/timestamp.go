@@ -81,6 +81,13 @@ type Space struct {
 	inter [][][]pairIdx
 	// plans[i][k] is the predicate-J plan for i receiving from k.
 	plans [][]deliveryPlan
+	// recheck[i][k] lists the senders whose predicate J(i, ·, m, ·) reads
+	// the counter of e_{ki} and can therefore flip to true when replica i
+	// applies an update from k: k itself (whose gate just advanced) plus
+	// every m with e_{ki} ∈ E_m. No other predicate at i can change,
+	// because merge leaves all other incoming-edge counters untouched
+	// (J's second clause guarantees τ_i already dominates them).
+	recheck [][][]sharegraph.ReplicaID
 }
 
 // NewSpace builds a Space for the given share graph and per-replica
@@ -103,6 +110,7 @@ func NewSpace(g *sharegraph.Graph, graphs []*sharegraph.TSGraph) (*Space, error)
 		advanceIdx: make([]map[sharegraph.Register][]int, n),
 		inter:      make([][][]pairIdx, n),
 		plans:      make([][]deliveryPlan, n),
+		recheck:    make([][][]sharegraph.ReplicaID, n),
 	}
 	for i := 0; i < n; i++ {
 		ri := sharegraph.ReplicaID(i)
@@ -131,8 +139,37 @@ func NewSpace(g *sharegraph.Graph, graphs []*sharegraph.TSGraph) (*Space, error)
 			s.inter[i][k] = ip
 			s.plans[i][k] = buildPlan(graphs[i], graphs[k], ri, sharegraph.ReplicaID(k))
 		}
+		s.recheck[i] = buildRecheck(s.plans[i])
 	}
 	return s, nil
+}
+
+// buildRecheck derives, for each sender k, the senders whose delivery
+// predicate at this receiver inspects the counter of e_{ki}: k itself plus
+// every m whose plan lists e_{ki}'s receiver position among its incoming
+// pairs.
+func buildRecheck(plans []deliveryPlan) [][]sharegraph.ReplicaID {
+	out := make([][]sharegraph.ReplicaID, len(plans))
+	for k := range plans {
+		if !plans[k].valid {
+			continue
+		}
+		pos := plans[k].ekiRecv
+		lst := []sharegraph.ReplicaID{sharegraph.ReplicaID(k)}
+		for m := range plans {
+			if m == k || !plans[m].valid {
+				continue
+			}
+			for _, p := range plans[m].incoming {
+				if p.a == pos {
+					lst = append(lst, sharegraph.ReplicaID(m))
+					break
+				}
+			}
+		}
+		out[k] = lst
+	}
+	return out
 }
 
 func buildPlan(gi, gk *sharegraph.TSGraph, i, k sharegraph.ReplicaID) deliveryPlan {
@@ -180,10 +217,47 @@ func (s *Space) Advance(i sharegraph.ReplicaID, τ Vec, x sharegraph.Register) V
 	return out
 }
 
+// AdvanceInPlace is Advance without the defensive copy, for hot paths
+// that own τ.
+func (s *Space) AdvanceInPlace(i sharegraph.ReplicaID, τ Vec, x sharegraph.Register) {
+	for _, idx := range s.advanceIdx[i][x] {
+		τ[idx]++
+	}
+}
+
 // AdvanceIndexes returns the positions in τ_i incremented by a write to x
 // at replica i (diagnostics and compression use this).
 func (s *Space) AdvanceIndexes(i sharegraph.ReplicaID, x sharegraph.Register) []int {
 	return s.advanceIdx[i][x]
+}
+
+// SeqPos returns the position of e_{ki} in SENDER k's edge order. Because
+// every update k sends to i is a write to some register in X_ki, advance
+// increments that counter on exactly the writes i receives, so the value
+// at this position is a consecutive per-receiver sequence number
+// (1, 2, 3, …): the key the indexed delivery engine files pending updates
+// under. ok is false when either side does not track e_{ki}, in which case
+// predicate J can never admit an update from k at i.
+func (s *Space) SeqPos(i, k sharegraph.ReplicaID) (int, bool) {
+	p := &s.plans[i][k]
+	return p.ekiSend, p.valid
+}
+
+// GatePos returns the position of e_{ki} in RECEIVER i's edge order — the
+// "gate" counter that predicate J compares the sender sequence number
+// against: an update with sequence s is deliverable only once
+// τ_i[gate] = s − 1.
+func (s *Space) GatePos(i, k sharegraph.ReplicaID) (int, bool) {
+	p := &s.plans[i][k]
+	return p.ekiRecv, p.valid
+}
+
+// RecheckOnApply returns the senders whose delivery predicate at i may
+// newly hold after i applies an update from k (k first, then every sender
+// whose predicate reads e_{ki}). The slice is shared; callers must not
+// modify it.
+func (s *Space) RecheckOnApply(i, k sharegraph.ReplicaID) []sharegraph.ReplicaID {
+	return s.recheck[i][k]
 }
 
 // Merge implements merge(i, τ_i, k, T): element-wise max over E_i ∩ E_k,
@@ -244,19 +318,55 @@ func EncodedSize(v Vec) int {
 // Encode serializes v with varint encoding (length-prefixed). The wire
 // format is what the metadata-size experiments measure.
 func Encode(v Vec) []byte {
-	out := make([]byte, 0, 2+len(v))
+	return EncodeTo(make([]byte, 0, EncodedSize(v)), v)
+}
+
+// EncodeTo appends the encoding of v to dst and returns the extended
+// slice, allocating only if dst lacks capacity. Hot paths size dst with
+// EncodedSize and reuse it across calls.
+func EncodeTo(dst []byte, v Vec) []byte {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], uint64(len(v)))
-	out = append(out, buf[:n]...)
+	dst = append(dst, buf[:n]...)
 	for _, x := range v {
 		n = binary.PutUvarint(buf[:], x)
-		out = append(out, buf[:n]...)
+		dst = append(dst, buf[:n]...)
 	}
-	return out
+	return dst
 }
 
 // Decode parses a vector produced by Encode.
 func Decode(data []byte) (Vec, error) {
+	return DecodeInto(nil, data)
+}
+
+// DecodeReuse parses a vector produced by Encode into storage recycled
+// from free when available; on error the popped buffer is returned to the
+// freelist. Delivery engines feed vectors freed by applies back through
+// this so steady-state ingestion does not allocate.
+func DecodeReuse(free *[]Vec, data []byte) (Vec, error) {
+	var buf Vec
+	if ln := len(*free); ln > 0 {
+		buf = (*free)[ln-1]
+		*free = (*free)[:ln-1]
+	}
+	v, err := DecodeInto(buf, data)
+	if err != nil {
+		if buf != nil {
+			*free = append(*free, buf)
+		}
+		return nil, err
+	}
+	return v, nil
+}
+
+// DecodeInto parses a vector produced by Encode into dst's storage,
+// growing it only when the capacity is insufficient, and returns the
+// parsed vector. On error dst's contents are unspecified but its storage
+// is still usable for a later call. The delivery engines recycle decoded
+// vectors through DecodeInto so steady-state message ingestion does not
+// allocate.
+func DecodeInto(dst Vec, data []byte) (Vec, error) {
 	ln, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, fmt.Errorf("timestamp: corrupt length prefix")
@@ -265,7 +375,12 @@ func Decode(data []byte) (Vec, error) {
 		return nil, fmt.Errorf("timestamp: implausible length %d for %d bytes", ln, len(data))
 	}
 	data = data[n:]
-	out := make(Vec, ln)
+	var out Vec
+	if uint64(cap(dst)) >= ln {
+		out = dst[:ln]
+	} else {
+		out = make(Vec, ln)
+	}
 	for i := range out {
 		x, n := binary.Uvarint(data)
 		if n <= 0 {

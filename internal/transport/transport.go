@@ -14,8 +14,18 @@ import (
 // Pool is the multiset of in-flight messages. The zero value is ready to
 // use. Pool is not safe for concurrent use; the deterministic runner owns
 // it single-threaded.
+//
+// Messages live in arrival order in one slice with a head index; Take
+// shifts whichever side of the removal point is shorter, so taking the
+// oldest message (FIFO schedules) or the newest (LIFO schedules) is O(1)
+// and a uniformly random pick moves at most half the live region. The
+// dead prefix left by head removals is reclaimed by amortized O(1)
+// compaction. Relative message order is preserved bit-for-bit, so every
+// scheduler sees exactly the ordering the previous append-copy
+// implementation produced.
 type Pool struct {
 	msgs []core.Envelope
+	head int
 }
 
 // Add inserts messages into the pool.
@@ -24,18 +34,46 @@ func (p *Pool) Add(envs ...core.Envelope) {
 }
 
 // Len returns the number of in-flight messages.
-func (p *Pool) Len() int { return len(p.msgs) }
+func (p *Pool) Len() int { return len(p.msgs) - p.head }
 
 // Peek returns the message at index idx without removing it.
-func (p *Pool) Peek(idx int) core.Envelope { return p.msgs[idx] }
+func (p *Pool) Peek(idx int) core.Envelope { return p.msgs[p.head+idx] }
 
 // Take removes and returns the message at index idx. Removal preserves
 // the relative order of the remaining messages, so FIFO scheduling over
 // the pool really is per-arrival FIFO.
 func (p *Pool) Take(idx int) core.Envelope {
-	m := p.msgs[idx]
-	p.msgs = append(p.msgs[:idx], p.msgs[idx+1:]...)
+	i := p.head + idx
+	m := p.msgs[i]
+	if i-p.head <= len(p.msgs)-1-i {
+		// Shift the (shorter) prefix right; vacated slots are zeroed so
+		// the pool does not pin delivered metadata buffers.
+		copy(p.msgs[p.head+1:i+1], p.msgs[p.head:i])
+		p.msgs[p.head] = core.Envelope{}
+		p.head++
+		if p.head > len(p.msgs)/2 && p.head >= 64 {
+			p.compact()
+		}
+	} else {
+		copy(p.msgs[i:], p.msgs[i+1:])
+		p.msgs[len(p.msgs)-1] = core.Envelope{}
+		p.msgs = p.msgs[:len(p.msgs)-1]
+	}
 	return m
+}
+
+// compact slides the live region back to the front of the backing array,
+// reclaiming the dead prefix. Triggered only once the prefix dominates,
+// its O(live) cost amortizes to O(1) per Take.
+func (p *Pool) compact() {
+	live := len(p.msgs) - p.head
+	copy(p.msgs, p.msgs[p.head:])
+	tail := p.msgs[live:]
+	for j := range tail {
+		tail[j] = core.Envelope{}
+	}
+	p.msgs = p.msgs[:live]
+	p.head = 0
 }
 
 // Scheduler picks which of n pending choices happens next. Implementations

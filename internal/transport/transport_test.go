@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -18,6 +19,78 @@ func TestPoolOrderPreserved(t *testing.T) {
 	// Remaining order must be 1, 3.
 	if p.Peek(0).Val != 1 || p.Peek(1).Val != 3 {
 		t.Errorf("order broken: %v %v", p.Peek(0).Val, p.Peek(1).Val)
+	}
+}
+
+// TestPoolMatchesReference differentially tests the head-indexed pool
+// against the obvious append-copy implementation under a random mix of
+// adds and takes at arbitrary indexes: every Take must return the same
+// message and leave the same relative order, across compactions.
+func TestPoolMatchesReference(t *testing.T) {
+	var p Pool
+	var ref []core.Envelope
+	rng := rand.New(rand.NewSource(42))
+	next := int64(0)
+	for op := 0; op < 20000; op++ {
+		if p.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, reference %d", op, p.Len(), len(ref))
+		}
+		if len(ref) == 0 || rng.Intn(3) == 0 {
+			burst := 1 + rng.Intn(3)
+			for b := 0; b < burst; b++ {
+				env := core.Envelope{Val: core.Value(next)}
+				next++
+				p.Add(env)
+				ref = append(ref, env)
+			}
+			continue
+		}
+		// Bias picks toward the ends to exercise the O(1) paths and the
+		// compaction trigger, with arbitrary middles mixed in.
+		var idx int
+		switch rng.Intn(4) {
+		case 0:
+			idx = 0
+		case 1:
+			idx = len(ref) - 1
+		default:
+			idx = rng.Intn(len(ref))
+		}
+		got := p.Take(idx)
+		want := ref[idx]
+		ref = append(ref[:idx], ref[idx+1:]...)
+		if got.Val != want.Val {
+			t.Fatalf("op %d: Take(%d) = %v, want %v", op, idx, got.Val, want.Val)
+		}
+		if len(ref) > 0 {
+			spot := rng.Intn(len(ref))
+			if p.Peek(spot).Val != ref[spot].Val {
+				t.Fatalf("op %d: Peek(%d) = %v, want %v", op, spot, p.Peek(spot).Val, ref[spot].Val)
+			}
+		}
+	}
+}
+
+// TestPoolFIFODrainCompacts drives the pure-FIFO pattern that builds the
+// dead prefix and verifies draining to empty across compactions.
+func TestPoolFIFODrainCompacts(t *testing.T) {
+	var p Pool
+	const total = 500
+	for i := 0; i < total; i++ {
+		p.Add(core.Envelope{Val: core.Value(i)})
+	}
+	for i := 0; i < total; i++ {
+		if got := p.Take(0); got.Val != core.Value(i) {
+			t.Fatalf("Take #%d = %v", i, got.Val)
+		}
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d after drain", p.Len())
+	}
+	// Pool remains usable after full drain.
+	p.Add(core.Envelope{Val: 999})
+	if p.Len() != 1 || p.Take(0).Val != 999 {
+		t.Fatal("pool unusable after drain")
 	}
 }
 

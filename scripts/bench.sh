@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench.sh — run the root benchmark suite with allocation reporting and
+# capture the results as JSON, starting the repository's performance
+# trajectory (BENCH_PR<n>.json per PR; compare with benchstat or jq).
+#
+# Usage: scripts/bench.sh [output.json] [go-bench-regex]
+#   default output: BENCH_PR1.json at the repo root
+#   default regex:  . (every benchmark in the root harness)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+pattern="${2:-.}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "running benchmarks (pattern: $pattern) ..." >&2
+go test -run xxx -bench "$pattern" -benchmem -benchtime 1s . | tee "$tmp" >&2
+
+# Convert `go test -bench` lines into a JSON array. Fields beyond the
+# canonical ns/op, B/op and allocs/op (custom ReportMetric values such as
+# ops/s or metaB/msg) are kept as extra key/value pairs.
+awk '
+/^Benchmark/ {
+    n = split($0, f, /[ \t]+/)
+    printf "%s{\"name\":\"%s\",\"iterations\":%s", sep, f[1], f[2]
+    for (i = 3; i + 1 <= n; i += 2) {
+        unit = f[i+1]
+        gsub(/"/, "", unit)
+        printf ",\"%s\":%s", unit, f[i]
+    }
+    printf "}"
+    sep = ",\n"
+}
+BEGIN { printf "[" }
+END   { print "]" }
+' "$tmp" > "$out"
+
+echo "wrote $out" >&2
