@@ -8,7 +8,10 @@ package prcc
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/causality"
@@ -380,7 +383,59 @@ func BenchmarkDrainOutOfOrder(b *testing.B) {
 	}
 }
 
-// BenchmarkLiveCluster measures the goroutine runtime end to end.
+// BenchmarkClusterThroughput measures the live worker-pool runtime at
+// scale: Ring(32) at 10k concurrent client ops end to end — oracle audit,
+// inbox backpressure and quiesce included. A sampler asserts the runtime
+// property that makes this size reachable at all: the goroutine count
+// stays at workers + drivers + constant overhead, never O(messages) as
+// under the old goroutine-per-message dispatch.
+func BenchmarkClusterThroughput(b *testing.B) {
+	g := sharegraph.Ring(32)
+	p, err := core.NewEdgeIndexed(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ops = 10000
+	const workers = 8
+	script := workload.Uniform(g, ops, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		base := runtime.NumGoroutine()
+		c, err := sim.NewCluster(g, p, sim.WithWorkers(workers), sim.WithSeed(int64(n+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var peak atomic.Int64
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+						peak.Store(g)
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+		violations := c.RunScript(script)
+		close(stop)
+		if len(violations) != 0 || c.PendingTotal() != 0 {
+			b.Fatalf("live run not clean: %d violations, %d stuck", len(violations), c.PendingTotal())
+		}
+		c.Close()
+		if bound := int64(base + workers + g.NumReplicas() + 8); peak.Load() > bound {
+			b.Fatalf("goroutine count %d exceeds worker-pool bound %d", peak.Load(), bound)
+		}
+	}
+	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkLiveCluster measures the worker-pool runtime end to end on the
+// quickstart system (small topology, per-write cost dominated).
 func BenchmarkLiveCluster(b *testing.B) {
 	sys, err := New([][]Register{{"x"}, {"x", "y"}, {"y", "z"}, {"z"}})
 	if err != nil {

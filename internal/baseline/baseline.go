@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/causality"
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/sharegraph"
 	"repro/internal/timestamp"
 )
@@ -94,7 +95,7 @@ func (p *FIFOOnly) NewNodes() ([]core.Node, error) {
 			store:  make(map[sharegraph.Register]core.Value),
 		}
 		if !p.naive {
-			fn.queues = make([]map[uint64]core.Envelope, n)
+			fn.q = ingest.NewSenderQueues[fifoPending](n)
 		}
 		nodes[i] = fn
 	}
@@ -120,9 +121,7 @@ type fifoNode struct {
 	naive   bool
 	pending []fifoPending // reference engine
 
-	queues   []map[uint64]core.Envelope // indexed engine: seq-keyed per sender
-	dead     []fifoPending
-	pendingN int
+	q        ingest.SenderQueues[fifoPending] // indexed engine
 	applyBuf []core.Applied
 	vecFree  []timestamp.Vec
 }
@@ -161,33 +160,18 @@ func (n *fifoNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Enve
 		return n.drainNaive(fifoPending{env: env, seq: seq}), nil
 	}
 	from := env.From
-	if seq <= n.recvd[from] {
-		n.dead = append(n.dead, fifoPending{env: env, seq: seq})
-		n.pendingN++
-		return nil, nil
-	}
-	if _, dup := n.queues[from][seq]; dup {
-		n.dead = append(n.dead, fifoPending{env: env, seq: seq})
-		n.pendingN++
-		return nil, nil
-	}
-	if n.queues[from] == nil {
-		n.queues[from] = make(map[uint64]core.Envelope)
-	}
-	n.queues[from][seq] = env
-	n.pendingN++
-	if seq != n.recvd[from]+1 {
+	if !n.q.Offer(int(from), seq, n.recvd[from], fifoPending{env: env, seq: seq}) {
 		return nil, nil
 	}
 	out := n.applyBuf[:0]
 	for {
-		e, ok := n.queues[from][n.recvd[from]+1]
+		u, ok := n.q.Peek(int(from), n.recvd[from]+1)
 		if !ok {
 			break
 		}
-		delete(n.queues[from], n.recvd[from]+1)
-		n.pendingN--
+		n.q.Remove(int(from), n.recvd[from]+1)
 		n.recvd[from]++
+		e := u.env
 		n.store[e.Reg] = e.Val
 		out = append(out, core.Applied{
 			OracleID: e.OracleID, From: e.From, Reg: e.Reg, Val: e.Val,
@@ -233,7 +217,7 @@ func (n *fifoNode) PendingCount() int {
 	if n.naive {
 		return len(n.pending)
 	}
-	return n.pendingN
+	return n.q.Len()
 }
 
 func (n *fifoNode) PendingOracleIDs() []causality.UpdateID {
@@ -244,15 +228,8 @@ func (n *fifoNode) PendingOracleIDs() []causality.UpdateID {
 		}
 		return out
 	}
-	out := make([]causality.UpdateID, 0, n.pendingN)
-	for _, q := range n.queues {
-		for _, e := range q {
-			out = append(out, e.OracleID)
-		}
-	}
-	for _, u := range n.dead {
-		out = append(out, u.env.OracleID)
-	}
+	out := make([]causality.UpdateID, 0, n.q.Len())
+	n.q.All(func(u fifoPending) { out = append(out, u.env.OracleID) })
 	return out
 }
 
@@ -283,9 +260,7 @@ type vectorNode struct {
 	naive   bool
 	pending []vecPending // reference engine
 
-	queues   []map[uint64]vecPending // indexed engine: seq-keyed per sender
-	dead     []vecPending
-	pendingN int
+	q        ingest.SenderQueues[vecPending] // indexed engine
 	applyBuf []core.Applied
 	vecFree  []timestamp.Vec
 }
@@ -333,23 +308,7 @@ func (n *vectorNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.En
 		return n.drainNaive(u), nil
 	}
 	from := env.From
-	seq := w[from]
-	if seq <= n.v[from] {
-		n.dead = append(n.dead, u)
-		n.pendingN++
-		return nil, nil
-	}
-	if _, dup := n.queues[from][seq]; dup {
-		n.dead = append(n.dead, u)
-		n.pendingN++
-		return nil, nil
-	}
-	if n.queues[from] == nil {
-		n.queues[from] = make(map[uint64]vecPending)
-	}
-	n.queues[from][seq] = u
-	n.pendingN++
-	if seq != n.v[from]+1 {
+	if !n.q.Offer(int(from), w[from], n.v[from], u) {
 		return nil, nil
 	}
 	return n.drainHeads(), nil
@@ -362,16 +321,15 @@ func (n *vectorNode) drainHeads() []core.Applied {
 	out := n.applyBuf[:0]
 	for {
 		progress := false
-		for k := range n.queues {
-			if len(n.queues[k]) == 0 {
+		for k := 0; k < n.q.NumSenders(); k++ {
+			if n.q.QueueLen(k) == 0 {
 				continue
 			}
-			u, ok := n.queues[k][n.v[k]+1]
+			u, ok := n.q.Peek(k, n.v[k]+1)
 			if !ok || !n.vectorDeliverable(u) {
 				continue
 			}
-			delete(n.queues[k], n.v[k]+1)
-			n.pendingN--
+			n.q.Remove(k, n.v[k]+1)
 			for p := range n.v {
 				if u.w[p] > n.v[p] {
 					n.v[p] = u.w[p]
@@ -455,7 +413,7 @@ func (n *vectorNode) PendingCount() int {
 	if n.naive {
 		return len(n.pending)
 	}
-	return n.pendingN
+	return n.q.Len()
 }
 
 func (n *vectorNode) PendingOracleIDs() []causality.UpdateID {
@@ -468,19 +426,12 @@ func (n *vectorNode) PendingOracleIDs() []causality.UpdateID {
 		}
 		return out
 	}
-	out := make([]causality.UpdateID, 0, n.pendingN)
-	for _, q := range n.queues {
-		for _, u := range q {
-			if !u.env.MetaOnly {
-				out = append(out, u.env.OracleID)
-			}
-		}
-	}
-	for _, u := range n.dead {
+	out := make([]causality.UpdateID, 0, n.q.Len())
+	n.q.All(func(u vecPending) {
 		if !u.env.MetaOnly {
 			out = append(out, u.env.OracleID)
 		}
-	}
+	})
 	return out
 }
 
@@ -550,7 +501,7 @@ func newVectorNode(g *sharegraph.Graph, id sharegraph.ReplicaID, proto string, b
 		store: make(map[sharegraph.Register]core.Value),
 	}
 	if !naive {
-		n.queues = make([]map[uint64]vecPending, g.NumReplicas())
+		n.q = ingest.NewSenderQueues[vecPending](g.NumReplicas())
 	}
 	return n
 }
@@ -589,7 +540,7 @@ func (p *Matrix) NewNodes() ([]core.Node, error) {
 			store: make(map[sharegraph.Register]core.Value),
 		}
 		if !p.naive {
-			mn.queues = make([]map[uint64]matrixPending, n)
+			mn.q = ingest.NewSenderQueues[matrixPending](n)
 		}
 		nodes[i] = mn
 	}
@@ -616,9 +567,7 @@ type matrixNode struct {
 	naive   bool
 	pending []matrixPending // reference engine
 
-	queues   []map[uint64]matrixPending // indexed engine: seq-keyed per sender
-	dead     []matrixPending
-	pendingN int
+	q        ingest.SenderQueues[matrixPending] // indexed engine
 	applyBuf []core.Applied
 	vecFree  []timestamp.Vec
 }
@@ -660,24 +609,7 @@ func (n *matrixNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.En
 		return n.drainNaive(u), nil
 	}
 	from := env.From
-	seq := n.at(w, from, n.id)
-	gate := n.at(n.m, from, n.id)
-	if seq <= gate {
-		n.dead = append(n.dead, u)
-		n.pendingN++
-		return nil, nil
-	}
-	if _, dup := n.queues[from][seq]; dup {
-		n.dead = append(n.dead, u)
-		n.pendingN++
-		return nil, nil
-	}
-	if n.queues[from] == nil {
-		n.queues[from] = make(map[uint64]matrixPending)
-	}
-	n.queues[from][seq] = u
-	n.pendingN++
-	if seq != gate+1 {
+	if !n.q.Offer(int(from), n.at(w, from, n.id), n.at(n.m, from, n.id), u) {
 		return nil, nil
 	}
 	return n.drainHeads(), nil
@@ -689,17 +621,16 @@ func (n *matrixNode) drainHeads() []core.Applied {
 	out := n.applyBuf[:0]
 	for {
 		progress := false
-		for k := range n.queues {
-			if len(n.queues[k]) == 0 {
+		for k := 0; k < n.q.NumSenders(); k++ {
+			if n.q.QueueLen(k) == 0 {
 				continue
 			}
 			key := n.at(n.m, sharegraph.ReplicaID(k), n.id) + 1
-			u, ok := n.queues[k][key]
+			u, ok := n.q.Peek(k, key)
 			if !ok || !n.matrixDeliverable(u) {
 				continue
 			}
-			delete(n.queues[k], key)
-			n.pendingN--
+			n.q.Remove(k, key)
 			for p := range n.m {
 				if u.w[p] > n.m[p] {
 					n.m[p] = u.w[p]
@@ -779,7 +710,7 @@ func (n *matrixNode) PendingCount() int {
 	if n.naive {
 		return len(n.pending)
 	}
-	return n.pendingN
+	return n.q.Len()
 }
 
 func (n *matrixNode) PendingOracleIDs() []causality.UpdateID {
@@ -790,15 +721,8 @@ func (n *matrixNode) PendingOracleIDs() []causality.UpdateID {
 		}
 		return out
 	}
-	out := make([]causality.UpdateID, 0, n.pendingN)
-	for _, q := range n.queues {
-		for _, u := range q {
-			out = append(out, u.env.OracleID)
-		}
-	}
-	for _, u := range n.dead {
-		out = append(out, u.env.OracleID)
-	}
+	out := make([]causality.UpdateID, 0, n.q.Len())
+	n.q.All(func(u matrixPending) { out = append(out, u.env.OracleID) })
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"log"
 
 	"repro/internal/causality"
+	"repro/internal/ingest"
 	"repro/internal/sharegraph"
 	"repro/internal/timestamp"
 )
@@ -107,7 +108,7 @@ func (p *EdgeIndexed) NewNodes() ([]Node, error) {
 			store:     make(map[sharegraph.Register]Value, p.g.Stores(id).Len()),
 		}
 		if !p.naive {
-			en.queues = make([]senderQueue, n)
+			en.q = ingest.NewSenderQueues[pendingUpdate](n)
 			en.inWork = make([]bool, n)
 		}
 		nodes[i] = en
@@ -125,21 +126,14 @@ type pendingUpdate struct {
 	oracleID causality.UpdateID
 }
 
-// senderQueue buffers the not-yet-deliverable updates from one sender,
-// keyed by the update's e_{ki} counter (its per-receiver sequence number).
-// Predicate J admits an update only when its sequence number is exactly
-// one past the receiver's gate counter, so at most one entry — the exact
-// key gate+1 — can ever be deliverable, and lookup is O(1).
-type senderQueue struct {
-	bySeq map[uint64]pendingUpdate
-}
-
 // edgeNode is one replica running the Section 3.3 algorithm. The default
 // delivery engine exploits the structure of predicate J: updates are filed
-// in per-sender queues keyed by their e_{ki} sequence number, and after
-// each merge only the sender heads whose gate counter just advanced are
-// re-examined — O(1) amortized per message instead of the reference
-// engine's O(P²) full-buffer rescans.
+// in ingest.SenderQueues keyed by their e_{ki} sequence number (predicate
+// J admits an update only when that number is exactly one past the
+// receiver's gate counter, so at most one entry per sender can ever be
+// deliverable), and after each merge only the sender heads whose gate
+// counter just advanced are re-examined — O(1) amortized per message
+// instead of the reference engine's O(P²) full-buffer rescans.
 type edgeNode struct {
 	id        sharegraph.ReplicaID
 	g         *sharegraph.Graph
@@ -153,9 +147,7 @@ type edgeNode struct {
 	pending []pendingUpdate
 
 	// Indexed engine state.
-	queues   []senderQueue // one per sender replica
-	dead     []pendingUpdate
-	pendingN int
+	q ingest.SenderQueues[pendingUpdate]
 
 	// Reusable scratch, valid until the next call on this node.
 	applyBuf []Applied
@@ -231,33 +223,14 @@ func (n *edgeNode) HandleMessage(env Envelope) ([]Applied, []Envelope) {
 		// message): predicate J can never admit this update. Park it with
 		// the dead buffer so pending accounting matches the reference
 		// engine, which keeps rescanning it forever in vain.
-		n.dead = append(n.dead, u)
-		n.pendingN++
+		n.q.Park(u)
 		return nil, nil
 	}
 	gatePos, _ := n.space.GatePos(n.id, env.From)
-	seq := ts[seqPos]
-	gate := n.τ[gatePos]
-	q := &n.queues[env.From]
-	if seq <= gate {
-		// The gate only grows, so strict equality τ[e_ki] = seq − 1 can
-		// never hold again; undeliverable forever (reliable transport
-		// never produces this, but corrupt or replayed metadata could).
-		n.dead = append(n.dead, u)
-		n.pendingN++
-		return nil, nil
-	}
-	if _, dup := q.bySeq[seq]; dup {
-		n.dead = append(n.dead, u)
-		n.pendingN++
-		return nil, nil
-	}
-	if q.bySeq == nil {
-		q.bySeq = make(map[uint64]pendingUpdate)
-	}
-	q.bySeq[seq] = u
-	n.pendingN++
-	if seq != gate+1 {
+	// Stale sequence numbers park dead: the gate only grows, so strict
+	// equality τ[e_ki] = seq − 1 can never hold again (reliable transport
+	// never produces this, but corrupt or replayed metadata could).
+	if !n.q.Offer(int(env.From), ts[seqPos], n.τ[gatePos], u) {
 		// Nothing in τ changed; no other buffered update can have become
 		// deliverable. Most out-of-order arrivals take this O(1) exit.
 		return nil, nil
@@ -284,14 +257,12 @@ func (n *edgeNode) drainFrom(k sharegraph.ReplicaID) []Applied {
 		if !ok {
 			continue
 		}
-		q := &n.queues[j]
 		for {
-			u, ok := q.bySeq[n.τ[gatePos]+1]
+			u, ok := n.q.Peek(int(j), n.τ[gatePos]+1)
 			if !ok || !n.space.Deliverable(n.id, n.τ, j, u.ts) {
 				break
 			}
-			delete(q.bySeq, n.τ[gatePos]+1)
-			n.pendingN--
+			n.q.Remove(int(j), n.τ[gatePos]+1)
 			if !u.metaOnly {
 				n.store[u.reg] = u.val
 			}
@@ -305,7 +276,7 @@ func (n *edgeNode) drainFrom(k sharegraph.ReplicaID) []Applied {
 			// j's own next head is retried by this loop; queue the other
 			// affected senders.
 			for _, m := range n.space.RecheckOnApply(n.id, j) {
-				if m != j && !n.inWork[m] && len(n.queues[m].bySeq) > 0 {
+				if m != j && !n.inWork[m] && n.q.QueueLen(int(m)) > 0 {
 					work = append(work, m)
 					n.inWork[m] = true
 				}
@@ -362,7 +333,7 @@ func (n *edgeNode) PendingCount() int {
 	if n.naive {
 		return len(n.pending)
 	}
-	return n.pendingN
+	return n.q.Len()
 }
 
 func (n *edgeNode) PendingOracleIDs() []causality.UpdateID {
@@ -375,19 +346,12 @@ func (n *edgeNode) PendingOracleIDs() []causality.UpdateID {
 		}
 		return out
 	}
-	out := make([]causality.UpdateID, 0, n.pendingN)
-	for k := range n.queues {
-		for _, u := range n.queues[k].bySeq {
-			if !u.metaOnly {
-				out = append(out, u.oracleID)
-			}
-		}
-	}
-	for _, u := range n.dead {
+	out := make([]causality.UpdateID, 0, n.q.Len())
+	n.q.All(func(u pendingUpdate) {
 		if !u.metaOnly {
 			out = append(out, u.oracleID)
 		}
-	}
+	})
 	return out
 }
 

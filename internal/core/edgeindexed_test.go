@@ -210,7 +210,7 @@ func BenchmarkHandleMessage(b *testing.B) {
 		recv.HandleMessage(envs[0])
 		// Reset the timestamp so the predicate outcome stays constant; the
 		// indexed queues self-clean on apply (asserted once, cheaply).
-		if recv.pendingN != 0 {
+		if recv.PendingCount() != 0 {
 			b.Fatal("queue did not drain")
 		}
 		recv.τ = recv.space.Zero(1)

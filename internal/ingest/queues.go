@@ -1,0 +1,113 @@
+// Package ingest implements the per-sender buffering every indexed
+// delivery engine in this repository shares. All four protocols
+// (edge-indexed, fifo-only, the vector-clock pair, matrix) gate delivery
+// from a given sender on a per-receiver sequence number that each send
+// advances by exactly one, so a receiver can file buffered updates in
+// per-sender queues keyed by that number: an out-of-order arrival is one
+// map insert, and at most one entry per sender — the exact key gate+1 —
+// can ever be deliverable. SenderQueues centralizes that filing logic
+// (range and duplicate guards, lazy map initialization, the gate
+// comparison, dead parking, pending accounting), which before this package
+// was instantiated separately in core.edgeNode and the three baseline
+// nodes.
+package ingest
+
+// SenderQueues buffers not-yet-deliverable updates of type P, one queue
+// per sender, keyed by the update's per-receiver sequence number. The
+// zero value is not ready to use; construct with NewSenderQueues.
+//
+// SenderQueues does not evaluate the protocol's full deliverability
+// predicate — only its sequence-number skeleton. Callers keep the gate
+// counters (they live inside protocol timestamps) and run the full
+// predicate on queue heads via Peek before committing with Remove.
+type SenderQueues[P any] struct {
+	queues []map[uint64]P
+	// dead parks updates the predicate can never admit again: replayed or
+	// stale sequence numbers (the gate only grows, so strict equality
+	// gate+1 = seq can never hold), duplicates of an already-filed key,
+	// and updates whose sender edge is untracked. They stay counted in
+	// Len so pending accounting matches the reference rescan engines,
+	// which keep rescanning such updates forever in vain.
+	dead []P
+	n    int
+}
+
+// NewSenderQueues builds queues for the given number of senders.
+func NewSenderQueues[P any](senders int) SenderQueues[P] {
+	return SenderQueues[P]{queues: make([]map[uint64]P, senders)}
+}
+
+// NumSenders returns the number of per-sender queues. Callers must
+// bounds-check envelope senders against the replica set before filing
+// (the guard lives with the protocols, which also serve the reference
+// engines and log with protocol context); Offer indexes by sender
+// unchecked.
+func (q *SenderQueues[P]) NumSenders() int { return len(q.queues) }
+
+// Offer files update u from sender from, carrying sequence number seq,
+// given the receiver's current gate counter for that sender. Stale
+// sequence numbers (seq ≤ gate) and duplicates of an already-filed key
+// are parked dead. It returns true exactly when seq == gate+1, i.e. when
+// the sender's queue head may now satisfy the full predicate and the
+// caller should drain.
+func (q *SenderQueues[P]) Offer(from int, seq, gate uint64, u P) bool {
+	q.n++
+	if seq <= gate {
+		q.dead = append(q.dead, u)
+		return false
+	}
+	m := q.queues[from]
+	if _, dup := m[seq]; dup {
+		q.dead = append(q.dead, u)
+		return false
+	}
+	if m == nil {
+		m = make(map[uint64]P)
+		q.queues[from] = m
+	}
+	m[seq] = u
+	return seq == gate+1
+}
+
+// Park files an update that can never become deliverable regardless of
+// sequence number — e.g. the edge-indexed protocol receiving from a
+// sender whose edge counter its truncated timestamp graph does not track.
+func (q *SenderQueues[P]) Park(u P) {
+	q.dead = append(q.dead, u)
+	q.n++
+}
+
+// Peek returns the update filed under seq for the given sender, without
+// removing it.
+func (q *SenderQueues[P]) Peek(from int, seq uint64) (P, bool) {
+	u, ok := q.queues[from][seq]
+	return u, ok
+}
+
+// Remove unfiles the update at (from, seq) after the caller applied it.
+func (q *SenderQueues[P]) Remove(from int, seq uint64) {
+	delete(q.queues[from], seq)
+	q.n--
+}
+
+// Len returns the number of buffered updates, counting dead-parked ones —
+// the pending_i set size of the replica prototype.
+func (q *SenderQueues[P]) Len() int { return q.n }
+
+// QueueLen returns the number of live (non-dead) updates buffered from
+// one sender. Drain loops use it to skip senders with nothing filed.
+func (q *SenderQueues[P]) QueueLen(from int) int { return len(q.queues[from]) }
+
+// All calls yield for every buffered update — live queues first, then the
+// dead parking — in unspecified order. False-dependency accounting and
+// diagnostics use it; protocols must not.
+func (q *SenderQueues[P]) All(yield func(P)) {
+	for _, m := range q.queues {
+		for _, u := range m {
+			yield(u)
+		}
+	}
+	for _, u := range q.dead {
+		yield(u)
+	}
+}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,41 +14,112 @@ import (
 	"repro/internal/workload"
 )
 
-// Cluster runs one goroutine-free node per replica behind per-node locks,
-// delivering every message on its own goroutine after a pseudo-random
-// delay — a live concurrent runtime over the same protocol state machines
-// the deterministic runner drives. Message delays make delivery order
-// non-FIFO, as the paper's system model demands.
+// Cluster is the live concurrent runtime over the same protocol state
+// machines the deterministic runner drives: a fixed pool of delivery
+// workers pulls messages from bounded per-replica inboxes and feeds them
+// to lock-protected nodes.
+//
+// The transport preserves the paper's system model — reliable,
+// point-to-point, NOT FIFO — without spawning a goroutine per message:
+// each worker takes a uniformly random buffered message from an inbox
+// (a seeded per-inbox shuffle), so delivery order is arbitrarily reordered
+// even though the goroutine count stays fixed at the worker-pool size.
+//
+// Backpressure contract: client writes (Write, RunScript drivers) block
+// while a destination inbox is at capacity, so a fast writer cannot grow
+// memory without bound — the inbox bound replaces the unbounded goroutine
+// fanout of the previous runtime. Deliveries that forward messages
+// (relaying protocols) enqueue above capacity rather than block: a worker
+// that blocked on a full inbox could deadlock the pool, and bounded
+// worker count already bounds the transient overshoot to one fanout per
+// worker.
 type Cluster struct {
 	g       *sharegraph.Graph
 	tracker *causality.Tracker
 	nodes   []core.Node
 	nodeMu  []sync.Mutex
 
+	workers  int
+	capacity int
 	maxDelay time.Duration
-	seq      atomic.Uint64 // per-message counter driving delay jitter
+	seed     int64
+	seq      atomic.Uint64 // per-delivery counter driving delay jitter
 
-	mu          sync.Mutex
-	cond        *sync.Cond
+	// mu guards the inboxes, the ready queue and the lifecycle flags.
+	// Buffer operations under it are O(1); protocol work happens outside
+	// it under the per-node locks.
+	mu        sync.Mutex
+	workAvail *sync.Cond // a ready entry was pushed, or shutdown began
+	spaceCond *sync.Cond // an inbox crossed back below capacity
+	idleCond  *sync.Cond // outstanding hit zero
+	inboxes   []inbox
+	ready     []sharegraph.ReplicaID // non-empty inboxes, FIFO, deduplicated
+	readyHead int
+	// outstanding counts messages buffered in inboxes plus messages a
+	// worker is currently delivering (a delivery's forwards are enqueued
+	// before its own count drops, so the counter never dips to zero while
+	// causally-produced work remains).
 	outstanding int
-	closed      bool
+	closed      bool // Write rejects new client operations
+	stopping    bool // workers exit once the ready queue is empty
 	wg          sync.WaitGroup
 
 	msgs      atomic.Int64
 	metaBytes atomic.Int64
 }
 
+// inbox buffers in-flight messages destined for one replica. Guarded by
+// Cluster.mu.
+type inbox struct {
+	buf []core.Envelope
+	rng *rand.Rand // seeded shuffle: which buffered message delivers next
+	// queued marks the replica as present in the ready queue, keeping at
+	// most one entry per replica there.
+	queued bool
+}
+
 // ClusterOption customizes a Cluster.
 type ClusterOption func(*Cluster)
 
-// WithMaxDelay sets the maximum artificial delivery delay (default 1ms).
-// Zero disables delays (messages still hop goroutines, so order remains
-// nondeterministic).
+// WithMaxDelay sets the maximum artificial delivery delay (default 0).
+// A delivering worker sleeps up to this long before handling a message,
+// adding wall-clock jitter on top of the inbox shuffle's reordering; with
+// a bounded worker pool it also throttles throughput, which is the point
+// in stress tests.
 func WithMaxDelay(d time.Duration) ClusterOption {
 	return func(c *Cluster) { c.maxDelay = d }
 }
 
-// NewCluster builds and starts a live cluster for the protocol.
+// WithWorkers sets the delivery worker-pool size. The default is
+// GOMAXPROCS but at least 2; an explicit n is used as given.
+func WithWorkers(n int) ClusterOption {
+	return func(c *Cluster) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// WithInboxCapacity bounds each replica's inbox (default 1024). Client
+// writes block while a destination inbox is full.
+func WithInboxCapacity(n int) ClusterOption {
+	return func(c *Cluster) {
+		if n > 0 {
+			c.capacity = n
+		}
+	}
+}
+
+// WithSeed seeds the per-inbox delivery shuffles (default 1). Two runs
+// with the same seed still interleave differently — goroutine scheduling
+// stays nondeterministic — but the seed varies which reorderings the
+// shuffle explores.
+func WithSeed(seed int64) ClusterOption {
+	return func(c *Cluster) { c.seed = seed }
+}
+
+// NewCluster builds and starts a live cluster for the protocol. The
+// worker pool runs until Close.
 func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOption) (*Cluster, error) {
 	nodes, err := protocol.NewNodes()
 	if err != nil {
@@ -57,11 +130,25 @@ func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOpti
 		tracker:  causality.NewTracker(g),
 		nodes:    nodes,
 		nodeMu:   make([]sync.Mutex, len(nodes)),
-		maxDelay: time.Millisecond,
+		workers:  max(2, runtime.GOMAXPROCS(0)),
+		capacity: 1024,
+		seed:     1,
 	}
-	c.cond = sync.NewCond(&c.mu)
 	for _, o := range opts {
 		o(c)
+	}
+	c.workAvail = sync.NewCond(&c.mu)
+	c.spaceCond = sync.NewCond(&c.mu)
+	c.idleCond = sync.NewCond(&c.mu)
+	c.inboxes = make([]inbox, len(nodes))
+	for r := range c.inboxes {
+		// Distinct odd multipliers decorrelate the per-inbox streams
+		// derived from one user-facing seed.
+		c.inboxes[r].rng = rand.New(rand.NewSource(c.seed + int64(r+1)*0x4f1bdcdcbfa53e0b))
+	}
+	c.wg.Add(c.workers)
+	for w := 0; w < c.workers; w++ {
+		go c.worker()
 	}
 	return c, nil
 }
@@ -69,7 +156,11 @@ func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOpti
 // Tracker exposes the oracle auditing this cluster.
 func (c *Cluster) Tracker() *causality.Tracker { return c.tracker }
 
-// Write performs a client write at replica r.
+// Workers returns the delivery worker-pool size.
+func (c *Cluster) Workers() int { return c.workers }
+
+// Write performs a client write at replica r, blocking while any
+// destination inbox is at capacity (the backpressure contract).
 func (c *Cluster) Write(r sharegraph.ReplicaID, x sharegraph.Register, v core.Value) error {
 	c.mu.Lock()
 	if c.closed {
@@ -85,7 +176,7 @@ func (c *Cluster) Write(r sharegraph.ReplicaID, x sharegraph.Register, v core.Va
 	if err != nil {
 		return fmt.Errorf("cluster: write at %d: %w", r, err)
 	}
-	c.dispatch(envs)
+	c.enqueue(envs, true)
 	return nil
 }
 
@@ -96,28 +187,109 @@ func (c *Cluster) Read(r sharegraph.ReplicaID, x sharegraph.Register) (core.Valu
 	return c.nodes[r].Read(x)
 }
 
-func (c *Cluster) dispatch(envs []core.Envelope) {
+// enqueue files envelopes into their destination inboxes. With
+// backpressure set (client writes) it blocks while an inbox is full;
+// workers forwarding relayed messages pass false and overshoot instead,
+// which keeps the pool deadlock-free. Envelopes enqueued after shutdown
+// has drained the cluster are dropped — the workers that would deliver
+// them are gone.
+func (c *Cluster) enqueue(envs []core.Envelope, backpressure bool) {
 	if len(envs) == 0 {
 		return
 	}
 	c.mu.Lock()
-	c.outstanding += len(envs)
-	c.mu.Unlock()
 	for _, env := range envs {
+		if backpressure {
+			for len(c.inboxes[env.To].buf) >= c.capacity && !c.stopping {
+				c.spaceCond.Wait()
+			}
+		}
+		if c.stopping {
+			break
+		}
+		ib := &c.inboxes[env.To]
+		ib.buf = append(ib.buf, env)
+		c.outstanding++
 		c.msgs.Add(1)
 		c.metaBytes.Add(int64(len(env.Meta)))
-		env := env
-		c.wg.Add(1)
-		go c.deliver(env)
+		if !ib.queued {
+			ib.queued = true
+			c.pushReady(env.To)
+			c.workAvail.Signal()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// pushReady appends to the ready queue, reclaiming the consumed prefix
+// once it dominates. Caller holds mu.
+func (c *Cluster) pushReady(r sharegraph.ReplicaID) {
+	if c.readyHead > 0 && c.readyHead >= len(c.ready)/2 {
+		c.ready = append(c.ready[:0], c.ready[c.readyHead:]...)
+		c.readyHead = 0
+	}
+	c.ready = append(c.ready, r)
+}
+
+// worker is one delivery loop: pop a replica with buffered messages, take
+// a random one from its inbox, deliver it outside the central lock.
+func (c *Cluster) worker() {
+	defer c.wg.Done()
+	c.mu.Lock()
+	for {
+		for c.readyHead == len(c.ready) && !c.stopping {
+			c.workAvail.Wait()
+		}
+		if c.readyHead == len(c.ready) { // stopping and drained
+			c.mu.Unlock()
+			return
+		}
+		r := c.ready[c.readyHead]
+		c.readyHead++
+		ib := &c.inboxes[r]
+		ib.queued = false
+		if len(ib.buf) == 0 {
+			continue // raced with another worker; nothing left here
+		}
+		// Seeded shuffle: deliver a uniformly random buffered message.
+		// Swap-remove keeps the take O(1); the vacated slot is zeroed so
+		// the inbox does not pin delivered metadata buffers.
+		i := ib.rng.Intn(len(ib.buf))
+		env := ib.buf[i]
+		last := len(ib.buf) - 1
+		ib.buf[i] = ib.buf[last]
+		ib.buf[last] = core.Envelope{}
+		ib.buf = ib.buf[:last]
+		if len(ib.buf) == c.capacity-1 {
+			// Crossed back below the bound: wake blocked writers. Inboxes
+			// can sit above capacity transiently (forward overshoot), in
+			// which case later takes re-cross and re-signal.
+			c.spaceCond.Broadcast()
+		}
+		if len(ib.buf) > 0 && !ib.queued {
+			ib.queued = true
+			c.pushReady(r)
+			c.workAvail.Signal()
+		}
+		c.mu.Unlock()
+
+		c.deliver(env)
+
+		c.mu.Lock()
+		c.outstanding--
+		if c.outstanding == 0 {
+			c.idleCond.Broadcast()
+		}
 	}
 }
 
+// deliver handles one message at its destination node and enqueues any
+// forwards. Forwards are enqueued before the caller decrements
+// outstanding, so the counter never reads zero mid-cascade.
 func (c *Cluster) deliver(env core.Envelope) {
-	defer c.wg.Done()
 	if c.maxDelay > 0 {
-		// splitmix64-style hash of the message sequence number gives a
-		// deterministic-ish jitter without sharing a PRNG across
-		// goroutines.
+		// splitmix64-style hash of the delivery counter gives deterministic-
+		// ish jitter without sharing a PRNG across workers.
 		z := c.seq.Add(1) * 0x9e3779b97f4a7c15
 		z ^= z >> 31
 		time.Sleep(time.Duration(z % uint64(c.maxDelay)))
@@ -128,14 +300,7 @@ func (c *Cluster) deliver(env core.Envelope) {
 		c.tracker.OnApply(env.To, a.OracleID)
 	}
 	c.nodeMu[env.To].Unlock()
-	c.dispatch(fwd)
-
-	c.mu.Lock()
-	c.outstanding--
-	if c.outstanding == 0 {
-		c.cond.Broadcast()
-	}
-	c.mu.Unlock()
+	c.enqueue(fwd, false)
 }
 
 // Quiesce blocks until no messages are in flight. Updates stuck in pending
@@ -144,18 +309,33 @@ func (c *Cluster) deliver(env core.Envelope) {
 func (c *Cluster) Quiesce() {
 	c.mu.Lock()
 	for c.outstanding != 0 {
-		c.cond.Wait()
+		c.idleCond.Wait()
 	}
 	c.mu.Unlock()
 }
 
-// Close waits for all in-flight deliveries to finish and shuts the
-// cluster down. Further writes fail.
+// Close rejects further writes, waits for all in-flight deliveries to
+// drain, and stops the worker pool. It returns only after every worker
+// has exited — no goroutines outlive the cluster.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	c.closed = true
+	for c.outstanding != 0 {
+		c.idleCond.Wait()
+	}
+	c.stopping = true
+	c.workAvail.Broadcast()
+	c.spaceCond.Broadcast()
 	c.mu.Unlock()
 	c.wg.Wait()
+}
+
+// Outstanding returns the number of in-flight messages: buffered in
+// inboxes or currently being delivered. After Close it is zero.
+func (c *Cluster) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.outstanding
 }
 
 // PendingTotal sums buffered-but-unapplied updates across replicas.
@@ -169,6 +349,19 @@ func (c *Cluster) PendingTotal() int {
 	return total
 }
 
+// StateSnapshot returns each replica's current register contents: one map
+// per replica covering the registers it genuinely stores. Call after
+// Quiesce for a stable snapshot.
+func (c *Cluster) StateSnapshot() []map[sharegraph.Register]core.Value {
+	out := make([]map[sharegraph.Register]core.Value, len(c.nodes))
+	for r := range c.nodes {
+		c.nodeMu[r].Lock()
+		out[r] = nodeState(c.g, c.nodes[r], sharegraph.ReplicaID(r))
+		c.nodeMu[r].Unlock()
+	}
+	return out
+}
+
 // MessagesSent returns the number of messages dispatched so far.
 func (c *Cluster) MessagesSent() int64 { return c.msgs.Load() }
 
@@ -176,8 +369,9 @@ func (c *Cluster) MessagesSent() int64 { return c.msgs.Load() }
 func (c *Cluster) MetaBytes() int64 { return c.metaBytes.Load() }
 
 // RunScript executes a workload concurrently: one driver goroutine per
-// replica issues that replica's operations in script order, then the
-// cluster quiesces. Returns the oracle verdicts (including liveness).
+// replica issues that replica's operations in script order (blocking
+// under inbox backpressure), then the cluster quiesces. Returns the
+// oracle verdicts (including liveness).
 func (c *Cluster) RunScript(script workload.Script) []causality.Violation {
 	n := c.g.NumReplicas()
 	queues := make([][]workload.Op, n)
@@ -198,9 +392,13 @@ func (c *Cluster) RunScript(script workload.Script) []causality.Violation {
 					c.Read(sharegraph.ReplicaID(r), op.Reg)
 					continue
 				}
+				v := core.Value(op.Val)
+				if v == 0 {
+					v = core.Value(val.Add(1))
+				}
 				// Errors can only be NotStoredError from a malformed
 				// script; generators never produce those.
-				_ = c.Write(sharegraph.ReplicaID(r), op.Reg, core.Value(val.Add(1)))
+				_ = c.Write(sharegraph.ReplicaID(r), op.Reg, v)
 			}
 		}(r)
 	}

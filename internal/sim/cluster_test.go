@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/optimize"
@@ -120,5 +122,117 @@ func TestClusterQuiesceIdempotent(t *testing.T) {
 	}
 	c.Quiesce() // no traffic: returns immediately
 	c.Quiesce()
+	c.Close()
+}
+
+// TestClusterStressRing32 is the scale workload the goroutine-per-message
+// runtime could never run: 32 replicas, 10k concurrent writes, artificial
+// delivery delays holding messages in flight. The oracle must report zero
+// causal violations, every update must apply (no liveness loss), and
+// Close must leave no outstanding messages or workers behind.
+func TestClusterStressRing32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	g := sharegraph.Ring(32)
+	before := runtime.NumGoroutine()
+	c, err := NewCluster(g, edgeIndexed(t, g),
+		WithWorkers(8), WithInboxCapacity(128),
+		WithMaxDelay(100*time.Microsecond), WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := workload.Uniform(g, 10000, 7)
+	violations := c.RunScript(script)
+	if len(violations) != 0 {
+		t.Errorf("stress run violations: %v", violations[:min(len(violations), 5)])
+	}
+	if p := c.PendingTotal(); p != 0 {
+		t.Errorf("%d updates stuck pending after quiescence", p)
+	}
+	c.Close()
+	if n := c.Outstanding(); n != 0 {
+		t.Errorf("Close left %d outstanding messages", n)
+	}
+	// Workers exited before Close returned; the goroutine count is back
+	// to its pre-cluster baseline (modulo unrelated runtime goroutines).
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines leaked: %d before cluster, %d after Close", before, after)
+	}
+}
+
+// TestClusterBoundedGoroutines pins the worker-pool property directly:
+// while thousands of messages are in flight, the goroutine count stays at
+// workers + drivers + constant overhead — not O(messages).
+func TestClusterBoundedGoroutines(t *testing.T) {
+	g := sharegraph.Ring(16)
+	const workers = 4
+	before := runtime.NumGoroutine()
+	c, err := NewCluster(g, edgeIndexed(t, g), WithWorkers(workers),
+		WithMaxDelay(200*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := workload.Uniform(g, 2000, 5)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.RunScript(script)
+	}()
+	peak := 0
+	for {
+		select {
+		case <-done:
+			if peak > before+workers+g.NumReplicas()+8 {
+				t.Errorf("goroutine count not bounded by pool: peak %d (baseline %d, %d workers, %d drivers)",
+					peak, before, workers, g.NumReplicas())
+			}
+			c.Close()
+			return
+		default:
+			if n := runtime.NumGoroutine(); n > peak {
+				peak = n
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestClusterBackpressureTinyInbox runs with capacity 1, forcing writers
+// to block on nearly every send: the run must still drain cleanly (no
+// deadlock between blocked writers and the worker pool).
+func TestClusterBackpressureTinyInbox(t *testing.T) {
+	g := sharegraph.Ring(5)
+	c, err := NewCluster(g, edgeIndexed(t, g), WithWorkers(2), WithInboxCapacity(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := c.RunScript(workload.Uniform(g, 500, 11)); len(violations) != 0 {
+		t.Errorf("backpressure run violations: %v", violations)
+	}
+	if p := c.PendingTotal(); p != 0 {
+		t.Errorf("%d updates stuck pending", p)
+	}
+	c.Close()
+	if n := c.Outstanding(); n != 0 {
+		t.Errorf("Close left %d outstanding", n)
+	}
+}
+
+// TestClusterRelayBackpressure exercises the forward-exemption path under
+// a tiny inbox bound: relayed messages enqueue above capacity rather than
+// deadlocking the pool.
+func TestClusterRelayBackpressure(t *testing.T) {
+	rb, err := optimize.BreakRing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(rb.Base(), rb, WithWorkers(2), WithInboxCapacity(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := c.RunScript(workload.SharedOnly(rb.Base(), 200, 17)); len(violations) != 0 {
+		t.Errorf("relay backpressure violations: %v", violations)
+	}
 	c.Close()
 }

@@ -1,9 +1,9 @@
 // Package sim drives protocol state machines over the simulated network:
 // a deterministic single-threaded runner (seeded/adversarial schedules,
-// used by the correctness experiments) and a live goroutine-per-replica
-// cluster (used to exercise real concurrency). Both audit executions with
-// the causality oracle and collect the metadata metrics the experiments
-// report.
+// used by the correctness experiments) and a live worker-pool cluster
+// (bounded per-replica inboxes, used to exercise real concurrency at
+// scale). Both audit executions with the causality oracle and collect the
+// metadata metrics the experiments report.
 package sim
 
 import (
@@ -29,6 +29,10 @@ type Config struct {
 	// TrackFalseDeps enables per-step oracle queries on pending updates
 	// (quadratic-ish cost; off for throughput benchmarks).
 	TrackFalseDeps bool
+	// CaptureState fills Result.FinalState with each replica's register
+	// contents at the end of the run, for differential comparison against
+	// other runtimes.
+	CaptureState bool
 }
 
 // Result holds the measurements of one run.
@@ -62,6 +66,11 @@ type Result struct {
 	// Metadata sizing.
 	MetadataEntriesPerReplica []int
 	MaxPending                int
+
+	// FinalState holds each replica's register contents at quiescence
+	// (only the registers it genuinely stores). Nil unless
+	// Config.CaptureState was set.
+	FinalState []map[sharegraph.Register]core.Value
 
 	// Delivery latency, in scheduler steps between an update message
 	// being sent and its value being applied at the destination. Relayed
@@ -182,12 +191,16 @@ func Run(cfg Config) (*Result, error) {
 				nodes[r].Read(op.Reg)
 				res.Reads++
 			} else {
+				v := core.Value(op.Val)
+				if v == 0 {
+					v = nextVal
+					nextVal++
+				}
 				id := tracker.OnIssue(op.Replica, op.Reg)
-				envs, err := nodes[r].HandleWrite(op.Reg, nextVal, id)
+				envs, err := nodes[r].HandleWrite(op.Reg, v, id)
 				if err != nil {
 					return nil, fmt.Errorf("sim: write at replica %d: %w", r, err)
 				}
-				nextVal++
 				res.Writes++
 				recordSent(res, envs)
 				for int(id) >= len(sentAt) {
@@ -243,9 +256,30 @@ func Run(cfg Config) (*Result, error) {
 		res.MetadataEntriesPerReplica = append(res.MetadataEntriesPerReplica, nodes[r].MetadataEntries())
 	}
 	res.FalseDepUpdates = falseDepCount
+	if cfg.CaptureState {
+		res.FinalState = make([]map[sharegraph.Register]core.Value, n)
+		for r := 0; r < n; r++ {
+			res.FinalState[r] = nodeState(cfg.Graph, nodes[r], sharegraph.ReplicaID(r))
+		}
+	}
 	tracker.CheckLiveness()
 	res.Violations = tracker.Violations()
 	return res, nil
+}
+
+// nodeState snapshots the registers replica r genuinely stores. Both
+// runtimes build their differential-test state captures with it, so the
+// two sides compare maps produced by the same code. Callers serialize
+// access to the node (the runner is single-threaded; the cluster holds
+// the node's lock).
+func nodeState(g *sharegraph.Graph, node core.Node, r sharegraph.ReplicaID) map[sharegraph.Register]core.Value {
+	out := make(map[sharegraph.Register]core.Value)
+	for _, x := range g.Stores(r).Sorted() {
+		if v, ok := node.Read(x); ok {
+			out[x] = v
+		}
+	}
+	return out
 }
 
 func recordSent(res *Result, envs []core.Envelope) {

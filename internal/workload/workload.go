@@ -17,6 +17,12 @@ type Op struct {
 	Replica sharegraph.ReplicaID
 	Reg     sharegraph.Register
 	IsRead  bool
+	// Val, when nonzero, pins the value a write stores. Zero lets the
+	// runtime assign values in issue order — fine for consistency
+	// auditing, but runtime-dependent: differential tests that compare
+	// final register states across runtimes pin values here so both sides
+	// write identical data.
+	Val int64
 }
 
 // Script is an ordered list of per-replica operations. Operations of
@@ -96,6 +102,36 @@ func Uniform(g *sharegraph.Graph, ops int, seed int64) Script {
 		panic(err) // impossible: options are valid by construction
 	}
 	return s
+}
+
+// OwnerWrites generates writes where every register is only ever written
+// at one fixed holder (its seeded-random "owner"), with values pinned to
+// the op's script position. Single-writer registers make the final state
+// schedule-independent for any protocol that delivers each sender's
+// updates in send order, so runs of the same script on different
+// runtimes — or under different schedules — must converge to identical
+// register contents.
+func OwnerWrites(g *sharegraph.Graph, ops int, seed int64) Script {
+	rng := rand.New(rand.NewSource(seed))
+	var writable []Op // one entry per register, at its owner
+	for _, x := range g.Registers() {
+		holders := g.Holders(x)
+		if len(holders) == 0 {
+			continue
+		}
+		owner := holders[rng.Intn(len(holders))]
+		writable = append(writable, Op{Replica: owner, Reg: x})
+	}
+	if len(writable) == 0 {
+		return nil
+	}
+	out := make(Script, ops)
+	for i := range out {
+		op := writable[rng.Intn(len(writable))]
+		op.Val = int64(i + 1)
+		out[i] = op
+	}
+	return out
 }
 
 // SharedOnly generates writes restricted to registers stored on at least

@@ -8,7 +8,7 @@
 // share graph (Definition 3), each replica's timestamp graph (the exact
 // set of edge counters Theorem 8 proves necessary and Theorem 24 proves
 // sufficient), and runs the Section 3.3 edge-indexed protocol over either
-// a live goroutine-per-replica cluster or a deterministic simulator.
+// a live worker-pool cluster or a deterministic simulator.
 //
 // Quick start:
 //
@@ -21,6 +21,27 @@
 //	v, ok := cluster.Read(2, "y") // 42, true — causally consistent
 //	err = cluster.Check()          // audit with the happened-before oracle
 //	cluster.Close()
+//
+// # Live runtime
+//
+// Cluster is a worker-pool runtime: a fixed pool of delivery workers
+// (ClusterOptions.Workers, default GOMAXPROCS) pulls messages from
+// bounded per-replica inboxes and feeds them to the protocol state
+// machines, so the goroutine count is workers plus constant overhead
+// regardless of traffic — not one goroutine per message. The transport
+// realizes the paper's non-FIFO system model by seeded shuffle: each
+// delivery takes a uniformly random buffered message from the
+// destination's inbox.
+//
+// Backpressure contract: Write blocks while any destination inbox is at
+// capacity (ClusterOptions.InboxCapacity, default 1024), so writers are
+// throttled to delivery speed instead of growing memory without bound.
+// Protocol-level forwards (relaying topologies) are exempt — a worker
+// that blocked on a full inbox could deadlock the pool — so inboxes can
+// transiently overshoot by at most one write fanout per worker. Close
+// drains all in-flight messages and stops every worker before returning.
+// RunCluster drives a generated workload through a live cluster end to
+// end and reports the oracle's verdicts.
 //
 // Beyond the protocol itself the package exposes the paper's analyses:
 // metadata sizing and compression (Section 5), conflict-graph lower bounds
@@ -71,6 +92,7 @@ package prcc
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/causality"
@@ -151,10 +173,52 @@ func (s *System) TrackedEdges(i ReplicaID) []string {
 // ShareGraph renders the placement and share graph for inspection.
 func (s *System) ShareGraph() string { return s.graph.String() }
 
-// Cluster starts a live goroutine-per-replica cluster running the
-// edge-indexed protocol, audited by the happened-before oracle.
+// ClusterOptions configures the live worker-pool runtime. The zero value
+// selects the defaults documented per field.
+type ClusterOptions struct {
+	// Workers is the delivery worker-pool size. The default (zero) is
+	// GOMAXPROCS but at least 2; an explicit count is used as given.
+	Workers int
+	// InboxCapacity bounds each replica's inbox (default 1024). Client
+	// writes block while a destination inbox is full — the backpressure
+	// contract.
+	InboxCapacity int
+	// MaxDelay adds an artificial per-delivery delay of up to this
+	// duration (default 0). Reordering does not need it — the inbox
+	// shuffle reorders regardless — but stress tests use it to hold
+	// messages in flight longer.
+	MaxDelay time.Duration
+	// Seed drives the per-inbox delivery shuffles (default 1).
+	Seed int64
+}
+
+func (o ClusterOptions) simOptions() []sim.ClusterOption {
+	var opts []sim.ClusterOption
+	if o.Workers > 0 {
+		opts = append(opts, sim.WithWorkers(o.Workers))
+	}
+	if o.InboxCapacity > 0 {
+		opts = append(opts, sim.WithInboxCapacity(o.InboxCapacity))
+	}
+	if o.MaxDelay > 0 {
+		opts = append(opts, sim.WithMaxDelay(o.MaxDelay))
+	}
+	if o.Seed != 0 {
+		opts = append(opts, sim.WithSeed(o.Seed))
+	}
+	return opts
+}
+
+// Cluster starts a live worker-pool cluster running the edge-indexed
+// protocol with default options, audited by the happened-before oracle.
 func (s *System) Cluster() (*Cluster, error) {
-	c, err := sim.NewCluster(s.graph, s.protocol)
+	return s.ClusterWith(ClusterOptions{})
+}
+
+// ClusterWith starts a live worker-pool cluster with explicit runtime
+// options.
+func (s *System) ClusterWith(opts ClusterOptions) (*Cluster, error) {
+	c, err := sim.NewCluster(s.graph, s.protocol, opts.simOptions()...)
 	if err != nil {
 		return nil, fmt.Errorf("prcc: %w", err)
 	}
@@ -202,7 +266,15 @@ func (c *Cluster) Stats() (messages int64, metaBytes int64) {
 	return c.inner.MessagesSent(), c.inner.MetaBytes()
 }
 
-// Close shuts the cluster down after draining in-flight deliveries.
+// Workers returns the delivery worker-pool size.
+func (c *Cluster) Workers() int { return c.inner.Workers() }
+
+// Outstanding returns the number of in-flight messages (buffered or being
+// delivered). After Close it is zero.
+func (c *Cluster) Outstanding() int { return c.inner.Outstanding() }
+
+// Close shuts the cluster down after draining in-flight deliveries; no
+// goroutines outlive it.
 func (c *Cluster) Close() { c.inner.Close() }
 
 // ProtocolKind selects a protocol for Simulate.
@@ -276,23 +348,30 @@ type SimReport struct {
 // Ok reports a clean run.
 func (r SimReport) Ok() bool { return len(r.Violations) == 0 && r.StuckUpdates == 0 }
 
+// protocolFor builds the protocol instance a ProtocolKind selects.
+func (s *System) protocolFor(k ProtocolKind) (core.Protocol, error) {
+	switch k {
+	case EdgeIndexedProtocol, 0:
+		return s.protocol, nil
+	case MatrixProtocol:
+		return baseline.NewMatrix(s.graph), nil
+	case BroadcastProtocol:
+		return baseline.NewBroadcast(s.graph), nil
+	case NaiveVectorProtocol:
+		return baseline.NewNaiveVector(s.graph), nil
+	case FIFOOnlyProtocol:
+		return baseline.NewFIFOOnly(s.graph), nil
+	default:
+		return nil, fmt.Errorf("prcc: unknown protocol %v", k)
+	}
+}
+
 // Simulate runs a seeded workload under a deterministic scheduler and
 // returns measurements plus the oracle's verdicts.
 func (s *System) Simulate(opts SimOptions) (SimReport, error) {
-	var p core.Protocol
-	switch opts.Protocol {
-	case EdgeIndexedProtocol, 0:
-		p = s.protocol
-	case MatrixProtocol:
-		p = baseline.NewMatrix(s.graph)
-	case BroadcastProtocol:
-		p = baseline.NewBroadcast(s.graph)
-	case NaiveVectorProtocol:
-		p = baseline.NewNaiveVector(s.graph)
-	case FIFOOnlyProtocol:
-		p = baseline.NewFIFOOnly(s.graph)
-	default:
-		return SimReport{}, fmt.Errorf("prcc: unknown protocol %v", opts.Protocol)
+	p, err := s.protocolFor(opts.Protocol)
+	if err != nil {
+		return SimReport{}, err
 	}
 	ops := opts.Ops
 	if ops == 0 {
@@ -332,6 +411,77 @@ func (s *System) Simulate(opts SimOptions) (SimReport, error) {
 		Violations:       res.Violations,
 		EntriesPerNode:   res.MetadataEntriesPerReplica,
 	}, nil
+}
+
+// RunClusterOptions configures a live end-to-end run.
+type RunClusterOptions struct {
+	// Protocol defaults to EdgeIndexedProtocol.
+	Protocol ProtocolKind
+	// Ops is the number of client operations (default 200).
+	Ops int
+	// ReadFraction in [0,1] (default 0).
+	ReadFraction float64
+	// Seed drives workload generation (default 1).
+	Seed int64
+	// Cluster configures the worker-pool runtime.
+	Cluster ClusterOptions
+}
+
+// ClusterReport is the outcome of a live cluster run.
+type ClusterReport struct {
+	Protocol     string
+	Workers      int
+	Writes       int
+	Messages     int64
+	MetaBytes    int64
+	StuckUpdates int
+	Violations   []Violation
+}
+
+// Ok reports a clean run: no violations and no stuck updates.
+func (r ClusterReport) Ok() bool { return len(r.Violations) == 0 && r.StuckUpdates == 0 }
+
+// RunCluster drives a seeded workload through a live worker-pool cluster
+// — concurrent per-replica drivers under real goroutine interleaving and
+// inbox backpressure — then quiesces, audits with the oracle, and shuts
+// the cluster down. It is the live counterpart of Simulate: same
+// workloads and verdicts, scheduled by the runtime instead of a
+// deterministic scheduler.
+func (s *System) RunCluster(opts RunClusterOptions) (ClusterReport, error) {
+	p, err := s.protocolFor(opts.Protocol)
+	if err != nil {
+		return ClusterReport{}, err
+	}
+	ops := opts.Ops
+	if ops == 0 {
+		ops = 200
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	script, err := workload.Generate(s.graph, workload.Options{
+		Ops: ops, ReadFraction: opts.ReadFraction, Seed: seed,
+	})
+	if err != nil {
+		return ClusterReport{}, fmt.Errorf("prcc: %w", err)
+	}
+	c, err := sim.NewCluster(s.graph, p, opts.Cluster.simOptions()...)
+	if err != nil {
+		return ClusterReport{}, fmt.Errorf("prcc: %w", err)
+	}
+	violations := c.RunScript(script)
+	report := ClusterReport{
+		Protocol:     p.Name(),
+		Workers:      c.Workers(),
+		Writes:       script.Writes(),
+		Messages:     c.MessagesSent(),
+		MetaBytes:    c.MetaBytes(),
+		StuckUpdates: c.PendingTotal(),
+		Violations:   violations,
+	}
+	c.Close()
+	return report, nil
 }
 
 // CompressionReport describes Section 5 timestamp compression for one

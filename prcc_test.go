@@ -97,6 +97,58 @@ func TestSimulateProtocols(t *testing.T) {
 	}
 }
 
+func TestRunClusterProtocols(t *testing.T) {
+	sys := fig3System(t)
+	for _, kind := range []ProtocolKind{EdgeIndexedProtocol, MatrixProtocol, BroadcastProtocol} {
+		rep, err := sys.RunCluster(RunClusterOptions{
+			Protocol: kind, Ops: 200, Seed: 5,
+			Cluster: ClusterOptions{Workers: 3, InboxCapacity: 8, Seed: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Errorf("%v: live run not clean: stuck=%d violations=%v", kind, rep.StuckUpdates, rep.Violations)
+		}
+		if rep.Writes == 0 || rep.Messages == 0 || rep.MetaBytes == 0 {
+			t.Errorf("%v: empty live run %+v", kind, rep)
+		}
+		if rep.Workers != 3 {
+			t.Errorf("%v: Workers = %d, want 3", kind, rep.Workers)
+		}
+	}
+	if _, err := sys.RunCluster(RunClusterOptions{Protocol: ProtocolKind(99)}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestClusterWithOptions(t *testing.T) {
+	sys := fig3System(t)
+	c, err := sys.ClusterWith(ClusterOptions{Workers: 2, InboxCapacity: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 2 {
+		t.Errorf("Workers = %d, want 2", c.Workers())
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.Write(1, "y", Value(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	if n := c.Outstanding(); n != 0 {
+		t.Errorf("Outstanding after Sync = %d", n)
+	}
+	if err := c.Check(); err != nil {
+		t.Error(err)
+	}
+	c.Close()
+	if n := c.Outstanding(); n != 0 {
+		t.Errorf("Outstanding after Close = %d", n)
+	}
+}
+
 func TestCompressionAndLowerBound(t *testing.T) {
 	sys := fig3System(t)
 	for _, rep := range sys.Compression() {
