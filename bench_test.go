@@ -9,6 +9,7 @@ package prcc
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -352,7 +353,7 @@ func BenchmarkDrainOutOfOrder(b *testing.B) {
 			}
 			envs := make([]core.Envelope, window)
 			for i := 0; i < window; i++ {
-				out, err := nodes[0].HandleWrite("seg0", core.Value(i), causality.UpdateID(i))
+				out, err := core.CollectWrite(nodes[0], "seg0", core.Value(i), causality.UpdateID(i))
 				if err != nil || len(out) != 1 {
 					b.Fatalf("write %d: %v %v", i, err, out)
 				}
@@ -366,9 +367,10 @@ func BenchmarkDrainOutOfOrder(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
+					// The edge-indexed protocol never forwards; a discard
+					// sink keeps the measurement free of collection cost.
 					for _, e := range envs {
-						applied, _ := recv[1].HandleMessage(e)
-						applies += len(applied)
+						applies += len(recv[1].HandleMessage(e, core.DiscardSink{}))
 					}
 					if recv[1].PendingCount() != 0 {
 						b.Fatal("window did not drain")
@@ -432,6 +434,86 @@ func BenchmarkClusterThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkClientServerLive measures the Appendix E architecture on the
+// shared worker-pool engine at Ring(32) scale: 32 concurrent clients
+// (one per adjacent replica pair) issuing synchronous writes and
+// J1-blocking reads, oracle audit and quiesce included. A sampler
+// asserts the property the engine port buys: goroutine count stays at
+// workers + clients + constant overhead, never O(updates) as under the
+// old per-update goroutine dispatch.
+func BenchmarkClientServerLive(b *testing.B) {
+	const n = 32
+	const opsPerClient = 100
+	const workers = 8
+	stores := make([][]Register, n)
+	clients := make([][]ReplicaID, n)
+	reg := func(i int) Register { return Register(fmt.Sprintf("ring%d", i)) }
+	for i := 0; i < n; i++ {
+		stores[i] = []Register{reg((i + n - 1) % n), reg(i)}
+		clients[i] = []ReplicaID{ReplicaID(i), ReplicaID((i + 1) % n)}
+	}
+	cs, err := NewClientServer(stores, clients)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		base := runtime.NumGoroutine()
+		live := cs.LiveWith(ClusterOptions{Workers: workers, Seed: int64(iter + 1)})
+		stop := make(chan struct{})
+		var peak atomic.Int64
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+						peak.Store(g)
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for c := 0; c < n; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				lc := live.Client(ClientID(c))
+				for k := 1; k <= opsPerClient; k++ {
+					if k%5 == 0 {
+						if _, err := lc.Read(reg(c)); err != nil {
+							b.Error(err)
+							return
+						}
+						continue
+					}
+					if err := lc.Write(reg(c), Value(c*1000+k)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		live.Sync()
+		close(stop)
+		if err := live.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if updates, bytes := live.Stats(); updates == 0 || bytes == 0 {
+			b.Fatalf("empty transport stats (%d updates, %d bytes)", updates, bytes)
+		}
+		live.Close()
+		if bound := int64(base + workers + n + 8); peak.Load() > bound {
+			b.Fatalf("goroutine count %d exceeds worker-pool bound %d", peak.Load(), bound)
+		}
+	}
+	b.ReportMetric(float64(n*opsPerClient)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 }
 
 // BenchmarkLiveCluster measures the worker-pool runtime end to end on the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/clientserver"
+	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
 	"repro/internal/transport"
 )
@@ -48,11 +49,29 @@ func (c *ClientServerSystem) ClientEntries(id ClientID) int {
 // ClientOp is one operation of a client program.
 type ClientOp = clientserver.ClientOp
 
-// Live starts a concurrent deployment: goroutine-delivered inter-replica
-// updates and synchronous, blocking client calls (a read blocks until the
-// replica has caught up with the client's causal past — predicate J1).
+// Live starts a concurrent deployment on the shared worker-pool engine:
+// inter-replica updates flow through bounded per-replica inboxes drained
+// by a fixed delivery pool (the same runtime as Cluster), and client
+// calls are synchronous and blocking (a read blocks until the replica has
+// caught up with the client's causal past — predicate J1). Defaults:
+// GOMAXPROCS workers, no artificial delivery delay (the engine's seeded
+// inbox shuffle reorders deliveries regardless).
 func (c *ClientServerSystem) Live() *LiveClientServer {
 	return &LiveClientServer{inner: clientserver.NewLive(c.sys)}
+}
+
+// LiveWith starts a concurrent deployment with explicit runtime options —
+// the same ClusterOptions surface the replica cluster takes. SkipAudit is
+// ignored: the client-server oracle also carries the Definition 26 client
+// clauses the tests rely on. A zero MaxDelay means no artificial delivery
+// jitter.
+func (c *ClientServerSystem) LiveWith(opts ClusterOptions) *LiveClientServer {
+	return &LiveClientServer{inner: clientserver.NewLiveWith(c.sys, rt.Options{
+		Workers:       opts.Workers,
+		InboxCapacity: opts.InboxCapacity,
+		MaxDelay:      opts.MaxDelay,
+		Seed:          opts.Seed,
+	})}
 }
 
 // LiveClientServer is a running client-server deployment.
@@ -80,6 +99,19 @@ func (lc *LiveClient) Read(x Register) (Value, error) { return lc.inner.Read(x) 
 
 // Sync blocks until all inter-replica updates have been applied.
 func (l *LiveClientServer) Sync() { l.inner.Quiesce() }
+
+// Stats reports transport-level counters: inter-replica updates
+// dispatched and their total metadata bytes.
+func (l *LiveClientServer) Stats() (updates int64, metaBytes int64) {
+	return l.inner.UpdatesSent(), l.inner.MetaBytes()
+}
+
+// Workers returns the delivery worker-pool size.
+func (l *LiveClientServer) Workers() int { return l.inner.Workers() }
+
+// Outstanding returns the number of in-flight inter-replica updates
+// (buffered or being delivered). After Close it is zero.
+func (l *LiveClientServer) Outstanding() int { return l.inner.Outstanding() }
 
 // Check audits the execution (including Definition 26's client clauses
 // and liveness at quiescence).

@@ -12,6 +12,9 @@ func TestRunProtocols(t *testing.T) {
 	if err := run([]string{"-topology", "fig5", "-adversarial", "-ops", "50"}); err != nil {
 		t.Error(err)
 	}
+	if err := run([]string{"-topology", "ring", "-n", "6", "-ops", "80", "-noaudit"}); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestRunErrors(t *testing.T) {

@@ -93,6 +93,7 @@ func (p *FIFOOnly) NewNodes() ([]core.Node, error) {
 			sentTo: make([]uint64, n),
 			recvd:  make([]uint64, n),
 			store:  make(map[sharegraph.Register]core.Value),
+			recip:  sharegraph.NewRecipientCache(p.g, sharegraph.ReplicaID(i)),
 		}
 		if !p.naive {
 			fn.q = ingest.NewSenderQueues[fifoPending](n)
@@ -124,46 +125,59 @@ type fifoNode struct {
 	q        ingest.SenderQueues[fifoPending] // indexed engine
 	applyBuf []core.Applied
 	vecFree  []timestamp.Vec
+	metaBuf  []byte
+	seqVec   timestamp.Vec
+	recip    sharegraph.RecipientCache
 }
 
 var _ core.Node = (*fifoNode)(nil)
 
 func (n *fifoNode) ID() sharegraph.ReplicaID { return n.id }
 
-func (n *fifoNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID) ([]core.Envelope, error) {
+func (n *fifoNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID, out core.Sink) error {
 	if !n.g.StoresRegister(n.id, x) {
-		return nil, &core.NotStoredError{Replica: n.id, Register: x}
+		return &core.NotStoredError{Replica: n.id, Register: x}
 	}
 	n.store[x] = v
-	var out []core.Envelope
-	for _, k := range n.g.UpdateRecipients(n.id, x) {
+	if n.seqVec == nil {
+		n.seqVec = timestamp.Vec{0}
+	}
+	for _, k := range n.recip.Recipients(x) {
 		n.sentTo[k]++
-		out = append(out, core.Envelope{
+		// Unlike the vector protocols, each recipient carries a different
+		// sequence number; the scratch buffer is re-encoded per emit (the
+		// sink consumes or copies before the next one).
+		n.seqVec[0] = n.sentTo[k]
+		n.metaBuf = timestamp.EncodeTo(n.metaBuf[:0], n.seqVec)
+		out.Emit(core.Envelope{
 			From: n.id, To: k, Reg: x, Val: v,
-			Meta:     timestamp.Encode(timestamp.Vec{n.sentTo[k]}),
+			Meta:     n.metaBuf,
 			OracleID: id,
 		})
 	}
-	return out, nil
+	return nil
 }
 
-func (n *fifoNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
+func (n *fifoNode) HandleMessage(env core.Envelope, out core.Sink) []core.Applied {
 	meta, ok := decodeMeta("fifo-only", n.id, env, &n.vecFree)
 	if !ok || len(meta) != 1 || !validSender("fifo-only", n.id, env, len(n.recvd)) {
-		return nil, nil
+		return nil
 	}
 	seq := meta[0]
 	// The sequence number is all the metadata carries; recycle the vector
-	// immediately (fifoPending keeps only the envelope and seq).
+	// immediately (fifoPending keeps only the envelope and seq). The Meta
+	// buffer is runtime-owned and reclaimed after this call returns, so
+	// the buffered copy of the envelope must not alias it.
 	n.vecFree = append(n.vecFree, meta)
+	env.Meta = nil
 	if n.naive {
-		return n.drainNaive(fifoPending{env: env, seq: seq}), nil
+		return n.drainNaive(fifoPending{env: env, seq: seq})
 	}
 	from := env.From
 	if !n.q.Offer(int(from), seq, n.recvd[from], fifoPending{env: env, seq: seq}) {
-		return nil, nil
+		return nil
 	}
-	out := n.applyBuf[:0]
+	outApplied := n.applyBuf[:0]
 	for {
 		u, ok := n.q.Peek(int(from), n.recvd[from]+1)
 		if !ok {
@@ -173,12 +187,12 @@ func (n *fifoNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Enve
 		n.recvd[from]++
 		e := u.env
 		n.store[e.Reg] = e.Val
-		out = append(out, core.Applied{
+		outApplied = append(outApplied, core.Applied{
 			OracleID: e.OracleID, From: e.From, Reg: e.Reg, Val: e.Val,
 		})
 	}
-	n.applyBuf = out
-	return out, nil
+	n.applyBuf = outApplied
+	return outApplied
 }
 
 func (n *fifoNode) drainNaive(u fifoPending) []core.Applied {
@@ -263,55 +277,65 @@ type vectorNode struct {
 	q        ingest.SenderQueues[vecPending] // indexed engine
 	applyBuf []core.Applied
 	vecFree  []timestamp.Vec
+	metaBuf  []byte
+	sharer   []bool // broadcast scratch: marks data recipients per write
+	recip    sharegraph.RecipientCache
 }
 
 var _ core.Node = (*vectorNode)(nil)
 
 func (n *vectorNode) ID() sharegraph.ReplicaID { return n.id }
 
-func (n *vectorNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID) ([]core.Envelope, error) {
+func (n *vectorNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID, out core.Sink) error {
 	if !n.g.StoresRegister(n.id, x) {
-		return nil, &core.NotStoredError{Replica: n.id, Register: x}
+		return &core.NotStoredError{Replica: n.id, Register: x}
 	}
 	n.store[x] = v
 	n.v[n.id]++
-	meta := timestamp.Encode(n.v)
-	sharers := make(map[sharegraph.ReplicaID]bool)
-	var out []core.Envelope
-	for _, k := range n.g.UpdateRecipients(n.id, x) {
-		sharers[k] = true
-		out = append(out, core.Envelope{
-			From: n.id, To: k, Reg: x, Val: v, Meta: meta, OracleID: id,
+	n.metaBuf = timestamp.EncodeTo(n.metaBuf[:0], n.v)
+	recipients := n.recip.Recipients(x)
+	for _, k := range recipients {
+		out.Emit(core.Envelope{
+			From: n.id, To: k, Reg: x, Val: v, Meta: n.metaBuf, OracleID: id,
 		})
 	}
 	if n.broadcast {
+		for _, k := range recipients {
+			n.sharer[k] = true
+		}
 		for k := 0; k < n.g.NumReplicas(); k++ {
 			rk := sharegraph.ReplicaID(k)
-			if rk == n.id || sharers[rk] {
+			if rk == n.id || n.sharer[k] {
 				continue
 			}
-			out = append(out, core.Envelope{
-				From: n.id, To: rk, Reg: x, Meta: meta, OracleID: id, MetaOnly: true,
+			out.Emit(core.Envelope{
+				From: n.id, To: rk, Reg: x, Meta: n.metaBuf, OracleID: id, MetaOnly: true,
 			})
 		}
+		for _, k := range recipients {
+			n.sharer[k] = false
+		}
 	}
-	return out, nil
+	return nil
 }
 
-func (n *vectorNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
+func (n *vectorNode) HandleMessage(env core.Envelope, out core.Sink) []core.Applied {
 	w, ok := decodeMeta(n.proto, n.id, env, &n.vecFree)
 	if !ok || len(w) != len(n.v) || !validSender(n.proto, n.id, env, len(n.v)) {
-		return nil, nil
+		return nil
 	}
+	// The buffered copy must not alias the runtime-owned Meta buffer,
+	// which is reclaimed once this call returns.
+	env.Meta = nil
 	u := vecPending{env: env, w: w}
 	if n.naive {
-		return n.drainNaive(u), nil
+		return n.drainNaive(u)
 	}
 	from := env.From
 	if !n.q.Offer(int(from), w[from], n.v[from], u) {
-		return nil, nil
+		return nil
 	}
-	return n.drainHeads(), nil
+	return n.drainHeads()
 }
 
 // drainHeads re-examines every sender's queue head until a fixpoint. Each
@@ -497,8 +521,10 @@ func (p *Broadcast) NewNodes() ([]core.Node, error) {
 func newVectorNode(g *sharegraph.Graph, id sharegraph.ReplicaID, proto string, broadcast, naive bool) *vectorNode {
 	n := &vectorNode{
 		id: id, g: g, proto: proto, broadcast: broadcast, naive: naive,
-		v:     make(timestamp.Vec, g.NumReplicas()),
-		store: make(map[sharegraph.Register]core.Value),
+		v:      make(timestamp.Vec, g.NumReplicas()),
+		store:  make(map[sharegraph.Register]core.Value),
+		sharer: make([]bool, g.NumReplicas()),
+		recip:  sharegraph.NewRecipientCache(g, id),
 	}
 	if !naive {
 		n.q = ingest.NewSenderQueues[vecPending](g.NumReplicas())
@@ -538,6 +564,7 @@ func (p *Matrix) NewNodes() ([]core.Node, error) {
 			id: sharegraph.ReplicaID(i), g: p.g, r: n, naive: p.naive,
 			m:     make(timestamp.Vec, n*n),
 			store: make(map[sharegraph.Register]core.Value),
+			recip: sharegraph.NewRecipientCache(p.g, sharegraph.ReplicaID(i)),
 		}
 		if !p.naive {
 			mn.q = ingest.NewSenderQueues[matrixPending](n)
@@ -570,6 +597,8 @@ type matrixNode struct {
 	q        ingest.SenderQueues[matrixPending] // indexed engine
 	applyBuf []core.Applied
 	vecFree  []timestamp.Vec
+	metaBuf  []byte
+	recip    sharegraph.RecipientCache
 }
 
 var _ core.Node = (*matrixNode)(nil)
@@ -580,39 +609,41 @@ func (n *matrixNode) at(w timestamp.Vec, l, d sharegraph.ReplicaID) uint64 {
 	return w[int(l)*n.r+int(d)]
 }
 
-func (n *matrixNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID) ([]core.Envelope, error) {
+func (n *matrixNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID, out core.Sink) error {
 	if !n.g.StoresRegister(n.id, x) {
-		return nil, &core.NotStoredError{Replica: n.id, Register: x}
+		return &core.NotStoredError{Replica: n.id, Register: x}
 	}
 	n.store[x] = v
-	recipients := n.g.UpdateRecipients(n.id, x)
+	recipients := n.recip.Recipients(x)
 	for _, d := range recipients {
 		n.m[int(n.id)*n.r+int(d)]++
 	}
-	meta := timestamp.Encode(n.m)
-	out := make([]core.Envelope, 0, len(recipients))
+	n.metaBuf = timestamp.EncodeTo(n.metaBuf[:0], n.m)
 	for _, d := range recipients {
-		out = append(out, core.Envelope{
-			From: n.id, To: d, Reg: x, Val: v, Meta: meta, OracleID: id,
+		out.Emit(core.Envelope{
+			From: n.id, To: d, Reg: x, Val: v, Meta: n.metaBuf, OracleID: id,
 		})
 	}
-	return out, nil
+	return nil
 }
 
-func (n *matrixNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
+func (n *matrixNode) HandleMessage(env core.Envelope, out core.Sink) []core.Applied {
 	w, ok := decodeMeta("matrix", n.id, env, &n.vecFree)
 	if !ok || len(w) != n.r*n.r || !validSender("matrix", n.id, env, n.r) {
-		return nil, nil
+		return nil
 	}
+	// The buffered copy must not alias the runtime-owned Meta buffer,
+	// which is reclaimed once this call returns.
+	env.Meta = nil
 	u := matrixPending{env: env, w: w}
 	if n.naive {
-		return n.drainNaive(u), nil
+		return n.drainNaive(u)
 	}
 	from := env.From
 	if !n.q.Offer(int(from), n.at(w, from, n.id), n.at(n.m, from, n.id), u) {
-		return nil, nil
+		return nil
 	}
-	return n.drainHeads(), nil
+	return n.drainHeads()
 }
 
 // drainHeads re-examines every sender's queue head until a fixpoint,

@@ -20,22 +20,22 @@ func build(t testing.TB, p core.Protocol) []core.Node {
 func TestFIFOOnlyOrdering(t *testing.T) {
 	g := sharegraph.Fig3Example()
 	nodes := build(t, NewFIFOOnly(g))
-	e1, err := nodes[0].HandleWrite("x", 1, 0)
+	e1, err := core.CollectWrite(nodes[0], "x", 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e2, err := nodes[0].HandleWrite("x", 2, 1)
+	e2, err := core.CollectWrite(nodes[0], "x", 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Reversed arrival: second buffers, first cascades both.
-	if got, _ := nodes[1].HandleMessage(e2[0]); len(got) != 0 {
+	if got, _ := core.CollectMessage(nodes[1], e2[0]); len(got) != 0 {
 		t.Fatal("out-of-order apply")
 	}
 	if ids := nodes[1].PendingOracleIDs(); len(ids) != 1 || ids[0] != 1 {
 		t.Fatalf("PendingOracleIDs = %v", ids)
 	}
-	if got, _ := nodes[1].HandleMessage(e1[0]); len(got) != 2 {
+	if got, _ := core.CollectMessage(nodes[1], e1[0]); len(got) != 2 {
 		t.Fatalf("cascade = %d, want 2", len(got))
 	}
 	if v, _ := nodes[1].Read("x"); v != 2 {
@@ -52,22 +52,22 @@ func TestFIFOOnlyOrdering(t *testing.T) {
 func TestFIFOOnlyMissesTransitiveDependency(t *testing.T) {
 	g := sharegraph.FullReplication(3, 1)
 	nodes := build(t, NewFIFOOnly(g))
-	u1, err := nodes[0].HandleWrite("r0", 10, 0) // to replicas 1,2
+	u1, err := core.CollectWrite(nodes[0], "r0", 10, 0) // to replicas 1,2
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range u1 {
 		if e.To == 1 {
-			nodes[1].HandleMessage(e)
+			core.CollectMessage(nodes[1], e)
 		}
 	}
-	u2, err := nodes[1].HandleWrite("r0", 20, 1) // causally after u1
+	u2, err := core.CollectWrite(nodes[1], "r0", 20, 1) // causally after u1
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range u2 {
 		if e.To == 2 {
-			if applied, _ := nodes[2].HandleMessage(e); len(applied) != 1 {
+			if applied, _ := core.CollectMessage(nodes[2], e); len(applied) != 1 {
 				t.Fatal("fifo should apply immediately — that is its flaw")
 			}
 		}
@@ -79,7 +79,7 @@ func TestFIFOOnlyMissesTransitiveDependency(t *testing.T) {
 	}
 	for _, e := range u1 {
 		if e.To == 2 {
-			nodes[2].HandleMessage(e)
+			core.CollectMessage(nodes[2], e)
 		}
 	}
 	if v, _ := nodes[2].Read("r0"); v != 10 {
@@ -90,7 +90,7 @@ func TestFIFOOnlyMissesTransitiveDependency(t *testing.T) {
 func TestNaiveVectorDeliverable(t *testing.T) {
 	g := sharegraph.FullReplication(3, 1)
 	nodes := build(t, NewNaiveVector(g))
-	u1, err := nodes[0].HandleWrite("r0", 1, 0)
+	u1, err := core.CollectWrite(nodes[0], "r0", 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,14 +103,14 @@ func TestNaiveVectorDeliverable(t *testing.T) {
 			to2 = e
 		}
 	}
-	nodes[1].HandleMessage(to1)
-	u2, err := nodes[1].HandleWrite("r0", 2, 1)
+	core.CollectMessage(nodes[1], to1)
+	u2, err := core.CollectWrite(nodes[1], "r0", 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range u2 {
 		if e.To == 2 {
-			if applied, _ := nodes[2].HandleMessage(e); len(applied) != 0 {
+			if applied, _ := core.CollectMessage(nodes[2], e); len(applied) != 0 {
 				t.Fatal("dependent update applied before its dependency")
 			}
 		}
@@ -118,7 +118,7 @@ func TestNaiveVectorDeliverable(t *testing.T) {
 	if nodes[2].PendingCount() != 1 {
 		t.Fatalf("PendingCount = %d, want 1", nodes[2].PendingCount())
 	}
-	if applied, _ := nodes[2].HandleMessage(to2); len(applied) != 2 {
+	if applied, _ := core.CollectMessage(nodes[2], to2); len(applied) != 2 {
 		t.Fatalf("cascade = %d, want 2", len(applied))
 	}
 	if nodes[2].MetadataEntries() != 3 {
@@ -129,7 +129,7 @@ func TestNaiveVectorDeliverable(t *testing.T) {
 func TestBroadcastMetaOnlyFanout(t *testing.T) {
 	g := sharegraph.Fig3Example() // 4 replicas; x stored at 0,1
 	nodes := build(t, NewBroadcast(g))
-	envs, err := nodes[0].HandleWrite("x", 5, 0)
+	envs, err := core.CollectWrite(nodes[0], "x", 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestBroadcastMetaOnlyFanout(t *testing.T) {
 	// excluded from pending oracle IDs.
 	for _, e := range envs {
 		if e.To == 3 {
-			if applied, _ := nodes[3].HandleMessage(e); len(applied) != 0 {
+			if applied, _ := core.CollectMessage(nodes[3], e); len(applied) != 0 {
 				t.Error("meta-only message produced an apply")
 			}
 		}
@@ -168,7 +168,7 @@ func TestBroadcastMetaOnlyFanout(t *testing.T) {
 func TestMatrixOrdering(t *testing.T) {
 	g := sharegraph.FullReplication(3, 1)
 	nodes := build(t, NewMatrix(g))
-	u1, err := nodes[0].HandleWrite("r0", 1, 0)
+	u1, err := core.CollectWrite(nodes[0], "r0", 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,19 +180,19 @@ func TestMatrixOrdering(t *testing.T) {
 			u1to2 = e
 		}
 	}
-	nodes[1].HandleMessage(u1to1)
-	u2, err := nodes[1].HandleWrite("r0", 2, 1)
+	core.CollectMessage(nodes[1], u1to1)
+	u2, err := core.CollectWrite(nodes[1], "r0", 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range u2 {
 		if e.To == 2 {
-			if applied, _ := nodes[2].HandleMessage(e); len(applied) != 0 {
+			if applied, _ := core.CollectMessage(nodes[2], e); len(applied) != 0 {
 				t.Fatal("matrix applied dependent update early")
 			}
 		}
 	}
-	if applied, _ := nodes[2].HandleMessage(u1to2); len(applied) != 2 {
+	if applied, _ := core.CollectMessage(nodes[2], u1to2); len(applied) != 2 {
 		t.Fatalf("cascade = %d, want 2", len(applied))
 	}
 	if v, _ := nodes[2].Read("r0"); v != 2 {
@@ -207,7 +207,7 @@ func TestAllProtocolsRejectUnstoredWrites(t *testing.T) {
 	g := sharegraph.Fig3Example()
 	for _, p := range []core.Protocol{NewFIFOOnly(g), NewNaiveVector(g), NewBroadcast(g), NewMatrix(g)} {
 		nodes := build(t, p)
-		_, err := nodes[3].HandleWrite("x", 1, 0)
+		_, err := core.CollectWrite(nodes[3], "x", 1, 0)
 		var nse *core.NotStoredError
 		if !errors.As(err, &nse) {
 			t.Errorf("%s: err = %v, want NotStoredError", p.Name(), err)
@@ -227,10 +227,10 @@ func TestAllProtocolsDropCorruptMetadata(t *testing.T) {
 		NewFIFOOnlyRescan(g), NewNaiveVectorRescan(g), NewBroadcastRescan(g), NewMatrixRescan(g),
 	} {
 		nodes := build(t, p)
-		if applied, _ := nodes[1].HandleMessage(bad); len(applied) != 0 {
+		if applied, _ := core.CollectMessage(nodes[1], bad); len(applied) != 0 {
 			t.Errorf("%s: applied corrupt message", p.Name())
 		}
-		if applied, _ := nodes[1].HandleMessage(short); len(applied) != 0 {
+		if applied, _ := core.CollectMessage(nodes[1], short); len(applied) != 0 {
 			t.Errorf("%s: applied wrong-length metadata", p.Name())
 		}
 		if nodes[1].PendingCount() != 0 {
@@ -250,14 +250,14 @@ func TestAllProtocolsDropInvalidSender(t *testing.T) {
 	} {
 		nodes := build(t, p)
 		// Craft plausibly sized metadata so only the sender is invalid.
-		envs, err := nodes[0].HandleWrite("x", 1, 0)
+		envs, err := core.CollectWrite(nodes[0], "x", 1, 0)
 		if err != nil || len(envs) == 0 {
 			t.Fatalf("%s: seed write failed: %v", p.Name(), err)
 		}
 		for _, from := range []sharegraph.ReplicaID{-1, sharegraph.ReplicaID(g.NumReplicas())} {
 			env := envs[0]
 			env.From = from
-			if applied, _ := nodes[1].HandleMessage(env); len(applied) != 0 {
+			if applied, _ := core.CollectMessage(nodes[1], env); len(applied) != 0 {
 				t.Errorf("%s: applied message from invalid sender %d", p.Name(), from)
 			}
 		}

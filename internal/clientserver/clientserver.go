@@ -129,6 +129,10 @@ type UpdateMsg struct {
 // MetaBytes returns the encoded size of the update's timestamp.
 func (u UpdateMsg) MetaBytes() int { return timestamp.EncodedSize(u.TS) }
 
+// Dest returns the destination replica as an inbox index — the routing
+// hook the shared worker-pool engine (internal/runtime) keys on.
+func (u UpdateMsg) Dest() int { return int(u.To) }
+
 // NewServer builds replica i's server.
 func NewServer(sys *System, i sharegraph.ReplicaID) *Server {
 	eidx := sys.ReplicaGraphs[i]

@@ -4,30 +4,32 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/causality"
 	"repro/internal/core"
+	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
 )
 
 // LiveSystem runs the client-server architecture with real concurrency:
 // servers are mutex-protected state machines, inter-replica updates travel
-// on their own goroutines with jittered delays (non-FIFO, per the system
-// model), and client calls block until the server's predicate J1/J2 admits
-// them — including requests buffered behind missing causal dependencies.
+// on the shared worker-pool engine (internal/runtime — the same bounded
+// per-replica inboxes, backpressure and seeded delivery shuffle as the
+// replica cluster, never a goroutine per message), and client calls block
+// until the server's predicate J1/J2 admits them — including requests
+// buffered behind missing causal dependencies.
+//
+// Goroutine budget: engine workers plus one goroutine per concurrently
+// blocked client call; at quiescence only the workers remain.
 type LiveSystem struct {
 	sys     *System
 	tracker *causality.Tracker
 	servers []*liveServer
+	eng     *rt.Engine[UpdateMsg]
 
-	mu          sync.Mutex
-	cond        *sync.Cond
-	outstanding int
-	closed      bool
-	wg          sync.WaitGroup
-	seq         atomic.Uint64
-	maxDelay    time.Duration
+	closed    atomic.Bool
+	updates   atomic.Int64
+	metaBytes atomic.Int64
 
 	respMu    sync.Mutex
 	respChans map[sharegraph.ClientID]chan Response
@@ -38,24 +40,46 @@ type liveServer struct {
 	s  *Server
 }
 
-// NewLive starts a live deployment of the system.
+// NewLive starts a live deployment of the system with default engine
+// options (worker pool sized to GOMAXPROCS, no artificial delivery
+// delay). The engine's seeded inbox shuffle already reorders deliveries,
+// and with a bounded pool a per-delivery sleep would throttle throughput
+// — unlike the old goroutine-per-update dispatcher, whose sleeps
+// overlapped without bound. Tests that want messages held in flight
+// longer pass Options.MaxDelay explicitly via NewLiveWith.
 func NewLive(sys *System) *LiveSystem {
+	return NewLiveWith(sys, rt.Options{})
+}
+
+// NewLiveWith starts a live deployment with explicit engine options.
+func NewLiveWith(sys *System, opts rt.Options) *LiveSystem {
 	ls := &LiveSystem{
 		sys:       sys,
 		tracker:   causality.NewTracker(sys.Aug.G),
 		servers:   make([]*liveServer, sys.Aug.G.NumReplicas()),
-		maxDelay:  time.Millisecond,
 		respChans: make(map[sharegraph.ClientID]chan Response),
 	}
-	ls.cond = sync.NewCond(&ls.mu)
 	for i := range ls.servers {
 		ls.servers[i] = &liveServer{s: NewServer(sys, sharegraph.ReplicaID(i))}
 	}
+	ls.eng = rt.New(len(ls.servers), opts, ls.deliver)
 	return ls
 }
 
 // Tracker exposes the auditing oracle.
 func (ls *LiveSystem) Tracker() *causality.Tracker { return ls.tracker }
+
+// Workers returns the delivery worker-pool size.
+func (ls *LiveSystem) Workers() int { return ls.eng.Workers() }
+
+// Outstanding returns the number of in-flight inter-replica updates.
+func (ls *LiveSystem) Outstanding() int { return ls.eng.Outstanding() }
+
+// UpdatesSent returns the number of inter-replica updates dispatched.
+func (ls *LiveSystem) UpdatesSent() int64 { return ls.updates.Load() }
+
+// MetaBytes returns total update-metadata bytes dispatched.
+func (ls *LiveSystem) MetaBytes() int64 { return ls.metaBytes.Load() }
 
 // Client returns a handle for client c. A handle issues one operation at
 // a time (matching the Appendix E client prototype, which awaits each
@@ -99,13 +123,9 @@ func (lc *LiveClient) do(x sharegraph.Register, v core.Value, isRead bool) error
 
 func (lc *LiveClient) doResp(x sharegraph.Register, v core.Value, isRead bool) (Response, error) {
 	ls := lc.ls
-	ls.mu.Lock()
-	if ls.closed {
-		ls.mu.Unlock()
+	if ls.closed.Load() {
 		return Response{}, fmt.Errorf("clientserver: live system closed")
 	}
-	ls.mu.Unlock()
-
 	req, err := lc.c.NewRequest(x, v, isRead)
 	if err != nil {
 		return Response{}, err
@@ -113,8 +133,12 @@ func (lc *LiveClient) doResp(x sharegraph.Register, v core.Value, isRead bool) (
 	srv := ls.servers[req.Replica]
 	srv.mu.Lock()
 	out := srv.s.HandleRequest(req)
-	ls.processOutcome(srv.s, out)
+	ls.recordOutcome(srv.s, out)
 	srv.mu.Unlock()
+	// Dispatch outside the server lock: Send applies inbox backpressure
+	// and may block; a blocked sender holding a server lock could starve
+	// the workers that must drain the full inbox.
+	ls.dispatch(out, true)
 
 	ls.respMu.Lock()
 	ch := ls.respChans[lc.c.ID()]
@@ -124,11 +148,10 @@ func (lc *LiveClient) doResp(x sharegraph.Register, v core.Value, isRead bool) (
 	return resp, nil
 }
 
-// processOutcome audits the ordered event trail, stamps oracle IDs onto
-// outgoing updates, dispatches them, and routes responses to waiting
-// clients. Callers hold the originating server's lock, preserving the
-// per-server event order the oracle requires.
-func (ls *LiveSystem) processOutcome(server *Server, out *Outcome) {
+// recordOutcome audits the ordered event trail and stamps oracle IDs onto
+// outgoing updates. Callers hold the originating server's lock, preserving
+// the per-server event order the oracle requires.
+func (ls *LiveSystem) recordOutcome(server *Server, out *Outcome) {
 	if out == nil {
 		return
 	}
@@ -147,14 +170,28 @@ func (ls *LiveSystem) processOutcome(server *Server, out *Outcome) {
 			}
 		}
 	}
+}
+
+// dispatch hands an outcome's updates to the engine and routes responses
+// to waiting clients. Client-path callers use backpressure (Send); the
+// delivery path forwards exempt (Forward), since a blocked worker could
+// deadlock the pool.
+func (ls *LiveSystem) dispatch(out *Outcome, backpressure bool) {
+	if out == nil {
+		return
+	}
 	if len(out.Updates) > 0 {
-		ls.mu.Lock()
-		ls.outstanding += len(out.Updates)
-		ls.mu.Unlock()
-		for i := range out.Updates {
-			u := out.Updates[i]
-			ls.wg.Add(1)
-			go ls.deliver(u)
+		var accepted int
+		if backpressure {
+			accepted = ls.eng.Send(out.Updates...)
+		} else {
+			accepted = ls.eng.Forward(out.Updates...)
+		}
+		// Count only what the engine accepted — never the suffix a
+		// shutdown race dropped — so Stats matches what was delivered.
+		ls.updates.Add(int64(accepted))
+		for i := 0; i < accepted; i++ {
+			ls.metaBytes.Add(int64(out.Updates[i].MetaBytes()))
 		}
 	}
 	for _, resp := range out.Responses {
@@ -167,45 +204,42 @@ func (ls *LiveSystem) processOutcome(server *Server, out *Outcome) {
 	}
 }
 
+// deliver ingests one inter-replica update at its destination server; the
+// engine calls it from pool workers.
 func (ls *LiveSystem) deliver(u UpdateMsg) {
-	defer ls.wg.Done()
-	if ls.maxDelay > 0 {
-		z := ls.seq.Add(1) * 0x9e3779b97f4a7c15
-		z ^= z >> 31
-		time.Sleep(time.Duration(z % uint64(ls.maxDelay)))
-	}
 	srv := ls.servers[u.To]
 	srv.mu.Lock()
 	out := srv.s.HandleUpdate(u)
-	ls.processOutcome(srv.s, out)
+	ls.recordOutcome(srv.s, out)
 	srv.mu.Unlock()
-
-	ls.mu.Lock()
-	ls.outstanding--
-	if ls.outstanding == 0 {
-		ls.cond.Broadcast()
-	}
-	ls.mu.Unlock()
+	ls.dispatch(out, false)
 }
 
 // Quiesce blocks until no inter-replica updates are in flight.
-func (ls *LiveSystem) Quiesce() {
-	ls.mu.Lock()
-	for ls.outstanding != 0 {
-		ls.cond.Wait()
-	}
-	ls.mu.Unlock()
-}
+func (ls *LiveSystem) Quiesce() { ls.eng.Quiesce() }
 
-// Close drains in-flight deliveries and shuts the system down.
+// Close rejects further client operations, drains in-flight deliveries
+// and stops the worker pool; no goroutines outlive the system.
 func (ls *LiveSystem) Close() {
-	ls.mu.Lock()
-	ls.closed = true
-	ls.mu.Unlock()
-	ls.wg.Wait()
+	ls.closed.Store(true)
+	ls.eng.Close()
 }
 
 // CheckLiveness audits update propagation at quiescence.
 func (ls *LiveSystem) CheckLiveness() []causality.Violation {
 	return ls.tracker.CheckLiveness()
+}
+
+// StateSnapshot returns each replica's register contents (the registers
+// it genuinely stores). Call after Quiesce for a stable snapshot; the
+// differential tests compare it against the deterministic runner's
+// final state.
+func (ls *LiveSystem) StateSnapshot() []map[sharegraph.Register]core.Value {
+	out := make([]map[sharegraph.Register]core.Value, len(ls.servers))
+	for i, srv := range ls.servers {
+		srv.mu.Lock()
+		out[i] = serverState(ls.sys.Aug.G, srv.s, sharegraph.ReplicaID(i))
+		srv.mu.Unlock()
+	}
+	return out
 }

@@ -14,6 +14,10 @@ import (
 type ClientOp struct {
 	Reg    sharegraph.Register
 	IsRead bool
+	// Val pins the written value; 0 lets the runner assign from its
+	// shared counter. Differential tests pin values so the deterministic
+	// runner and the live system write identical data.
+	Val core.Value
 }
 
 // RunConfig configures one deterministic client-server run.
@@ -25,6 +29,10 @@ type RunConfig struct {
 	Sched   transport.Scheduler
 	// MaxSteps bounds the run; 0 derives a bound from the script sizes.
 	MaxSteps int
+	// CaptureState fills RunResult.FinalState with each replica's
+	// register contents at the end of the run, for differential
+	// comparison against the live system.
+	CaptureState bool
 }
 
 // RunResult holds measurements and oracle verdicts for one run.
@@ -40,6 +48,10 @@ type RunResult struct {
 	UnfinishedOps int
 	ServerEntries []int
 	ClientEntries []int
+	// FinalState holds each replica's register contents at the end of the
+	// run (only the registers it genuinely stores). Nil unless
+	// RunConfig.CaptureState was set.
+	FinalState []map[sharegraph.Register]core.Value
 }
 
 // Ok reports a fully clean run: no violations, nothing stuck, all client
@@ -143,11 +155,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			c := idle[choice]
 			op := scripts[c][0]
 			scripts[c] = scripts[c][1:]
-			req, err := clients[c].NewRequest(op.Reg, nextVal, op.IsRead)
+			v := op.Val
+			if v == 0 {
+				v = nextVal
+				nextVal++
+			}
+			req, err := clients[c].NewRequest(op.Reg, v, op.IsRead)
 			if err != nil {
 				return nil, err
 			}
-			nextVal++
 			awaiting[c] = true
 			res.Requests++
 			res.MetaBytes += timestamp.EncodedSize(req.Mu)
@@ -173,6 +189,12 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		res.StuckRequests += s.PendingRequests()
 		res.ServerEntries = append(res.ServerEntries, s.MetadataEntries())
 	}
+	if cfg.CaptureState {
+		res.FinalState = make([]map[sharegraph.Register]core.Value, nReplicas)
+		for i, s := range servers {
+			res.FinalState[i] = serverState(aug.G, s, sharegraph.ReplicaID(i))
+		}
+	}
 	for c, cl := range clients {
 		res.ClientEntries = append(res.ClientEntries, cl.MetadataEntries())
 		res.UnfinishedOps += len(scripts[c])
@@ -183,4 +205,18 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	tracker.CheckLiveness()
 	res.Violations = tracker.Violations()
 	return res, nil
+}
+
+// serverState snapshots the registers replica r genuinely stores. Both
+// the deterministic runner and the live system build their differential
+// state captures with it, so the two sides compare maps produced by the
+// same code. Callers serialize access to the server.
+func serverState(g *sharegraph.Graph, s *Server, r sharegraph.ReplicaID) map[sharegraph.Register]core.Value {
+	out := make(map[sharegraph.Register]core.Value)
+	for _, x := range g.Stores(r).Sorted() {
+		if v, ok := s.Read(x); ok {
+			out[x] = v
+		}
+	}
+	return out
 }

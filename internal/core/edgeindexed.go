@@ -106,6 +106,7 @@ func (p *EdgeIndexed) NewNodes() ([]Node, error) {
 			naive:     p.naive,
 			τ:         p.space.Zero(id),
 			store:     make(map[sharegraph.Register]Value, p.g.Stores(id).Len()),
+			recip:     sharegraph.NewRecipientCache(p.g, id),
 		}
 		if !p.naive {
 			en.q = ingest.NewSenderQueues[pendingUpdate](n)
@@ -154,6 +155,8 @@ type edgeNode struct {
 	vecFree  []timestamp.Vec
 	work     []sharegraph.ReplicaID
 	inWork   []bool
+	metaBuf  []byte
+	recip    sharegraph.RecipientCache
 }
 
 var _ Node = (*edgeNode)(nil)
@@ -161,52 +164,53 @@ var _ Node = (*edgeNode)(nil)
 func (n *edgeNode) ID() sharegraph.ReplicaID { return n.id }
 
 // HandleWrite implements step 2 of the replica prototype: write locally,
-// advance the timestamp, and send update(i, τ_i, x, v) to every other
-// replica storing x.
-func (n *edgeNode) HandleWrite(x sharegraph.Register, v Value, id causality.UpdateID) ([]Envelope, error) {
+// advance the timestamp, and emit update(i, τ_i, x, v) to every other
+// replica storing x. The metadata is encoded into node-owned scratch and
+// the recipient list is cached per register, so the steady-state fanout
+// performs no allocation; the sink owns copying what it retains.
+func (n *edgeNode) HandleWrite(x sharegraph.Register, v Value, id causality.UpdateID, out Sink) error {
 	if !n.realStore(n.id, x) {
-		return nil, &NotStoredError{Replica: n.id, Register: x}
+		return &NotStoredError{Replica: n.id, Register: x}
 	}
 	n.store[x] = v
 	n.space.AdvanceInPlace(n.id, n.τ, x)
-	meta := timestamp.Encode(n.τ)
-	recipients := n.g.UpdateRecipients(n.id, x)
-	out := make([]Envelope, 0, len(recipients))
-	for _, k := range recipients {
-		out = append(out, Envelope{
-			From: n.id, To: k, Reg: x, Val: v, Meta: meta, OracleID: id,
+	n.metaBuf = timestamp.EncodeTo(n.metaBuf[:0], n.τ)
+	for _, k := range n.recip.Recipients(x) {
+		out.Emit(Envelope{
+			From: n.id, To: k, Reg: x, Val: v, Meta: n.metaBuf, OracleID: id,
 			MetaOnly: !n.realStore(k, x),
 		})
 	}
-	return out, nil
+	return nil
 }
 
 // HandleMessage implements steps 3–4: buffer the update, then repeatedly
 // apply any buffered update whose predicate J evaluates true, merging
-// timestamps as we go, until no buffered update is deliverable.
+// timestamps as we go, until no buffered update is deliverable. The
+// edge-indexed protocol never forwards, so out is unused.
 //
 // The returned Applied slice is owned by the node and valid until the
 // next call on it; runtimes consume it before dispatching further events
 // to the same node.
-func (n *edgeNode) HandleMessage(env Envelope) ([]Applied, []Envelope) {
+func (n *edgeNode) HandleMessage(env Envelope, out Sink) []Applied {
 	ts, err := timestamp.DecodeReuse(&n.vecFree, env.Meta)
 	if err != nil {
 		// A corrupt message indicates a harness bug, not a protocol state;
 		// surface loudly but do not crash the run.
 		log.Printf("edge-indexed: replica %d dropping corrupt metadata from %d: %v", n.id, env.From, err)
-		return nil, nil
+		return nil
 	}
 	// Both engines index plans and the decoded vector by sender; a sender
 	// outside the replica set or a wrong-length vector is harness
 	// corruption that must be dropped, not dereferenced.
 	if int(env.From) < 0 || int(env.From) >= n.space.NumReplicas() {
 		log.Printf("edge-indexed: replica %d dropping update from invalid sender %d", n.id, env.From)
-		return nil, nil
+		return nil
 	}
 	if len(ts) != n.space.Len(env.From) {
 		log.Printf("edge-indexed: replica %d dropping update from %d with %d-entry timestamp, want %d",
 			n.id, env.From, len(ts), n.space.Len(env.From))
-		return nil, nil
+		return nil
 	}
 	u := pendingUpdate{
 		from: env.From, ts: ts, reg: env.Reg, val: env.Val,
@@ -214,7 +218,7 @@ func (n *edgeNode) HandleMessage(env Envelope) ([]Applied, []Envelope) {
 	}
 	if n.naive {
 		n.pending = append(n.pending, u)
-		return n.drainNaive(), nil
+		return n.drainNaive()
 	}
 
 	seqPos, ok := n.space.SeqPos(n.id, env.From)
@@ -224,7 +228,7 @@ func (n *edgeNode) HandleMessage(env Envelope) ([]Applied, []Envelope) {
 		// the dead buffer so pending accounting matches the reference
 		// engine, which keeps rescanning it forever in vain.
 		n.q.Park(u)
-		return nil, nil
+		return nil
 	}
 	gatePos, _ := n.space.GatePos(n.id, env.From)
 	// Stale sequence numbers park dead: the gate only grows, so strict
@@ -233,9 +237,9 @@ func (n *edgeNode) HandleMessage(env Envelope) ([]Applied, []Envelope) {
 	if !n.q.Offer(int(env.From), ts[seqPos], n.τ[gatePos], u) {
 		// Nothing in τ changed; no other buffered update can have become
 		// deliverable. Most out-of-order arrivals take this O(1) exit.
-		return nil, nil
+		return nil
 	}
-	return n.drainFrom(env.From), nil
+	return n.drainFrom(env.From)
 }
 
 // drainFrom applies deliverable pending updates until a fixpoint, starting

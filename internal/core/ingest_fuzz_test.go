@@ -37,7 +37,7 @@ func FuzzEdgeNodeIngest(f *testing.F) {
 		const writes = 24
 		envs := make([]Envelope, writes)
 		for i := 0; i < writes; i++ {
-			out, err := nodes[0].HandleWrite("seg0", Value(i+1), causality.UpdateID(i))
+			out, err := CollectWrite(nodes[0], "seg0", Value(i+1), causality.UpdateID(i))
 			if err != nil || len(out) != 1 {
 				t.Fatalf("write %d: %v %v", i, err, out)
 			}
@@ -61,7 +61,7 @@ func FuzzEdgeNodeIngest(f *testing.F) {
 				env.Meta = nil
 			default: // deliver intact (dups arise from repeated picks)
 			}
-			applied, fwd := recv.HandleMessage(env)
+			applied, fwd := CollectMessage(recv, env)
 			if len(fwd) != 0 {
 				t.Fatalf("edge-indexed forwarded %d messages", len(fwd))
 			}

@@ -39,12 +39,31 @@ type Envelope struct {
 	MetaOnly bool
 }
 
+// Dest returns the destination replica as an inbox index — the routing
+// hook the shared worker-pool engine (internal/runtime) keys on.
+func (e Envelope) Dest() int { return int(e.To) }
+
 // Applied reports one update a node applied while processing an event.
 type Applied struct {
 	OracleID causality.UpdateID
 	From     sharegraph.ReplicaID
 	Reg      sharegraph.Register
 	Val      Value
+}
+
+// Sink consumes the envelopes a node emits while handling one event. It
+// is the runtime half of the emit contract that keeps the write fanout
+// allocation-free: instead of allocating and returning an envelope slice,
+// a node pushes each outgoing message into the caller's sink.
+//
+// Ownership: an Envelope passed to Emit — including its Meta buffer — is
+// node-owned scratch, valid only for the duration of the Emit call. A
+// sink that retains the envelope beyond that (buffering it in an inbox or
+// a message pool) must copy Meta first; runtimes recycle those copies
+// through freelists once the message has been ingested, so the steady
+// state stays allocation-free end to end.
+type Sink interface {
+	Emit(Envelope)
 }
 
 // Node is one replica's protocol state machine. Implementations are not
@@ -54,17 +73,23 @@ type Node interface {
 	ID() sharegraph.ReplicaID
 
 	// HandleWrite processes a client write to a locally stored register:
-	// it applies the write locally and returns the update messages to
-	// send. id is the causality oracle's identifier for this update.
-	// It fails if the register is not stored at this replica.
-	HandleWrite(x sharegraph.Register, v Value, id causality.UpdateID) ([]Envelope, error)
+	// it applies the write locally and emits the update messages to send
+	// into out (see Sink for the ownership contract). id is the causality
+	// oracle's identifier for this update. It fails if the register is
+	// not stored at this replica.
+	HandleWrite(x sharegraph.Register, v Value, id causality.UpdateID, out Sink) error
 
 	// HandleMessage ingests one received envelope, applies it and any
 	// previously buffered updates that have become deliverable, and
-	// returns the applied updates in application order plus any messages
-	// to forward (relaying protocols, such as the Appendix D virtual
-	// register overlays, propagate updates hop by hop).
-	HandleMessage(env Envelope) ([]Applied, []Envelope)
+	// returns the applied updates in application order. Messages to
+	// forward (relaying protocols, such as the Appendix D virtual
+	// register overlays, propagate updates hop by hop) are emitted into
+	// out under the Sink ownership contract.
+	//
+	// The returned Applied slice is node-owned scratch, valid until the
+	// next call on the node; runtimes consume it before dispatching
+	// further events to the same node.
+	HandleMessage(env Envelope, out Sink) []Applied
 
 	// Read returns the local copy of register x, per step 1 of the
 	// prototype (reads never block). ok is false if x is not stored here.
@@ -85,12 +110,63 @@ type Node interface {
 
 // Protocol builds the per-replica nodes of one causal-consistency
 // implementation over a given share graph.
+//
+// Every node implementation follows the emit contract: envelopes a node
+// passes to a Sink reference node-owned scratch (notably the encoded
+// metadata buffer) and must be consumed — delivered or copied — before
+// the runtime's next call on that node. See Sink.
 type Protocol interface {
 	// Name identifies the protocol in experiment output.
 	Name() string
 	// NewNodes builds one node per replica.
 	NewNodes() ([]Node, error)
 }
+
+// Collector is a Sink that accumulates emitted envelopes into a slice,
+// cloning each Meta buffer so the envelopes stay valid across subsequent
+// node calls. Tests and simple drivers use it where the allocation-free
+// emit path does not matter; hot runtimes implement their own recycling
+// sinks instead.
+type Collector struct {
+	Envs []Envelope
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(env Envelope) {
+	if env.Meta != nil {
+		env.Meta = append([]byte(nil), env.Meta...)
+	}
+	c.Envs = append(c.Envs, env)
+}
+
+// Reset clears the collector for reuse, keeping its capacity.
+func (c *Collector) Reset() { c.Envs = c.Envs[:0] }
+
+// CollectWrite invokes n.HandleWrite and returns the emitted envelopes as
+// a fresh slice with cloned metadata — the allocate-and-return shape the
+// emit API replaced, for tests and hand-driven executions.
+func CollectWrite(n Node, x sharegraph.Register, v Value, id causality.UpdateID) ([]Envelope, error) {
+	var c Collector
+	if err := n.HandleWrite(x, v, id, &c); err != nil {
+		return nil, err
+	}
+	return c.Envs, nil
+}
+
+// CollectMessage invokes n.HandleMessage and returns the applied updates
+// plus the forwarded envelopes as a fresh slice with cloned metadata.
+func CollectMessage(n Node, env Envelope) ([]Applied, []Envelope) {
+	var c Collector
+	applied := n.HandleMessage(env, &c)
+	return applied, c.Envs
+}
+
+// DiscardSink is a Sink that drops every envelope — for benchmarks and
+// tests that only care about a node's local effects.
+type DiscardSink struct{}
+
+// Emit implements Sink.
+func (DiscardSink) Emit(Envelope) {}
 
 // NotStoredError reports that a client operation named a register the
 // replica does not store. Match it with errors.As.

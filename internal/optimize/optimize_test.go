@@ -210,7 +210,7 @@ func TestRingBreak(t *testing.T) {
 	// deliver hops in order, count messages until replica n−1 applies.
 	tracker := causality.NewTracker(rb.Base())
 	id := tracker.OnIssue(0, rb.Broken())
-	envs, err := nodes[0].HandleWrite(rb.Broken(), 77, id)
+	envs, err := core.CollectWrite(nodes[0], rb.Broken(), 77, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestRingBreak(t *testing.T) {
 		env := envs[0]
 		envs = envs[1:]
 		hops++
-		applied, fwd := nodes[env.To].HandleMessage(env)
+		applied, fwd := core.CollectMessage(nodes[env.To], env)
 		for _, a := range applied {
 			tracker.OnApply(env.To, a.OracleID)
 		}
@@ -275,7 +275,7 @@ func TestRingBreakValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := nodes[1].HandleWrite(rb.Broken(), 1, 0); err == nil {
+	if _, err := core.CollectWrite(nodes[1], rb.Broken(), 1, 0); err == nil {
 		t.Error("write of broken register at non-holder accepted")
 	}
 	if _, ok := nodes[1].Read(rb.Broken()); ok {
@@ -317,7 +317,7 @@ func TestTruncationUnsafeUnderAdversary(t *testing.T) {
 		tracker := causality.NewTracker(g)
 		write := func(r sharegraph.ReplicaID, x sharegraph.Register) []core.Envelope {
 			id := tracker.OnIssue(r, x)
-			envs, err := nodes[r].HandleWrite(x, 1, id)
+			envs, err := core.CollectWrite(nodes[r], x, 1, id)
 			if err != nil {
 				t.Fatalf("write %q at %d: %v", x, r, err)
 			}
@@ -329,7 +329,7 @@ func TestTruncationUnsafeUnderAdversary(t *testing.T) {
 				if e.To != to {
 					continue
 				}
-				applied, fwd := nodes[to].HandleMessage(e)
+				applied, fwd := core.CollectMessage(nodes[to], e)
 				for _, a := range applied {
 					tracker.OnApply(to, a.OracleID)
 				}
@@ -507,7 +507,7 @@ func TestOptimizeAccessors(t *testing.T) {
 		t.Errorf("fresh node has pending ids %v", ids)
 	}
 	// Corrupt metadata dropped by the relay node.
-	if applied, fwd := nodes[1].HandleMessage(core.Envelope{From: 0, To: 1, Reg: "__relay0", Meta: []byte{0xff}}); len(applied)+len(fwd) != 0 {
+	if applied, fwd := core.CollectMessage(nodes[1], core.Envelope{From: 0, To: 1, Reg: "__relay0", Meta: []byte{0xff}}); len(applied)+len(fwd) != 0 {
 		t.Error("corrupt relay message processed")
 	}
 	// Report totals.

@@ -114,9 +114,9 @@ var _ core.Node = (*relayNode)(nil)
 
 func (n *relayNode) ID() sharegraph.ReplicaID { return n.id }
 
-func (n *relayNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID) ([]core.Envelope, error) {
+func (n *relayNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID, out core.Sink) error {
 	if !n.p.base.StoresRegister(n.id, x) {
-		return nil, &core.NotStoredError{Replica: n.id, Register: x}
+		return &core.NotStoredError{Replica: n.id, Register: x}
 	}
 	n.store[x] = v
 	if x == n.p.broken {
@@ -126,18 +126,17 @@ func (n *relayNode) HandleWrite(x sharegraph.Register, v core.Value, id causalit
 		if n.id == sharegraph.ReplicaID(n.p.n-1) {
 			next = sharegraph.ReplicaID(n.p.n - 2)
 		}
-		return []core.Envelope{n.relayEnvelope(next, v, id)}, nil
+		out.Emit(n.relayEnvelope(next, v, id))
+		return nil
 	}
 	n.τ = n.p.space.Advance(n.id, n.τ, x)
 	meta := timestamp.Encode(n.τ)
-	recipients := n.p.line.UpdateRecipients(n.id, x)
-	out := make([]core.Envelope, 0, len(recipients))
-	for _, k := range recipients {
-		out = append(out, core.Envelope{
+	for _, k := range n.p.line.UpdateRecipients(n.id, x) {
+		out.Emit(core.Envelope{
 			From: n.id, To: k, Reg: x, Val: v, Meta: meta, OracleID: id,
 		})
 	}
-	return out, nil
+	return nil
 }
 
 // relayEnvelope advances the timestamp on the virtual register of the hop
@@ -155,21 +154,20 @@ func (n *relayNode) relayEnvelope(to sharegraph.ReplicaID, v core.Value, id caus
 	}
 }
 
-func (n *relayNode) HandleMessage(env core.Envelope) ([]core.Applied, []core.Envelope) {
+func (n *relayNode) HandleMessage(env core.Envelope, out core.Sink) []core.Applied {
 	ts, err := timestamp.Decode(env.Meta)
 	if err != nil {
 		log.Printf("ring-break: replica %d dropping corrupt metadata from %d: %v", n.id, env.From, err)
-		return nil, nil
+		return nil
 	}
 	n.pending = append(n.pending, relayPending{
 		from: env.From, ts: ts, reg: env.Reg, val: env.Val, oracleID: env.OracleID,
 	})
-	return n.drain()
+	return n.drain(out)
 }
 
-func (n *relayNode) drain() ([]core.Applied, []core.Envelope) {
+func (n *relayNode) drain(out core.Sink) []core.Applied {
 	var applied []core.Applied
-	var fwd []core.Envelope
 	for {
 		progress := false
 		for idx := 0; idx < len(n.pending); idx++ {
@@ -190,7 +188,7 @@ func (n *relayNode) drain() ([]core.Applied, []core.Envelope) {
 					})
 				} else {
 					next := 2*n.id - u.from // keep moving away from the sender
-					fwd = append(fwd, n.relayEnvelope(next, u.val, u.oracleID))
+					out.Emit(n.relayEnvelope(next, u.val, u.oracleID))
 				}
 			default:
 				n.store[u.reg] = u.val
@@ -202,7 +200,7 @@ func (n *relayNode) drain() ([]core.Applied, []core.Envelope) {
 			idx--
 		}
 		if !progress {
-			return applied, fwd
+			return applied
 		}
 	}
 }

@@ -1,0 +1,144 @@
+package runtime
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testMsg routes on its dest field and carries a payload for assertions.
+type testMsg struct {
+	dest int
+	val  int
+}
+
+func (m testMsg) Dest() int { return m.dest }
+
+func TestEngineDeliversEverything(t *testing.T) {
+	const dests = 8
+	const msgs = 500
+	var mu sync.Mutex
+	got := make(map[int][]int)
+	e := New(dests, Options{Workers: 4, Seed: 3}, func(m testMsg) {
+		mu.Lock()
+		got[m.dest] = append(got[m.dest], m.val)
+		mu.Unlock()
+	})
+	for i := 0; i < msgs; i++ {
+		e.Send(testMsg{dest: i % dests, val: i})
+	}
+	e.Quiesce()
+	if n := e.Outstanding(); n != 0 {
+		t.Errorf("Outstanding after Quiesce = %d", n)
+	}
+	e.Close()
+	total := 0
+	for _, vs := range got {
+		total += len(vs)
+	}
+	if total != msgs {
+		t.Errorf("delivered %d of %d messages", total, msgs)
+	}
+}
+
+// TestEngineForwardCascade checks that deliveries forwarding new messages
+// keep the outstanding counter balanced: a chain of forwards must fully
+// drain before Quiesce returns.
+func TestEngineForwardCascade(t *testing.T) {
+	const hops = 64
+	var e *Engine[testMsg]
+	var delivered atomic.Int64
+	e = New(2, Options{Workers: 2}, func(m testMsg) {
+		delivered.Add(1)
+		if m.val < hops {
+			e.Forward(testMsg{dest: 1 - m.dest, val: m.val + 1})
+		}
+	})
+	e.Send(testMsg{dest: 0, val: 0})
+	e.Quiesce()
+	if n := delivered.Load(); n != hops+1 {
+		t.Errorf("delivered %d messages, want %d", n, hops+1)
+	}
+	e.Close()
+}
+
+// TestEngineBackpressureTinyInbox drives many sends through capacity-1
+// inboxes: senders must block rather than grow memory, and the run must
+// drain without deadlock.
+func TestEngineBackpressureTinyInbox(t *testing.T) {
+	var delivered atomic.Int64
+	e := New(3, Options{Workers: 2, InboxCapacity: 1}, func(m testMsg) {
+		delivered.Add(1)
+		time.Sleep(10 * time.Microsecond)
+	})
+	var wg sync.WaitGroup
+	const perSender = 100
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				e.Send(testMsg{dest: (s + i) % 3, val: i})
+			}
+		}(s)
+	}
+	wg.Wait()
+	e.Quiesce()
+	e.Close()
+	if n := delivered.Load(); n != 3*perSender {
+		t.Errorf("delivered %d of %d", n, 3*perSender)
+	}
+}
+
+// TestEngineBoundedGoroutines pins the worker-pool property: the engine
+// adds exactly Workers goroutines, independent of traffic, and Close
+// removes all of them.
+func TestEngineBoundedGoroutines(t *testing.T) {
+	const workers = 3
+	before := runtime.NumGoroutine()
+	e := New(4, Options{Workers: workers, MaxDelay: 100 * time.Microsecond}, func(testMsg) {})
+	for i := 0; i < 2000; i++ {
+		e.Send(testMsg{dest: i % 4, val: i})
+	}
+	if peak := runtime.NumGoroutine(); peak > before+workers+2 {
+		t.Errorf("goroutine count %d exceeds baseline %d + %d workers", peak, before, workers)
+	}
+	if e.Workers() != workers {
+		t.Errorf("Workers = %d", e.Workers())
+	}
+	e.Close()
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Errorf("goroutines leaked: %d before, %d after Close", before, after)
+	}
+}
+
+// TestEngineSendAfterCloseDropped documents the shutdown contract:
+// messages sent once the drain has begun are dropped, not delivered and
+// not counted outstanding.
+func TestEngineSendAfterCloseDropped(t *testing.T) {
+	var delivered atomic.Int64
+	e := New(1, Options{Workers: 2}, func(testMsg) { delivered.Add(1) })
+	e.Send(testMsg{dest: 0})
+	e.Close()
+	n := delivered.Load()
+	e.Send(testMsg{dest: 0}) // dropped: workers are gone
+	if delivered.Load() != n {
+		t.Error("send after Close was delivered")
+	}
+	if e.Outstanding() != 0 {
+		t.Errorf("Outstanding = %d after Close", e.Outstanding())
+	}
+}
+
+// TestEngineDefaultOptions exercises the zero-value option resolution.
+func TestEngineDefaultOptions(t *testing.T) {
+	e := New(2, Options{}, func(testMsg) {})
+	if e.Workers() < 2 {
+		t.Errorf("default Workers = %d, want >= 2", e.Workers())
+	}
+	e.Send(testMsg{dest: 1})
+	e.Quiesce()
+	e.Close()
+}

@@ -182,6 +182,32 @@ func (g *Graph) UpdateRecipients(writer ReplicaID, x Register) []ReplicaID {
 	return out
 }
 
+// RecipientCache memoizes UpdateRecipients for one writer. Protocol nodes
+// keep one per replica so the per-write fanout does not recompute (and
+// reallocate) the destination list; the graph is immutable, so cached
+// slices stay valid for the node's lifetime. Not safe for concurrent use.
+type RecipientCache struct {
+	g      *Graph
+	writer ReplicaID
+	m      map[Register][]ReplicaID
+}
+
+// NewRecipientCache builds a cache for updates written at writer.
+func NewRecipientCache(g *Graph, writer ReplicaID) RecipientCache {
+	return RecipientCache{g: g, writer: writer, m: make(map[Register][]ReplicaID)}
+}
+
+// Recipients returns the cached UpdateRecipients(writer, x). The returned
+// slice is shared; callers must not mutate it.
+func (c *RecipientCache) Recipients(x Register) []ReplicaID {
+	if r, ok := c.m[x]; ok {
+		return r
+	}
+	r := c.g.UpdateRecipients(c.writer, x)
+	c.m[x] = r
+	return r
+}
+
 // String renders the placement and adjacency for debugging.
 func (g *Graph) String() string {
 	var b strings.Builder

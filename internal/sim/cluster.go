@@ -2,24 +2,24 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/causality"
 	"repro/internal/core"
+	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
 // Cluster is the live concurrent runtime over the same protocol state
-// machines the deterministic runner drives: a fixed pool of delivery
-// workers pulls messages from bounded per-replica inboxes and feeds them
-// to lock-protected nodes.
+// machines the deterministic runner drives: the shared worker-pool engine
+// (internal/runtime) pulls messages from bounded per-replica inboxes and
+// feeds them to lock-protected nodes.
 //
-// The transport preserves the paper's system model — reliable,
+// The engine preserves the paper's system model — reliable,
 // point-to-point, NOT FIFO — without spawning a goroutine per message:
 // each worker takes a uniformly random buffered message from an inbox
 // (a seeded per-inbox shuffle), so delivery order is arbitrarily reordered
@@ -27,55 +27,71 @@ import (
 //
 // Backpressure contract: client writes (Write, RunScript drivers) block
 // while a destination inbox is at capacity, so a fast writer cannot grow
-// memory without bound — the inbox bound replaces the unbounded goroutine
-// fanout of the previous runtime. Deliveries that forward messages
-// (relaying protocols) enqueue above capacity rather than block: a worker
-// that blocked on a full inbox could deadlock the pool, and bounded
-// worker count already bounds the transient overshoot to one fanout per
-// worker.
+// memory without bound. Deliveries that forward messages (relaying
+// protocols) enqueue above capacity rather than block — see the engine's
+// Forward path.
+//
+// The write fanout is allocation-free in steady state: nodes emit
+// envelopes referencing node-owned metadata scratch (the core.Sink
+// contract), and the cluster's sink copies each Meta into a recycled
+// buffer that returns to the pool once the message has been ingested at
+// its destination.
 type Cluster struct {
 	g       *sharegraph.Graph
-	tracker *causality.Tracker
+	tracker *causality.Tracker // nil when auditing is disabled
 	nodes   []core.Node
 	nodeMu  []sync.Mutex
+	eng     *rt.Engine[core.Envelope]
 
-	workers  int
-	capacity int
-	maxDelay time.Duration
-	seed     int64
-	seq      atomic.Uint64 // per-delivery counter driving delay jitter
+	opts  rt.Options
+	audit bool
 
-	// mu guards the inboxes, the ready queue and the lifecycle flags.
-	// Buffer operations under it are O(1); protocol work happens outside
-	// it under the per-node locks.
-	mu        sync.Mutex
-	workAvail *sync.Cond // a ready entry was pushed, or shutdown began
-	spaceCond *sync.Cond // an inbox crossed back below capacity
-	idleCond  *sync.Cond // outstanding hit zero
-	inboxes   []inbox
-	ready     []sharegraph.ReplicaID // non-empty inboxes, FIFO, deduplicated
-	readyHead int
-	// outstanding counts messages buffered in inboxes plus messages a
-	// worker is currently delivering (a delivery's forwards are enqueued
-	// before its own count drops, so the counter never dips to zero while
-	// causally-produced work remains).
-	outstanding int
-	closed      bool // Write rejects new client operations
-	stopping    bool // workers exit once the ready queue is empty
-	wg          sync.WaitGroup
+	meta    transport.BytePool
+	batches sync.Pool // *envBatch
 
+	idSeq     atomic.Int64 // oracle-ID source when auditing is off
+	closed    atomic.Bool
 	msgs      atomic.Int64
 	metaBytes atomic.Int64
 }
 
-// inbox buffers in-flight messages destined for one replica. Guarded by
-// Cluster.mu.
-type inbox struct {
-	buf []core.Envelope
-	rng *rand.Rand // seeded shuffle: which buffered message delivers next
-	// queued marks the replica as present in the ready queue, keeping at
-	// most one entry per replica there.
-	queued bool
+// envBatch is a core.Sink that stages one node call's emitted envelopes:
+// Meta buffers are copied through the cluster's recycling pool inside the
+// node's lock (satisfying the consume-before-next-call contract), and the
+// staged batch is flushed to the engine after the lock is released so
+// backpressure never blocks while holding a node.
+type envBatch struct {
+	c    *Cluster
+	envs []core.Envelope
+}
+
+// Emit implements core.Sink.
+func (b *envBatch) Emit(env core.Envelope) {
+	env.Meta = b.c.meta.Copy(env.Meta)
+	b.envs = append(b.envs, env)
+}
+
+// recordSent counts messages the engine actually accepted — never the
+// suffix a shutdown race dropped — so Stats stays consistent with what
+// was delivered.
+func (c *Cluster) recordSent(envs []core.Envelope) {
+	c.msgs.Add(int64(len(envs)))
+	total := int64(0)
+	for i := range envs {
+		total += int64(len(envs[i].Meta))
+	}
+	c.metaBytes.Add(total)
+}
+
+func (c *Cluster) getBatch() *envBatch {
+	b := c.batches.Get().(*envBatch)
+	b.c = c
+	return b
+}
+
+func (c *Cluster) putBatch(b *envBatch) {
+	b.envs = b.envs[:0]
+	c.batches.Put(b)
 }
 
 // ClusterOption customizes a Cluster.
@@ -87,7 +103,7 @@ type ClusterOption func(*Cluster)
 // a bounded worker pool it also throttles throughput, which is the point
 // in stress tests.
 func WithMaxDelay(d time.Duration) ClusterOption {
-	return func(c *Cluster) { c.maxDelay = d }
+	return func(c *Cluster) { c.opts.MaxDelay = d }
 }
 
 // WithWorkers sets the delivery worker-pool size. The default is
@@ -95,7 +111,7 @@ func WithMaxDelay(d time.Duration) ClusterOption {
 func WithWorkers(n int) ClusterOption {
 	return func(c *Cluster) {
 		if n > 0 {
-			c.workers = n
+			c.opts.Workers = n
 		}
 	}
 }
@@ -105,7 +121,7 @@ func WithWorkers(n int) ClusterOption {
 func WithInboxCapacity(n int) ClusterOption {
 	return func(c *Cluster) {
 		if n > 0 {
-			c.capacity = n
+			c.opts.InboxCapacity = n
 		}
 	}
 }
@@ -115,7 +131,16 @@ func WithInboxCapacity(n int) ClusterOption {
 // stays nondeterministic — but the seed varies which reorderings the
 // shuffle explores.
 func WithSeed(seed int64) ClusterOption {
-	return func(c *Cluster) { c.seed = seed }
+	return func(c *Cluster) { c.opts.Seed = seed }
+}
+
+// WithoutAudit disables the causality oracle for pure-throughput runs.
+// The oracle's per-update causal-past bitset clone is quadratic in issued
+// updates — the dominant cost at 50k-op scale — and throughput
+// measurements do not need verdicts. Tracker returns nil and RunScript
+// returns no violations on an unaudited cluster.
+func WithoutAudit() ClusterOption {
+	return func(c *Cluster) { c.audit = false }
 }
 
 // NewCluster builds and starts a live cluster for the protocol. The
@@ -126,57 +151,57 @@ func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOpti
 		return nil, fmt.Errorf("cluster: build nodes: %w", err)
 	}
 	c := &Cluster{
-		g:        g,
-		tracker:  causality.NewTracker(g),
-		nodes:    nodes,
-		nodeMu:   make([]sync.Mutex, len(nodes)),
-		workers:  max(2, runtime.GOMAXPROCS(0)),
-		capacity: 1024,
-		seed:     1,
+		g:      g,
+		nodes:  nodes,
+		nodeMu: make([]sync.Mutex, len(nodes)),
+		audit:  true,
 	}
 	for _, o := range opts {
 		o(c)
 	}
-	c.workAvail = sync.NewCond(&c.mu)
-	c.spaceCond = sync.NewCond(&c.mu)
-	c.idleCond = sync.NewCond(&c.mu)
-	c.inboxes = make([]inbox, len(nodes))
-	for r := range c.inboxes {
-		// Distinct odd multipliers decorrelate the per-inbox streams
-		// derived from one user-facing seed.
-		c.inboxes[r].rng = rand.New(rand.NewSource(c.seed + int64(r+1)*0x4f1bdcdcbfa53e0b))
+	if c.audit {
+		c.tracker = causality.NewTracker(g)
 	}
-	c.wg.Add(c.workers)
-	for w := 0; w < c.workers; w++ {
-		go c.worker()
-	}
+	c.batches.New = func() any { return &envBatch{} }
+	c.eng = rt.New(len(nodes), c.opts, c.deliver)
 	return c, nil
 }
 
-// Tracker exposes the oracle auditing this cluster.
+// Tracker exposes the oracle auditing this cluster; nil when the cluster
+// was built with WithoutAudit.
 func (c *Cluster) Tracker() *causality.Tracker { return c.tracker }
 
 // Workers returns the delivery worker-pool size.
-func (c *Cluster) Workers() int { return c.workers }
+func (c *Cluster) Workers() int { return c.eng.Workers() }
+
+// issueID reports a client write to the oracle, or mints a bare ID when
+// auditing is off. Callers hold the writer node's lock, preserving the
+// per-replica issue order the oracle requires.
+func (c *Cluster) issueID(r sharegraph.ReplicaID, x sharegraph.Register) causality.UpdateID {
+	if c.tracker != nil {
+		return c.tracker.OnIssue(r, x)
+	}
+	return causality.UpdateID(c.idSeq.Add(1) - 1)
+}
 
 // Write performs a client write at replica r, blocking while any
 // destination inbox is at capacity (the backpressure contract).
 func (c *Cluster) Write(r sharegraph.ReplicaID, x sharegraph.Register, v core.Value) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return fmt.Errorf("cluster: closed")
 	}
-	c.mu.Unlock()
-
+	b := c.getBatch()
 	c.nodeMu[r].Lock()
-	id := c.tracker.OnIssue(r, x)
-	envs, err := c.nodes[r].HandleWrite(x, v, id)
+	id := c.issueID(r, x)
+	err := c.nodes[r].HandleWrite(x, v, id, b)
 	c.nodeMu[r].Unlock()
 	if err != nil {
+		c.putBatch(b)
 		return fmt.Errorf("cluster: write at %d: %w", r, err)
 	}
-	c.enqueue(envs, true)
+	accepted := c.eng.Send(b.envs...)
+	c.recordSent(b.envs[:accepted])
+	c.putBatch(b)
 	return nil
 }
 
@@ -187,156 +212,45 @@ func (c *Cluster) Read(r sharegraph.ReplicaID, x sharegraph.Register) (core.Valu
 	return c.nodes[r].Read(x)
 }
 
-// enqueue files envelopes into their destination inboxes. With
-// backpressure set (client writes) it blocks while an inbox is full;
-// workers forwarding relayed messages pass false and overshoot instead,
-// which keeps the pool deadlock-free. Envelopes enqueued after shutdown
-// has drained the cluster are dropped — the workers that would deliver
-// them are gone.
-func (c *Cluster) enqueue(envs []core.Envelope, backpressure bool) {
-	if len(envs) == 0 {
-		return
-	}
-	c.mu.Lock()
-	for _, env := range envs {
-		if backpressure {
-			for len(c.inboxes[env.To].buf) >= c.capacity && !c.stopping {
-				c.spaceCond.Wait()
-			}
-		}
-		if c.stopping {
-			break
-		}
-		ib := &c.inboxes[env.To]
-		ib.buf = append(ib.buf, env)
-		c.outstanding++
-		c.msgs.Add(1)
-		c.metaBytes.Add(int64(len(env.Meta)))
-		if !ib.queued {
-			ib.queued = true
-			c.pushReady(env.To)
-			c.workAvail.Signal()
-		}
-	}
-	c.mu.Unlock()
-}
-
-// pushReady appends to the ready queue, reclaiming the consumed prefix
-// once it dominates. Caller holds mu.
-func (c *Cluster) pushReady(r sharegraph.ReplicaID) {
-	if c.readyHead > 0 && c.readyHead >= len(c.ready)/2 {
-		c.ready = append(c.ready[:0], c.ready[c.readyHead:]...)
-		c.readyHead = 0
-	}
-	c.ready = append(c.ready, r)
-}
-
-// worker is one delivery loop: pop a replica with buffered messages, take
-// a random one from its inbox, deliver it outside the central lock.
-func (c *Cluster) worker() {
-	defer c.wg.Done()
-	c.mu.Lock()
-	for {
-		for c.readyHead == len(c.ready) && !c.stopping {
-			c.workAvail.Wait()
-		}
-		if c.readyHead == len(c.ready) { // stopping and drained
-			c.mu.Unlock()
-			return
-		}
-		r := c.ready[c.readyHead]
-		c.readyHead++
-		ib := &c.inboxes[r]
-		ib.queued = false
-		if len(ib.buf) == 0 {
-			continue // raced with another worker; nothing left here
-		}
-		// Seeded shuffle: deliver a uniformly random buffered message.
-		// Swap-remove keeps the take O(1); the vacated slot is zeroed so
-		// the inbox does not pin delivered metadata buffers.
-		i := ib.rng.Intn(len(ib.buf))
-		env := ib.buf[i]
-		last := len(ib.buf) - 1
-		ib.buf[i] = ib.buf[last]
-		ib.buf[last] = core.Envelope{}
-		ib.buf = ib.buf[:last]
-		if len(ib.buf) == c.capacity-1 {
-			// Crossed back below the bound: wake blocked writers. Inboxes
-			// can sit above capacity transiently (forward overshoot), in
-			// which case later takes re-cross and re-signal.
-			c.spaceCond.Broadcast()
-		}
-		if len(ib.buf) > 0 && !ib.queued {
-			ib.queued = true
-			c.pushReady(r)
-			c.workAvail.Signal()
-		}
-		c.mu.Unlock()
-
-		c.deliver(env)
-
-		c.mu.Lock()
-		c.outstanding--
-		if c.outstanding == 0 {
-			c.idleCond.Broadcast()
-		}
-	}
-}
-
-// deliver handles one message at its destination node and enqueues any
-// forwards. Forwards are enqueued before the caller decrements
-// outstanding, so the counter never reads zero mid-cascade.
+// deliver handles one message at its destination node and forwards any
+// relayed messages. The engine calls it from pool workers; forwards are
+// enqueued before the worker decrements its own outstanding count, so the
+// counter never reads zero mid-cascade.
 func (c *Cluster) deliver(env core.Envelope) {
-	if c.maxDelay > 0 {
-		// splitmix64-style hash of the delivery counter gives deterministic-
-		// ish jitter without sharing a PRNG across workers.
-		z := c.seq.Add(1) * 0x9e3779b97f4a7c15
-		z ^= z >> 31
-		time.Sleep(time.Duration(z % uint64(c.maxDelay)))
+	b := c.getBatch()
+	to := env.To
+	c.nodeMu[to].Lock()
+	applied := c.nodes[to].HandleMessage(env, b)
+	if c.tracker != nil {
+		for _, a := range applied {
+			c.tracker.OnApply(to, a.OracleID)
+		}
 	}
-	c.nodeMu[env.To].Lock()
-	applied, fwd := c.nodes[env.To].HandleMessage(env)
-	for _, a := range applied {
-		c.tracker.OnApply(env.To, a.OracleID)
-	}
-	c.nodeMu[env.To].Unlock()
-	c.enqueue(fwd, false)
+	c.nodeMu[to].Unlock()
+	// The node has decoded (or rejected) the metadata; recycle the buffer
+	// for a future emit.
+	c.meta.Put(env.Meta)
+	accepted := c.eng.Forward(b.envs...)
+	c.recordSent(b.envs[:accepted])
+	c.putBatch(b)
 }
 
 // Quiesce blocks until no messages are in flight. Updates stuck in pending
 // buffers (a liveness failure) do not count as in flight, so Quiesce
 // terminates even for broken protocols.
-func (c *Cluster) Quiesce() {
-	c.mu.Lock()
-	for c.outstanding != 0 {
-		c.idleCond.Wait()
-	}
-	c.mu.Unlock()
-}
+func (c *Cluster) Quiesce() { c.eng.Quiesce() }
 
 // Close rejects further writes, waits for all in-flight deliveries to
 // drain, and stops the worker pool. It returns only after every worker
 // has exited — no goroutines outlive the cluster.
 func (c *Cluster) Close() {
-	c.mu.Lock()
-	c.closed = true
-	for c.outstanding != 0 {
-		c.idleCond.Wait()
-	}
-	c.stopping = true
-	c.workAvail.Broadcast()
-	c.spaceCond.Broadcast()
-	c.mu.Unlock()
-	c.wg.Wait()
+	c.closed.Store(true)
+	c.eng.Close()
 }
 
 // Outstanding returns the number of in-flight messages: buffered in
 // inboxes or currently being delivered. After Close it is zero.
-func (c *Cluster) Outstanding() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.outstanding
-}
+func (c *Cluster) Outstanding() int { return c.eng.Outstanding() }
 
 // PendingTotal sums buffered-but-unapplied updates across replicas.
 func (c *Cluster) PendingTotal() int {
@@ -371,7 +285,7 @@ func (c *Cluster) MetaBytes() int64 { return c.metaBytes.Load() }
 // RunScript executes a workload concurrently: one driver goroutine per
 // replica issues that replica's operations in script order (blocking
 // under inbox backpressure), then the cluster quiesces. Returns the
-// oracle verdicts (including liveness).
+// oracle verdicts (including liveness); nil on an unaudited cluster.
 func (c *Cluster) RunScript(script workload.Script) []causality.Violation {
 	n := c.g.NumReplicas()
 	queues := make([][]workload.Op, n)
@@ -404,6 +318,9 @@ func (c *Cluster) RunScript(script workload.Script) []causality.Violation {
 	}
 	wg.Wait()
 	c.Quiesce()
+	if c.tracker == nil {
+		return nil
+	}
 	c.tracker.CheckLiveness()
 	return c.tracker.Violations()
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -111,6 +112,46 @@ func TestClusterRingBreakRelay(t *testing.T) {
 	c.Quiesce()
 	if v, ok := c.Read(4, rb.Broken()); !ok || v != 1234 {
 		t.Errorf("far-end read = (%d,%v), want (1234,true)", v, ok)
+	}
+}
+
+// TestClusterWithoutAudit covers the pure-throughput configuration: no
+// oracle, no verdicts, but deliveries and state still flow — and final
+// state still matches an audited run on the same single-writer workload.
+func TestClusterWithoutAudit(t *testing.T) {
+	g := sharegraph.Ring(6)
+	script := workload.OwnerWrites(g, 300, 13)
+
+	audited, err := NewCluster(g, edgeIndexed(t, g), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := audited.RunScript(script); len(violations) != 0 {
+		t.Fatalf("audited run violations: %v", violations)
+	}
+	want := audited.StateSnapshot()
+	audited.Close()
+
+	c, err := NewCluster(g, edgeIndexed(t, g), WithSeed(5), WithoutAudit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tracker() != nil {
+		t.Error("unaudited cluster exposes a tracker")
+	}
+	if violations := c.RunScript(script); violations != nil {
+		t.Errorf("unaudited RunScript returned verdicts: %v", violations)
+	}
+	if p := c.PendingTotal(); p != 0 {
+		t.Errorf("%d updates stuck pending", p)
+	}
+	if c.MessagesSent() == 0 {
+		t.Error("no messages sent")
+	}
+	got := c.StateSnapshot()
+	c.Close()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("unaudited final state diverges:\naudited:   %v\nunaudited: %v", want, got)
 	}
 }
 

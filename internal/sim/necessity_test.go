@@ -32,7 +32,7 @@ func newHarness(t *testing.T, g *sharegraph.Graph, p core.Protocol) *harness {
 func (h *harness) write(r sharegraph.ReplicaID, x sharegraph.Register) []core.Envelope {
 	h.t.Helper()
 	id := h.tracker.OnIssue(r, x)
-	envs, err := h.nodes[r].HandleWrite(x, h.nextVal, id)
+	envs, err := core.CollectWrite(h.nodes[r], x, h.nextVal, id)
 	if err != nil {
 		h.t.Fatalf("write %q at %d: %v", x, r, err)
 	}
@@ -43,7 +43,7 @@ func (h *harness) write(r sharegraph.ReplicaID, x sharegraph.Register) []core.En
 // deliver hands one envelope to its destination and reports applies to
 // the oracle.
 func (h *harness) deliver(env core.Envelope) {
-	applied, fwd := h.nodes[env.To].HandleMessage(env)
+	applied, fwd := core.CollectMessage(h.nodes[env.To], env)
 	for _, a := range applied {
 		h.tracker.OnApply(env.To, a.OracleID)
 	}

@@ -26,6 +26,13 @@ type Config struct {
 	// MaxSteps bounds the run as a safety net; 0 derives a generous bound
 	// from the script size.
 	MaxSteps int
+	// SkipAudit disables the causality oracle for pure-throughput runs.
+	// The oracle clones one causal-past bitset per issued update —
+	// O(ops²/8) bytes per run, the dominant cost at 50k-op scale — so
+	// throughput benchmarks skip it. Violations stays nil and
+	// TrackFalseDeps is ignored (false dependencies are defined against
+	// the oracle's ground truth).
+	SkipAudit bool
 	// TrackFalseDeps enables per-step oracle queries on pending updates
 	// (quadratic-ish cost; off for throughput benchmarks).
 	TrackFalseDeps bool
@@ -134,7 +141,10 @@ func Run(cfg Config) (*Result, error) {
 	if len(nodes) != n {
 		return nil, fmt.Errorf("sim: protocol built %d nodes for %d replicas", len(nodes), n)
 	}
-	tracker := causality.NewTracker(cfg.Graph)
+	var tracker *causality.Tracker
+	if !cfg.SkipAudit {
+		tracker = causality.NewTracker(cfg.Graph)
+	}
 	res := &Result{Protocol: cfg.Protocol.Name(), Scheduler: cfg.Sched.Name()}
 
 	// Per-replica op queues preserving script order.
@@ -154,7 +164,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var pool transport.Pool
+	// sink routes emitted envelopes into the in-flight pool, copying each
+	// node-owned Meta buffer through a freelist (the core.Sink ownership
+	// contract); buffers return to the freelist once their message has
+	// been ingested, so the steady-state send→deliver cycle is
+	// allocation-free.
+	sink := &runnerSink{res: res, pool: &pool}
 	nextVal := core.Value(1)
+	// nextID mints update identifiers when the oracle is off; with the
+	// oracle on, OnIssue is the allocator so IDs stay dense either way.
+	nextID := causality.UpdateID(0)
 	// falseDeps tracks oracle IDs that have ever been blocked while
 	// oracle-deliverable. UpdateIDs are issued sequentially, so a dense
 	// slice replaces the map the runner used to allocate per lookup.
@@ -196,24 +215,30 @@ func Run(cfg Config) (*Result, error) {
 					v = nextVal
 					nextVal++
 				}
-				id := tracker.OnIssue(op.Replica, op.Reg)
-				envs, err := nodes[r].HandleWrite(op.Reg, v, id)
-				if err != nil {
+				var id causality.UpdateID
+				if tracker != nil {
+					id = tracker.OnIssue(op.Replica, op.Reg)
+				} else {
+					id = nextID
+					nextID++
+				}
+				if err := nodes[r].HandleWrite(op.Reg, v, id, sink); err != nil {
 					return nil, fmt.Errorf("sim: write at replica %d: %w", r, err)
 				}
 				res.Writes++
-				recordSent(res, envs)
 				for int(id) >= len(sentAt) {
 					sentAt = append(sentAt, -1)
 				}
 				sentAt[id] = step
-				pool.Add(envs...)
 			}
 		} else {
 			env := pool.Take(choice - len(opReplicas))
-			applied, fwd := nodes[env.To].HandleMessage(env)
+			applied := nodes[env.To].HandleMessage(env, sink)
+			sink.meta.Put(env.Meta)
 			for _, a := range applied {
-				tracker.OnApply(env.To, a.OracleID)
+				if tracker != nil {
+					tracker.OnApply(env.To, a.OracleID)
+				}
 				res.Applies++
 				if int(a.OracleID) < len(sentAt) && sentAt[a.OracleID] >= 0 {
 					d := step - sentAt[a.OracleID]
@@ -224,10 +249,8 @@ func Run(cfg Config) (*Result, error) {
 					res.DeliveryCount++
 				}
 			}
-			recordSent(res, fwd)
-			pool.Add(fwd...)
 		}
-		if cfg.TrackFalseDeps {
+		if cfg.TrackFalseDeps && tracker != nil {
 			for r := 0; r < n; r++ {
 				for _, id := range nodes[r].PendingOracleIDs() {
 					if tracker.OracleDeliverable(sharegraph.ReplicaID(r), id) {
@@ -262,9 +285,31 @@ func Run(cfg Config) (*Result, error) {
 			res.FinalState[r] = nodeState(cfg.Graph, nodes[r], sharegraph.ReplicaID(r))
 		}
 	}
-	tracker.CheckLiveness()
-	res.Violations = tracker.Violations()
+	if tracker != nil {
+		tracker.CheckLiveness()
+		res.Violations = tracker.Violations()
+	}
 	return res, nil
+}
+
+// runnerSink is the deterministic runner's core.Sink: it records
+// transport metrics and files each emitted envelope into the in-flight
+// pool with its metadata copied through a recycling freelist.
+type runnerSink struct {
+	res  *Result
+	pool *transport.Pool
+	meta transport.BytePool
+}
+
+// Emit implements core.Sink.
+func (s *runnerSink) Emit(env core.Envelope) {
+	s.res.MessagesSent++
+	s.res.MetaBytes += len(env.Meta)
+	if env.MetaOnly {
+		s.res.MetaOnlyMessages++
+	}
+	env.Meta = s.meta.Copy(env.Meta)
+	s.pool.Add(env)
 }
 
 // nodeState snapshots the registers replica r genuinely stores. Both
@@ -280,14 +325,4 @@ func nodeState(g *sharegraph.Graph, node core.Node, r sharegraph.ReplicaID) map[
 		}
 	}
 	return out
-}
-
-func recordSent(res *Result, envs []core.Envelope) {
-	for _, e := range envs {
-		res.MessagesSent++
-		res.MetaBytes += len(e.Meta)
-		if e.MetaOnly {
-			res.MetaOnlyMessages++
-		}
-	}
 }

@@ -1,0 +1,49 @@
+package transport
+
+import "sync"
+
+// BytePool recycles metadata buffers across the send→deliver cycle: a
+// runtime's sink copies a node-owned Meta buffer through Copy when it
+// retains an envelope, and returns the copy with Put once the message has
+// been ingested at its destination. In steady state every Copy is served
+// from a recycled buffer, so buffering envelopes costs no allocation.
+//
+// The zero value is ready to use. Safe for concurrent use.
+type BytePool struct {
+	mu   sync.Mutex
+	bufs [][]byte
+}
+
+// maxPooled bounds the freelist so a burst of in-flight messages cannot
+// pin memory forever; excess buffers fall to the garbage collector.
+const maxPooled = 1024
+
+// Copy returns a copy of b backed by a recycled buffer when one is
+// available. Copy(nil) is nil.
+func (p *BytePool) Copy(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	p.mu.Lock()
+	var buf []byte
+	if n := len(p.bufs); n > 0 {
+		buf = p.bufs[n-1]
+		p.bufs[n-1] = nil
+		p.bufs = p.bufs[:n-1]
+	}
+	p.mu.Unlock()
+	return append(buf, b...)
+}
+
+// Put returns a buffer to the pool. Put(nil) and Put of zero-capacity
+// buffers are no-ops.
+func (p *BytePool) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.bufs) < maxPooled {
+		p.bufs = append(p.bufs, b[:0])
+	}
+	p.mu.Unlock()
+}

@@ -43,6 +43,11 @@
 // RunCluster drives a generated workload through a live cluster end to
 // end and reports the oracle's verdicts.
 //
+// The same engine runs the Appendix E client-server architecture:
+// LiveClientServer (see ClientServerSystem.Live and LiveWith) dispatches
+// inter-replica updates through an identical worker pool, so both of the
+// paper's deployment shapes share one bounded-goroutine runtime.
+//
 // Beyond the protocol itself the package exposes the paper's analyses:
 // metadata sizing and compression (Section 5), conflict-graph lower bounds
 // on timestamp size (Section 4), baseline protocols for comparison, the
@@ -66,16 +71,28 @@
 // constructors; differential tests assert the two engines produce
 // identical measurements on every schedule.
 //
-// Underneath, the per-operation layers are allocation-free in steady
-// state: timestamps advance and merge in place, decoded metadata vectors
-// are recycled through a freelist, the in-flight message pool removes by
-// head index with amortized compaction (O(1) for the oldest or newest
-// pick) while preserving message order bit-for-bit, and the simulator
-// indexes its bookkeeping by the dense causality.UpdateID instead of
-// maps. The consistency oracle — inherently quadratic in issued updates,
-// since each update's causal past is a bitset over all prior updates —
-// audits safety with pure word arithmetic against precomputed per-replica
-// relevance masks.
+// The protocol⇄runtime boundary is an emit contract: instead of
+// allocating and returning an envelope slice per write, a node pushes
+// each outgoing message into the runtime's sink (core.Sink), referencing
+// node-owned scratch — the encoded metadata buffer is reused across
+// writes and the recipient list is cached per register. A sink that
+// buffers an envelope copies its metadata through a recycling pool and
+// returns the copy once the message has been ingested, so the entire
+// write fanout — envelope, metadata, recipients — is allocation-free in
+// steady state (asserted by TestWriteFanoutSteadyStateZeroAlloc and
+// BenchmarkWriteFanout).
+//
+// Underneath, the remaining per-operation layers are allocation-free the
+// same way: timestamps advance and merge in place, decoded metadata
+// vectors are recycled through a freelist, the in-flight message pool
+// removes by head index with amortized compaction (O(1) for the oldest
+// or newest pick) while preserving message order bit-for-bit, and the
+// simulator indexes its bookkeeping by the dense causality.UpdateID
+// instead of maps. The consistency oracle — inherently quadratic in
+// issued updates, since each update's causal past is a bitset over all
+// prior updates — audits safety with pure word arithmetic against
+// precomputed per-replica relevance masks; pure-throughput runs can skip
+// it entirely with SimOptions.SkipAudit / ClusterOptions.SkipAudit.
 //
 // Scale benchmarks covering 32- and 64-replica topologies at up to 50k
 // operations live in the root bench harness:
@@ -190,6 +207,11 @@ type ClusterOptions struct {
 	MaxDelay time.Duration
 	// Seed drives the per-inbox delivery shuffles (default 1).
 	Seed int64
+	// SkipAudit disables the causality oracle for pure-throughput runs:
+	// the oracle clones one causal-past bitset per issued update —
+	// quadratic bytes in operation count — and throughput measurements do
+	// not need verdicts. Check reports nothing on an unaudited cluster.
+	SkipAudit bool
 }
 
 func (o ClusterOptions) simOptions() []sim.ClusterOption {
@@ -205,6 +227,9 @@ func (o ClusterOptions) simOptions() []sim.ClusterOption {
 	}
 	if o.Seed != 0 {
 		opts = append(opts, sim.WithSeed(o.Seed))
+	}
+	if o.SkipAudit {
+		opts = append(opts, sim.WithoutAudit())
 	}
 	return opts
 }
@@ -248,9 +273,15 @@ func (c *Cluster) Sync() { c.inner.Quiesce() }
 // Check audits the execution so far against replica-centric causal
 // consistency (Definition 2) using the ground-truth happened-before
 // oracle; it returns an error describing the first violation, if any.
-// Call Sync first to include liveness at quiescence.
+// Call Sync first to include liveness at quiescence. On a cluster built
+// with ClusterOptions.SkipAudit there is no oracle and Check reports
+// nothing.
 func (c *Cluster) Check() error {
-	vs := c.inner.Tracker().Violations()
+	t := c.inner.Tracker()
+	if t == nil {
+		return nil
+	}
+	vs := t.Violations()
 	if len(vs) == 0 {
 		return nil
 	}
@@ -328,6 +359,10 @@ type SimOptions struct {
 	Adversarial bool
 	// TrackFalseDeps enables false-dependency accounting (slower).
 	TrackFalseDeps bool
+	// SkipAudit disables the causality oracle for pure-throughput runs
+	// (see ClusterOptions.SkipAudit); Violations stays empty and
+	// TrackFalseDeps is ignored.
+	SkipAudit bool
 }
 
 // SimReport is the outcome of a deterministic simulation.
@@ -394,6 +429,7 @@ func (s *System) Simulate(opts SimOptions) (SimReport, error) {
 	res, err := sim.Run(sim.Config{
 		Graph: s.graph, Protocol: p, Script: script,
 		Sched: sched, TrackFalseDeps: opts.TrackFalseDeps,
+		SkipAudit: opts.SkipAudit,
 	})
 	if err != nil {
 		return SimReport{}, fmt.Errorf("prcc: %w", err)

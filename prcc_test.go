@@ -149,6 +149,87 @@ func TestClusterWithOptions(t *testing.T) {
 	}
 }
 
+// TestSkipAudit covers the pure-throughput knob end to end: simulation
+// and live cluster both run without the oracle, still moving data, and
+// Check on an unaudited cluster reports nothing.
+func TestSkipAudit(t *testing.T) {
+	sys := fig3System(t)
+	rep, err := sys.Simulate(SimOptions{Ops: 150, Seed: 4, SkipAudit: true, TrackFalseDeps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 || rep.FalseDeps != 0 {
+		t.Errorf("unaudited sim produced verdicts: %+v", rep)
+	}
+	if rep.Writes == 0 || rep.Applies == 0 {
+		t.Errorf("unaudited sim moved no data: %+v", rep)
+	}
+
+	crep, err := sys.RunCluster(RunClusterOptions{
+		Ops: 150, Seed: 4,
+		Cluster: ClusterOptions{Workers: 2, SkipAudit: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crep.Violations) != 0 {
+		t.Errorf("unaudited cluster produced verdicts: %+v", crep)
+	}
+	if crep.Writes == 0 || crep.Messages == 0 {
+		t.Errorf("unaudited cluster moved no data: %+v", crep)
+	}
+
+	c, err := sys.ClusterWith(ClusterOptions{SkipAudit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Write(1, "y", 9); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+	if v, ok := c.Read(2, "y"); !ok || v != 9 {
+		t.Errorf("Read(2,y) = (%d,%v), want (9,true)", v, ok)
+	}
+	if err := c.Check(); err != nil {
+		t.Errorf("Check on unaudited cluster: %v", err)
+	}
+}
+
+// TestLiveClientServerWithOptions covers the unified options surface on
+// the Appendix E live deployment.
+func TestLiveClientServerWithOptions(t *testing.T) {
+	cs, err := NewClientServer(
+		[][]Register{{"a", "c"}, {"a"}, {"b"}, {"b", "c"}},
+		[][]ReplicaID{{1, 2}, {3, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := cs.LiveWith(ClusterOptions{Workers: 2, InboxCapacity: 4, Seed: 3})
+	defer live.Close()
+	if live.Workers() != 2 {
+		t.Errorf("Workers = %d, want 2", live.Workers())
+	}
+	alice := live.Client(0)
+	for k := 1; k <= 10; k++ {
+		if err := alice.Write("a", Value(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live.Sync()
+	if n := live.Outstanding(); n != 0 {
+		t.Errorf("Outstanding after Sync = %d", n)
+	}
+	updates, bytes := live.Stats()
+	if updates == 0 || bytes == 0 {
+		t.Errorf("Stats = (%d, %d)", updates, bytes)
+	}
+	if err := live.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestCompressionAndLowerBound(t *testing.T) {
 	sys := fig3System(t)
 	for _, rep := range sys.Compression() {

@@ -4,13 +4,13 @@
 # trajectory (BENCH_PR<n>.json per PR; compare with benchstat or jq).
 #
 # Usage: scripts/bench.sh [output.json] [go-bench-regex]
-#   default output: BENCH_PR2.json at the repo root
+#   default output: BENCH_PR3.json at the repo root
 #   default regex:  . (every benchmark in the root harness)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 pattern="${2:-.}"
 
 tmp="$(mktemp)"
