@@ -275,13 +275,16 @@ func BenchmarkE16Truncation(b *testing.B) {
 }
 
 // BenchmarkScaleDelivery measures the indexed delivery engine at scale:
-// full oracle-audited runs on 32- and 64-replica topologies at 5k–50k
+// full oracle-audited runs on 32- and 64-replica topologies at 5k–100k
 // operations, under the seeded-random and adversarial LIFO schedules.
 // These sizes were unreachable before the engine rework (the seed capped
-// out at rings of 8 and 300 ops). The dense RandomK topology uses the
-// Appendix D loop-length truncation (MaxLen 5) because the exact
-// Definition 5 loop search is exponential on dense share graphs; the
-// oracle still audits every benchmarked schedule clean.
+// out at rings of 8 and 300 ops), and the 100k case only became
+// affordable when the oracle moved to persistent copy-on-write sets —
+// the flat-clone oracle pays O(ops²/8) bytes, over a gigabyte at that
+// size. The dense RandomK topology uses the Appendix D loop-length
+// truncation (MaxLen 5) because the exact Definition 5 loop search is
+// exponential on dense share graphs; the oracle still audits every
+// benchmarked schedule clean.
 func BenchmarkScaleDelivery(b *testing.B) {
 	type scaleCase struct {
 		name  string
@@ -293,6 +296,7 @@ func BenchmarkScaleDelivery(b *testing.B) {
 		{"ring32_5k", func() *sharegraph.Graph { return sharegraph.Ring(32) }, sharegraph.LoopOptions{}, 5000},
 		{"ring32_50k", func() *sharegraph.Graph { return sharegraph.Ring(32) }, sharegraph.LoopOptions{}, 50000},
 		{"ring64_50k", func() *sharegraph.Graph { return sharegraph.Ring(64) }, sharegraph.LoopOptions{}, 50000},
+		{"ring64_100k", func() *sharegraph.Graph { return sharegraph.Ring(64) }, sharegraph.LoopOptions{}, 100000},
 		{"randomk32_5k", func() *sharegraph.Graph { return sharegraph.RandomK(32, 96, 3, 7) }, sharegraph.LoopOptions{MaxLen: 5}, 5000},
 	}
 	type schedCase struct {

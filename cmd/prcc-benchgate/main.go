@@ -1,0 +1,254 @@
+// Command prcc-benchgate enforces the repository's benchmark-regression
+// gate: it compares a freshly captured scripts/bench.sh JSON file against
+// the checked-in baseline (the latest BENCH_PR<n>.json) and fails when a
+// scale benchmark regressed beyond the allowed threshold in ns/op or
+// B/op.
+//
+// Usage:
+//
+//	prcc-benchgate baseline.json candidate.json   # gate (exit 1 on regression)
+//	prcc-benchgate -filter 'ring64' old.json new.json
+//	prcc-benchgate -text results.json             # emit go-bench text for benchstat
+//
+// B/op is deterministic for the simulator's seeded runs and is always
+// gated. ns/op is only meaningful between runs on the same hardware, so
+// it is gated exactly when both files record the same capture CPU (the
+// "_env" entry scripts/bench.sh emits); across different machines the
+// tool prints a note and gates B/op alone instead of false-failing on
+// hardware differences. The -text mode converts a captured JSON file
+// back into `go test -bench` text so benchstat can render a
+// human-readable comparison next to the gate's verdict.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prcc-benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// entry is one benchmark result: the name plus every numeric metric the
+// bench.sh awk conversion captured (ns/op, B/op, allocs/op, ops/s, ...).
+type entry struct {
+	name       string
+	iterations int
+	metrics    map[string]float64
+	order      []string // metric emission order, as captured
+}
+
+// gomaxprocsSuffix matches the -GOMAXPROCS suffix go test appends to
+// benchmark names on multi-core machines; captures from different
+// machines must share names.
+var gomaxprocsSuffix = regexp.MustCompile(`-[0-9]+$`)
+
+// load reads a scripts/bench.sh JSON file, returning its benchmark
+// entries and the capture CPU recorded in the "_env" entry ("" for
+// captures predating that field).
+func load(path string) ([]entry, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	cpu := ""
+	out := make([]entry, 0, len(raw))
+	for _, m := range raw {
+		e := entry{metrics: map[string]float64{}}
+		name, ok := m["name"].(string)
+		if !ok {
+			return nil, "", fmt.Errorf("%s: entry without a name", path)
+		}
+		if name == "_env" {
+			cpu, _ = m["cpu"].(string)
+			continue
+		}
+		e.name = gomaxprocsSuffix.ReplaceAllString(name, "")
+		if it, ok := m["iterations"].(float64); ok {
+			e.iterations = int(it)
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		// JSON objects are unordered; canonicalize so -text output is
+		// stable: ns/op first, then the standard -benchmem pair, then
+		// custom metrics alphabetically.
+		sort.Slice(keys, func(i, j int) bool {
+			return metricRank(keys[i]) < metricRank(keys[j]) || (metricRank(keys[i]) == metricRank(keys[j]) && keys[i] < keys[j])
+		})
+		for _, k := range keys {
+			if k == "name" || k == "iterations" {
+				continue
+			}
+			v, ok := m[k].(float64)
+			if !ok {
+				continue
+			}
+			e.metrics[k] = v
+			e.order = append(e.order, k)
+		}
+		out = append(out, e)
+	}
+	return out, cpu, nil
+}
+
+func metricRank(k string) int {
+	switch k {
+	case "name":
+		return 0
+	case "iterations":
+		return 1
+	case "ns/op":
+		return 2
+	case "B/op":
+		return 3
+	case "allocs/op":
+		return 4
+	default:
+		return 5
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prcc-benchgate", flag.ContinueOnError)
+	filter := fs.String("filter", "^BenchmarkScaleDelivery/", "regexp selecting the gated benchmarks")
+	nsThreshold := fs.Float64("ns-threshold", 1.25, "fail when candidate ns/op exceeds baseline by this factor")
+	bThreshold := fs.Float64("b-threshold", 1.25, "fail when candidate B/op exceeds baseline by this factor")
+	text := fs.Bool("text", false, "convert one JSON file to go-bench text on stdout (for benchstat)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *text {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-text expects exactly one JSON file")
+		}
+		entries, _, err := load(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		return emitText(out, entries)
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("expected: prcc-benchgate [flags] baseline.json candidate.json")
+	}
+	re, err := regexp.Compile(*filter)
+	if err != nil {
+		return fmt.Errorf("bad -filter: %w", err)
+	}
+	baseline, baseCPU, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	candidate, candCPU, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	// Wall-clock comparison is only sound on identical hardware; B/op is
+	// deterministic for the seeded simulator runs and gates regardless.
+	gateNs := baseCPU != "" && strings.TrimSpace(baseCPU) == strings.TrimSpace(candCPU)
+	if !gateNs {
+		fmt.Fprintf(out, "note: baseline CPU %q vs candidate CPU %q — ns/op not gated, B/op only\n",
+			baseCPU, candCPU)
+	}
+	return compare(out, baseline, candidate, re, *nsThreshold, *bThreshold, gateNs)
+}
+
+// emitText renders entries as `go test -bench` lines so benchstat can
+// consume them.
+func emitText(out io.Writer, entries []entry) error {
+	for _, e := range entries {
+		iters := e.iterations
+		if iters == 0 {
+			iters = 1
+		}
+		fmt.Fprintf(out, "%s \t%8d", e.name, iters)
+		for _, k := range e.order {
+			fmt.Fprintf(out, "\t%12g %s", e.metrics[k], k)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func compare(out io.Writer, baseline, candidate []entry, re *regexp.Regexp, nsThreshold, bThreshold float64, gateNs bool) error {
+	base := make(map[string]entry, len(baseline))
+	for _, e := range baseline {
+		base[e.name] = e
+	}
+	gated := map[string]float64{"ns/op": nsThreshold, "B/op": bThreshold}
+	metrics := []string{"ns/op", "B/op"}
+	if !gateNs {
+		metrics = []string{"B/op"}
+	}
+	var regressions []string
+	compared := 0
+	for _, c := range candidate {
+		if !re.MatchString(c.name) {
+			continue
+		}
+		b, ok := base[c.name]
+		if !ok {
+			fmt.Fprintf(out, "new       %-55s (no baseline entry; not gated)\n", c.name)
+			continue
+		}
+		compared++
+		for _, metric := range metrics {
+			bv, cv := b.metrics[metric], c.metrics[metric]
+			if bv <= 0 {
+				continue
+			}
+			ratio := cv / bv
+			status := "ok        "
+			if ratio > gated[metric] {
+				status = "REGRESSED "
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s: %.0f -> %.0f (%.2fx > %.2fx allowed)", c.name, metric, bv, cv, ratio, gated[metric]))
+			} else if ratio < 1/gated[metric] {
+				status = "improved  "
+			}
+			fmt.Fprintf(out, "%s%-55s %-9s %14.0f -> %14.0f  (%.2fx)\n", status, c.name, metric, bv, cv, ratio)
+		}
+	}
+	cand := make(map[string]bool, len(candidate))
+	for _, c := range candidate {
+		cand[c.name] = true
+	}
+	for _, b := range baseline {
+		if re.MatchString(b.name) && !cand[b.name] {
+			return fmt.Errorf("baseline benchmark %s missing from candidate — scale coverage must not shrink", b.name)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks matched filter %q in both files", re)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(out, "\n%d regression(s) beyond threshold:\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintln(out, " ", r)
+		}
+		return fmt.Errorf("%d benchmark regression(s)", len(regressions))
+	}
+	fmt.Fprintf(out, "\n%d scale benchmark(s) within thresholds (%s)\n", compared, thresholdNote(nsThreshold, bThreshold, gateNs))
+	return nil
+}
+
+func thresholdNote(nsThreshold, bThreshold float64, gateNs bool) string {
+	if !gateNs {
+		return fmt.Sprintf("B/op %.2fx; ns/op ungated across hardware", bThreshold)
+	}
+	return fmt.Sprintf("ns/op %.2fx, B/op %.2fx", nsThreshold, bThreshold)
+}

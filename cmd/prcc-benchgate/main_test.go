@@ -1,0 +1,206 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineJSON = `[
+{"name":"_env","cpu":"TestCPU @ 2.10GHz"},
+{"name":"BenchmarkScaleDelivery/ring64_50k/random","iterations":3,"ns/op":300000000,"ops/s":150000,"B/op":40000000,"allocs/op":100000},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","iterations":100,"ns/op":10000000,"B/op":4000000,"allocs/op":12000},
+{"name":"BenchmarkE1ShareGraphBuild","iterations":5000,"ns/op":200000,"B/op":90000,"allocs/op":900}
+]`
+
+// sameCPU prefixes candidate fixtures so ns/op gating is in effect.
+const sameCPU = `{"name":"_env","cpu":"TestCPU @ 2.10GHz"},`
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+	// 20% slower and 10% more bytes: inside the 25% gate.
+	cand := writeJSON(t, dir, "cand.json", `[
+`+sameCPU+`
+{"name":"BenchmarkScaleDelivery/ring64_50k/random","iterations":3,"ns/op":360000000,"B/op":44000000},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","iterations":100,"ns/op":9000000,"B/op":4000000}
+]`)
+	var out strings.Builder
+	if err := run([]string{base, cand}, &out); err != nil {
+		t.Fatalf("within-threshold candidate rejected: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "within thresholds") {
+		t.Errorf("missing summary line:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+	for _, tc := range []struct {
+		name, cand, want string
+	}{
+		{"ns regression", `[
+` + sameCPU + `
+{"name":"BenchmarkScaleDelivery/ring64_50k/random","ns/op":400000000,"B/op":40000000},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":10000000,"B/op":4000000}
+]`, "ns/op"},
+		{"bytes regression", `[
+` + sameCPU + `
+{"name":"BenchmarkScaleDelivery/ring64_50k/random","ns/op":300000000,"B/op":60000000},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":10000000,"B/op":4000000}
+]`, "B/op"},
+	} {
+		cand := writeJSON(t, dir, "cand.json", tc.cand)
+		var out strings.Builder
+		err := run([]string{base, cand}, &out)
+		if err == nil {
+			t.Fatalf("%s: not rejected\n%s", tc.name, out.String())
+		}
+		if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), tc.want) {
+			t.Errorf("%s: regression not named:\n%s", tc.name, out.String())
+		}
+	}
+}
+
+func TestGateFailsOnMissingScaleBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+	cand := writeJSON(t, dir, "cand.json", `[
+`+sameCPU+`
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":10000000,"B/op":4000000}
+]`)
+	if err := run([]string{base, cand}, &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "missing from candidate") {
+		t.Fatalf("dropped scale benchmark not rejected: %v", err)
+	}
+}
+
+func TestGateIgnoresUnfilteredAndAllowsNew(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+	// E1 regresses wildly but is outside the scale filter; a brand-new
+	// scale case has no baseline and is reported, not gated.
+	cand := writeJSON(t, dir, "cand.json", `[
+`+sameCPU+`
+{"name":"BenchmarkScaleDelivery/ring64_50k/random","ns/op":300000000,"B/op":40000000},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":10000000,"B/op":4000000},
+{"name":"BenchmarkScaleDelivery/ring64_100k/random","ns/op":700000000,"B/op":90000000},
+{"name":"BenchmarkE1ShareGraphBuild","ns/op":900000000,"B/op":900000000}
+]`)
+	var out strings.Builder
+	if err := run([]string{base, cand}, &out); err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ring64_100k") {
+		t.Errorf("new benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestCustomFilterAndThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+	cand := writeJSON(t, dir, "cand.json", `[
+`+sameCPU+`
+{"name":"BenchmarkE1ShareGraphBuild","ns/op":220000,"B/op":90000}
+]`)
+	// Gate E1 with a tight 5% threshold: 10% slower must fail.
+	err := run([]string{"-filter", "^BenchmarkE1", "-ns-threshold", "1.05", base, cand}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("tight threshold did not reject a 10% slowdown")
+	}
+}
+
+func TestGOMAXPROCSSuffixNormalized(t *testing.T) {
+	// go test names benchmarks "Foo-4" on a 4-CPU machine; a CI capture
+	// must still match a suffix-free checked-in baseline.
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+	cand := writeJSON(t, dir, "cand.json", `[
+`+sameCPU+`
+{"name":"BenchmarkScaleDelivery/ring64_50k/random-4","ns/op":300000000,"B/op":40000000},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random-4","ns/op":10000000,"B/op":4000000}
+]`)
+	var out strings.Builder
+	if err := run([]string{base, cand}, &out); err != nil {
+		t.Fatalf("suffixed candidate names did not match baseline: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "new ") {
+		t.Errorf("suffixed names treated as new benchmarks:\n%s", out.String())
+	}
+}
+
+func TestCrossHardwareGatesBytesOnly(t *testing.T) {
+	// Different capture CPUs: a wall-clock "regression" must not fail
+	// the gate (timings are not comparable), but a B/op regression —
+	// deterministic for the seeded runs — still must.
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+	slower := writeJSON(t, dir, "slower.json", `[
+{"name":"_env","cpu":"OtherCPU @ 1.00GHz"},
+{"name":"BenchmarkScaleDelivery/ring64_50k/random","ns/op":900000000,"B/op":40000000},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":30000000,"B/op":4000000}
+]`)
+	var out strings.Builder
+	if err := run([]string{base, slower}, &out); err != nil {
+		t.Fatalf("cross-hardware slowdown failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ns/op not gated") {
+		t.Errorf("missing cross-hardware note:\n%s", out.String())
+	}
+	fatter := writeJSON(t, dir, "fatter.json", `[
+{"name":"_env","cpu":"OtherCPU @ 1.00GHz"},
+{"name":"BenchmarkScaleDelivery/ring64_50k/random","ns/op":300000000,"B/op":90000000},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":10000000,"B/op":4000000}
+]`)
+	if err := run([]string{base, fatter}, &strings.Builder{}); err == nil {
+		t.Fatal("cross-hardware B/op regression not rejected")
+	}
+}
+
+func TestTextEmission(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+	var out strings.Builder
+	if err := run([]string{"-text", base}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"BenchmarkScaleDelivery/ring64_50k/random",
+		"ns/op", "B/op", "allocs/op",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// ns/op must precede B/op on each line for benchstat.
+	line := strings.SplitN(text, "\n", 2)[0]
+	if strings.Index(line, "ns/op") > strings.Index(line, "B/op") {
+		t.Errorf("metric order wrong: %s", line)
+	}
+}
+
+func TestErrorsOnBadInput(t *testing.T) {
+	dir := t.TempDir()
+	good := writeJSON(t, dir, "good.json", baselineJSON)
+	bad := writeJSON(t, dir, "bad.json", `{"not":"an array"}`)
+	if err := run([]string{good, bad}, &strings.Builder{}); err == nil {
+		t.Error("malformed candidate accepted")
+	}
+	if err := run([]string{good}, &strings.Builder{}); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if err := run([]string{"-filter", "^BenchmarkNothingMatches", good, good}, &strings.Builder{}); err == nil {
+		t.Error("empty comparison accepted")
+	}
+}

@@ -24,6 +24,14 @@ func (b *bitset) set(idx int) {
 	b.words[idx/64] |= 1 << (uint(idx) % 64)
 }
 
+// clear removes idx.
+func (b *bitset) clear(idx int) {
+	w := idx / 64
+	if w >= 0 && w < len(b.words) {
+		b.words[w] &^= 1 << (uint(idx) % 64)
+	}
+}
+
 // has reports membership of idx.
 func (b *bitset) has(idx int) bool {
 	w := idx / 64
@@ -51,6 +59,11 @@ func (b *bitset) clone() *bitset {
 	copy(out.words, b.words)
 	return out
 }
+
+// snapshot returns an independent copy. The flat representation has no
+// structural sharing, so this is the O(n) clone the persistent pset
+// replaces — kept as the differential-testing reference.
+func (b *bitset) snapshot() *bitset { return b.clone() }
 
 // count returns the number of elements.
 func (b *bitset) count() int {
@@ -92,10 +105,20 @@ func maskedWord(b, mask, excl *bitset, wi int) uint64 {
 	return w
 }
 
+// emptyFlat substitutes for nil mask/excl arguments so maskedWord can
+// index without guards.
+var emptyFlat = &bitset{}
+
 // intersectsDiff reports whether b ∩ mask ∩ ¬excl is non-empty, purely
 // with word operations — the oracle's per-apply safety test runs on this
-// instead of per-element callbacks.
+// instead of per-element callbacks. A nil mask or excl is the empty set.
 func (b *bitset) intersectsDiff(mask, excl *bitset) bool {
+	if mask == nil {
+		return false
+	}
+	if excl == nil {
+		excl = emptyFlat
+	}
 	for wi := range b.words {
 		if maskedWord(b, mask, excl, wi) != 0 {
 			return true
@@ -105,8 +128,14 @@ func (b *bitset) intersectsDiff(mask, excl *bitset) bool {
 }
 
 // forEachDiff calls fn for every element of b ∩ mask ∩ ¬excl, stopping
-// early if fn returns false.
+// early if fn returns false. A nil mask or excl is the empty set.
 func (b *bitset) forEachDiff(mask, excl *bitset, fn func(idx int) bool) {
+	if mask == nil {
+		return
+	}
+	if excl == nil {
+		excl = emptyFlat
+	}
 	for wi := range b.words {
 		w := maskedWord(b, mask, excl, wi)
 		for w != 0 {

@@ -11,6 +11,13 @@
 // baselines; the test suite relies on it to demonstrate both Theorem 24
 // (the paper's algorithm is safe) and Theorem 8 (weakened timestamps are
 // not).
+//
+// The oracle's sets of update IDs come in two interchangeable
+// representations: the persistent copy-on-write pset (the default — its
+// O(1) snapshot removes the per-issue causal-past clone that made audited
+// runs quadratic in bytes; see persist.go) and the flat bitset reference
+// (NewFlatTracker), kept so differential tests can pin the two to
+// identical verdicts on identical event streams.
 package causality
 
 import (
@@ -83,52 +90,200 @@ func (v Violation) String() string {
 	}
 }
 
-type updateInfo struct {
-	issuer sharegraph.ReplicaID
-	reg    sharegraph.Register
-	// preds is the transitive closure of ↪ predecessors (excluding the
-	// update itself), fixed at issue time per Definition 1.
-	preds *bitset
+// updateSet is the contract both set representations satisfy. S is the
+// concrete pointer type itself, so the generic tracker below compiles to
+// direct calls on whichever representation it was instantiated with —
+// no per-word interface dispatch on the hot path.
+type updateSet[S any] interface {
+	set(idx int)
+	clear(idx int)
+	has(idx int) bool
+	count() int
+	// snapshot returns an independently mutable copy: O(1) structural
+	// sharing for pset, a full clone for the flat bitset.
+	snapshot() S
+	orWith(other S)
+	// intersectsDiff reports whether receiver ∩ mask ∩ ¬excl ≠ ∅; the
+	// zero S (nil) stands for the empty set.
+	intersectsDiff(mask, excl S) bool
+	// forEachDiff enumerates receiver ∩ mask ∩ ¬excl in ascending order.
+	forEachDiff(mask, excl S, fn func(idx int) bool)
+}
+
+// oracle is the representation-independent surface Tracker delegates to.
+type oracle interface {
+	OnIssue(i sharegraph.ReplicaID, x sharegraph.Register) UpdateID
+	OnApply(j sharegraph.ReplicaID, id UpdateID)
+	OracleDeliverable(j sharegraph.ReplicaID, id UpdateID) bool
+	HappenedBefore(a, b UpdateID) bool
+	NumUpdates() int
+	Applied(j sharegraph.ReplicaID, id UpdateID) bool
+	CausalPastSize(id UpdateID) int
+	CheckLiveness() []Violation
+	Violations() []Violation
+	Ok() bool
+	OnClientAccess(c sharegraph.ClientID, i sharegraph.ReplicaID)
+	OnClientWrite(c sharegraph.ClientID, i sharegraph.ReplicaID, x sharegraph.Register) UpdateID
+	ClientPastSize(c sharegraph.ClientID) int
+	Impl() string
 }
 
 // Tracker is the oracle. It is safe for concurrent use, so the live
 // goroutine cluster and the deterministic simulator share the same code.
 type Tracker struct {
-	g *sharegraph.Graph
+	impl oracle
+}
 
-	mu        sync.Mutex
-	updates   []updateInfo
-	applied   []*bitset // applied[i] = set of updates applied at replica i
-	knownPast []*bitset // knownPast[i] = ∪ over applied u of {u} ∪ preds(u)
-	// relevant[i] = updates on registers replica i stores. Safety checks
-	// intersect against it so the per-apply test is pure word arithmetic
-	// instead of one placement lookup per causal predecessor.
-	relevant   []*bitset
+// NewTracker builds an oracle for the given register placement, backed
+// by persistent copy-on-write sets (O(1) causal-past snapshot per issue).
+func NewTracker(g *sharegraph.Graph) *Tracker {
+	return &Tracker{impl: newTrackerImpl(g, func() *pset { return &pset{} }, "persistent")}
+}
+
+// NewFlatTracker builds an oracle backed by flat bitsets — one full
+// causal-past clone per issue, O(ops²/8) bytes per run. It exists as the
+// reference for differential tests and memory benchmarks against the
+// persistent representation; behavior is identical.
+func NewFlatTracker(g *sharegraph.Graph) *Tracker {
+	return &Tracker{impl: newTrackerImpl(g, func() *bitset { return &bitset{} }, "flat")}
+}
+
+// Impl names the set representation backing this tracker ("persistent"
+// or "flat").
+func (t *Tracker) Impl() string { return t.impl.Impl() }
+
+// OnIssue records that replica i issued an update on register x and
+// returns its UpdateID. Per the replica prototype (step 2), the update is
+// also applied locally at i as part of issuing. The update's causal past
+// is the set of updates applied at i so far, transitively closed.
+func (t *Tracker) OnIssue(i sharegraph.ReplicaID, x sharegraph.Register) UpdateID {
+	return t.impl.OnIssue(i, x)
+}
+
+// OnApply records that replica j applied update id (received from its
+// issuer) and checks the safety property of Definition 2: every update u2
+// with u2 ↪ id on a register j stores must already be applied at j.
+func (t *Tracker) OnApply(j sharegraph.ReplicaID, id UpdateID) { t.impl.OnApply(j, id) }
+
+// OracleDeliverable reports whether, per the true ↪ relation, update id
+// could safely be applied at replica j right now: every causal predecessor
+// on a register j stores has been applied at j. The simulator uses it to
+// measure false dependencies — moments when a protocol's predicate blocked
+// an update the oracle would admit.
+func (t *Tracker) OracleDeliverable(j sharegraph.ReplicaID, id UpdateID) bool {
+	return t.impl.OracleDeliverable(j, id)
+}
+
+// HappenedBefore reports whether a ↪ b under the true relation.
+func (t *Tracker) HappenedBefore(a, b UpdateID) bool { return t.impl.HappenedBefore(a, b) }
+
+// Concurrent reports whether neither a ↪ b nor b ↪ a.
+func (t *Tracker) Concurrent(a, b UpdateID) bool {
+	if a == b {
+		return false
+	}
+	return !t.HappenedBefore(a, b) && !t.HappenedBefore(b, a)
+}
+
+// NumUpdates returns the number of updates issued so far.
+func (t *Tracker) NumUpdates() int { return t.impl.NumUpdates() }
+
+// Applied reports whether update id has been applied at replica j.
+func (t *Tracker) Applied(j sharegraph.ReplicaID, id UpdateID) bool { return t.impl.Applied(j, id) }
+
+// CausalPastSize returns |preds(id)|, the number of updates that
+// happened-before id.
+func (t *Tracker) CausalPastSize(id UpdateID) int { return t.impl.CausalPastSize(id) }
+
+// CheckLiveness audits the liveness property of Definition 2 at
+// quiescence: every issued update must be applied at every replica storing
+// its register. Found gaps are recorded and returned.
+func (t *Tracker) CheckLiveness() []Violation { return t.impl.CheckLiveness() }
+
+// Violations returns all violations recorded so far (a copy).
+func (t *Tracker) Violations() []Violation { return t.impl.Violations() }
+
+// Ok reports whether no violation has been recorded.
+func (t *Tracker) Ok() bool { return t.impl.Ok() }
+
+// OnClientAccess records that replica i accepted (responded to) a request
+// from client c, and audits the second safety clause of Definition 26:
+// every update in the client's observed past on a register i stores must
+// already be applied at i. The client then absorbs i's causal past.
+func (t *Tracker) OnClientAccess(c sharegraph.ClientID, i sharegraph.ReplicaID) {
+	t.impl.OnClientAccess(c, i)
+}
+
+// OnClientWrite records that replica i accepted a write of register x from
+// client c: the new update's causal past is the union of the replica's and
+// the client's pasts (Definition 25, clauses (i) and (ii)); the update is
+// applied locally at i as part of issuing, and the client observes it.
+// Call OnClientAccess first to audit the access itself.
+func (t *Tracker) OnClientWrite(c sharegraph.ClientID, i sharegraph.ReplicaID, x sharegraph.Register) UpdateID {
+	return t.impl.OnClientWrite(c, i, x)
+}
+
+// ClientPastSize returns the number of updates in client c's observed
+// causal past.
+func (t *Tracker) ClientPastSize(c sharegraph.ClientID) int { return t.impl.ClientPastSize(c) }
+
+type updateInfo[S any] struct {
+	issuer sharegraph.ReplicaID
+	reg    sharegraph.Register
+	// preds is the transitive closure of ↪ predecessors (excluding the
+	// update itself), fixed at issue time per Definition 1.
+	preds S
+}
+
+// tracker is the oracle's logic, generic over the set representation.
+type tracker[S updateSet[S]] struct {
+	g      *sharegraph.Graph
+	newSet func() S
+	name   string
+	// none is the zero S (nil), standing for the empty excl argument of
+	// the diff primitives.
+	none S
+
+	mu      sync.Mutex
+	updates []updateInfo[S]
+	applied []S // applied[i] = set of updates applied at replica i
+	// knownPast[i] = ∪ over applied u of {u} ∪ preds(u); snapshotted per
+	// issue to fix the new update's causal past.
+	knownPast []S
+	// missing[i] = updates on registers replica i stores, not yet applied
+	// there — relevant(i) ∖ applied(i), maintained incrementally (set on
+	// issue at every non-issuing holder, cleared on apply). The per-apply
+	// safety test intersects the new update's preds against it, so the
+	// check scans only in-flight updates instead of the whole history.
+	missing    []S
 	holderIdx  map[sharegraph.Register][]sharegraph.ReplicaID
-	clients    map[sharegraph.ClientID]*bitset
+	clients    map[sharegraph.ClientID]S
 	violations []Violation
 }
 
-// NewTracker builds an oracle for the given register placement.
-func NewTracker(g *sharegraph.Graph) *Tracker {
+func newTrackerImpl[S updateSet[S]](g *sharegraph.Graph, newSet func() S, name string) *tracker[S] {
 	n := g.NumReplicas()
-	t := &Tracker{
+	t := &tracker[S]{
 		g:         g,
-		applied:   make([]*bitset, n),
-		knownPast: make([]*bitset, n),
-		relevant:  make([]*bitset, n),
+		newSet:    newSet,
+		name:      name,
+		applied:   make([]S, n),
+		knownPast: make([]S, n),
+		missing:   make([]S, n),
 		holderIdx: make(map[sharegraph.Register][]sharegraph.ReplicaID),
 	}
-	for i := range t.applied {
-		t.applied[i] = &bitset{}
-		t.knownPast[i] = &bitset{}
-		t.relevant[i] = &bitset{}
+	for i := 0; i < n; i++ {
+		t.applied[i] = newSet()
+		t.knownPast[i] = newSet()
+		t.missing[i] = newSet()
 	}
 	return t
 }
 
+func (t *tracker[S]) Impl() string { return t.name }
+
 // holders caches g.Holders per register (the graph accessor copies).
-func (t *Tracker) holders(x sharegraph.Register) []sharegraph.ReplicaID {
+func (t *tracker[S]) holders(x sharegraph.Register) []sharegraph.ReplicaID {
 	hs, ok := t.holderIdx[x]
 	if !ok {
 		hs = t.g.Holders(x)
@@ -137,31 +292,26 @@ func (t *Tracker) holders(x sharegraph.Register) []sharegraph.ReplicaID {
 	return hs
 }
 
-// OnIssue records that replica i issued an update on register x and
-// returns its UpdateID. Per the replica prototype (step 2), the update is
-// also applied locally at i as part of issuing. The update's causal past
-// is the set of updates applied at i so far, transitively closed.
-func (t *Tracker) OnIssue(i sharegraph.ReplicaID, x sharegraph.Register) UpdateID {
+func (t *tracker[S]) OnIssue(i sharegraph.ReplicaID, x sharegraph.Register) UpdateID {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	id := UpdateID(len(t.updates))
-	t.updates = append(t.updates, updateInfo{
+	t.updates = append(t.updates, updateInfo[S]{
 		issuer: i,
 		reg:    x,
-		preds:  t.knownPast[i].clone(),
+		preds:  t.knownPast[int(i)].snapshot(),
 	})
 	for _, h := range t.holders(x) {
-		t.relevant[int(h)].set(int(id))
+		if h != i {
+			t.missing[int(h)].set(int(id))
+		}
 	}
 	t.applied[int(i)].set(int(id))
 	t.knownPast[int(i)].set(int(id))
 	return id
 }
 
-// OnApply records that replica j applied update id (received from its
-// issuer) and checks the safety property of Definition 2: every update u2
-// with u2 ↪ id on a register j stores must already be applied at j.
-func (t *Tracker) OnApply(j sharegraph.ReplicaID, id UpdateID) {
+func (t *tracker[S]) OnApply(j sharegraph.ReplicaID, id UpdateID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if int(id) >= len(t.updates) {
@@ -177,37 +327,34 @@ func (t *Tracker) OnApply(j sharegraph.ReplicaID, id UpdateID) {
 		t.violations = append(t.violations, Violation{Kind: DuplicateApply, Replica: j, Update: id})
 		return
 	}
-	// Fast path: pure word arithmetic. Only on an actual violation does
-	// the per-element walk run to name the missing predecessors.
-	if u.preds.intersectsDiff(t.relevant[int(j)], t.applied[int(j)]) {
-		u.preds.forEachDiff(t.relevant[int(j)], t.applied[int(j)], func(pred int) bool {
+	// Fast path: pure word arithmetic over the in-flight set. Only on an
+	// actual violation does the per-element walk run to name the missing
+	// predecessors.
+	miss := t.missing[int(j)]
+	if miss.intersectsDiff(u.preds, t.none) {
+		miss.forEachDiff(u.preds, t.none, func(pred int) bool {
 			t.violations = append(t.violations, Violation{
 				Kind: SafetyViolation, Replica: j, Update: id, Missing: UpdateID(pred),
 			})
 			return true
 		})
 	}
+	miss.clear(int(id))
 	t.applied[int(j)].set(int(id))
 	t.knownPast[int(j)].set(int(id))
 	t.knownPast[int(j)].orWith(u.preds)
 }
 
-// OracleDeliverable reports whether, per the true ↪ relation, update id
-// could safely be applied at replica j right now: every causal predecessor
-// on a register j stores has been applied at j. The simulator uses it to
-// measure false dependencies — moments when a protocol's predicate blocked
-// an update the oracle would admit.
-func (t *Tracker) OracleDeliverable(j sharegraph.ReplicaID, id UpdateID) bool {
+func (t *tracker[S]) OracleDeliverable(j sharegraph.ReplicaID, id UpdateID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if int(id) >= len(t.updates) {
 		return false
 	}
-	return !t.updates[id].preds.intersectsDiff(t.relevant[int(j)], t.applied[int(j)])
+	return !t.missing[int(j)].intersectsDiff(t.updates[id].preds, t.none)
 }
 
-// HappenedBefore reports whether a ↪ b under the true relation.
-func (t *Tracker) HappenedBefore(a, b UpdateID) bool {
+func (t *tracker[S]) HappenedBefore(a, b UpdateID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if int(a) >= len(t.updates) || int(b) >= len(t.updates) {
@@ -216,31 +363,19 @@ func (t *Tracker) HappenedBefore(a, b UpdateID) bool {
 	return t.updates[b].preds.has(int(a))
 }
 
-// Concurrent reports whether neither a ↪ b nor b ↪ a.
-func (t *Tracker) Concurrent(a, b UpdateID) bool {
-	if a == b {
-		return false
-	}
-	return !t.HappenedBefore(a, b) && !t.HappenedBefore(b, a)
-}
-
-// NumUpdates returns the number of updates issued so far.
-func (t *Tracker) NumUpdates() int {
+func (t *tracker[S]) NumUpdates() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.updates)
 }
 
-// Applied reports whether update id has been applied at replica j.
-func (t *Tracker) Applied(j sharegraph.ReplicaID, id UpdateID) bool {
+func (t *tracker[S]) Applied(j sharegraph.ReplicaID, id UpdateID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.applied[int(j)].has(int(id))
 }
 
-// CausalPastSize returns |preds(id)|, the number of updates that
-// happened-before id.
-func (t *Tracker) CausalPastSize(id UpdateID) int {
+func (t *tracker[S]) CausalPastSize(id UpdateID) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if int(id) >= len(t.updates) {
@@ -249,10 +384,7 @@ func (t *Tracker) CausalPastSize(id UpdateID) int {
 	return t.updates[id].preds.count()
 }
 
-// CheckLiveness audits the liveness property of Definition 2 at
-// quiescence: every issued update must be applied at every replica storing
-// its register. Found gaps are recorded and returned.
-func (t *Tracker) CheckLiveness() []Violation {
+func (t *tracker[S]) CheckLiveness() []Violation {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var out []Violation
@@ -268,15 +400,13 @@ func (t *Tracker) CheckLiveness() []Violation {
 	return out
 }
 
-// Violations returns all violations recorded so far (a copy).
-func (t *Tracker) Violations() []Violation {
+func (t *tracker[S]) Violations() []Violation {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]Violation(nil), t.violations...)
 }
 
-// Ok reports whether no violation has been recorded.
-func (t *Tracker) Ok() bool {
+func (t *tracker[S]) Ok() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.violations) == 0

@@ -289,17 +289,27 @@ func TestBitset(t *testing.T) {
 
 func BenchmarkTrackerIssueApply(b *testing.B) {
 	g := sharegraph.Ring(8)
-	b.ReportAllocs()
-	b.ResetTimer()
-	tr := NewTracker(g)
-	for n := 0; n < b.N; n++ {
-		// Causal pasts (bitsets) grow with execution length; reset
-		// periodically so the benchmark measures steady-state cost at a
-		// realistic history size rather than an ever-growing one.
-		if n%4096 == 0 {
-			tr = NewTracker(g)
-		}
-		id := tr.OnIssue(0, sharegraph.Register("ring0"))
-		tr.OnApply(1, id)
+	for _, impl := range []struct {
+		name string
+		mk   func(*sharegraph.Graph) *Tracker
+	}{
+		{"persistent", NewTracker},
+		{"flat", NewFlatTracker},
+	} {
+		b.Run(impl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			tr := impl.mk(g)
+			for n := 0; n < b.N; n++ {
+				// Causal pasts grow with execution length; reset
+				// periodically so the benchmark measures steady-state cost
+				// at a realistic history size rather than an ever-growing
+				// one.
+				if n%4096 == 0 {
+					tr = impl.mk(g)
+				}
+				id := tr.OnIssue(0, sharegraph.Register("ring0"))
+				tr.OnApply(1, id)
+			}
+		})
 	}
 }

@@ -43,8 +43,9 @@ type Cluster struct {
 	nodeMu  []sync.Mutex
 	eng     *rt.Engine[core.Envelope]
 
-	opts  rt.Options
-	audit bool
+	opts       rt.Options
+	audit      bool
+	flatOracle bool
 
 	meta    transport.BytePool
 	batches sync.Pool // *envBatch
@@ -134,13 +135,21 @@ func WithSeed(seed int64) ClusterOption {
 	return func(c *Cluster) { c.opts.Seed = seed }
 }
 
-// WithoutAudit disables the causality oracle for pure-throughput runs.
-// The oracle's per-update causal-past bitset clone is quadratic in issued
-// updates — the dominant cost at 50k-op scale — and throughput
-// measurements do not need verdicts. Tracker returns nil and RunScript
-// returns no violations on an unaudited cluster.
+// WithoutAudit disables the causality oracle for runs that want no
+// verdict at all. Auditing is affordable by default since the oracle
+// moved to persistent copy-on-write sets (the per-issue causal-past
+// snapshot is O(1) sharing, not a full clone); Tracker returns nil and
+// RunScript returns no violations on an unaudited cluster.
 func WithoutAudit() ClusterOption {
 	return func(c *Cluster) { c.audit = false }
+}
+
+// WithFlatOracle audits with the flat-bitset reference oracle (full
+// causal-past clone per issue, quadratic bytes) instead of the default
+// persistent one. Differential tests use it to pin both representations
+// to identical verdicts under real concurrency.
+func WithFlatOracle() ClusterOption {
+	return func(c *Cluster) { c.flatOracle = true }
 }
 
 // NewCluster builds and starts a live cluster for the protocol. The
@@ -160,7 +169,11 @@ func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOpti
 		o(c)
 	}
 	if c.audit {
-		c.tracker = causality.NewTracker(g)
+		if c.flatOracle {
+			c.tracker = causality.NewFlatTracker(g)
+		} else {
+			c.tracker = causality.NewTracker(g)
+		}
 	}
 	c.batches.New = func() any { return &envBatch{} }
 	c.eng = rt.New(len(nodes), c.opts, c.deliver)

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// The oracle's two set representations must be indistinguishable through
+// the simulator: a deterministic run audited by the persistent
+// copy-on-write tracker and the same run audited by the flat-bitset
+// reference must produce identical verdicts and measurements — for the
+// paper's algorithm (clean) and for a safety-violating baseline, under
+// both the seeded-random and the adversarial LIFO schedule.
+func TestRunOracleFlatVsPersistent(t *testing.T) {
+	type protoCase struct {
+		name  string
+		build func(*sharegraph.Graph) core.Protocol
+	}
+	protos := []protoCase{
+		{"edge-indexed", func(g *sharegraph.Graph) core.Protocol {
+			p, err := core.NewEdgeIndexed(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		// fifo-only violates causal safety on multi-hop topologies, so
+		// this case pins the violation-reporting path across oracles.
+		{"fifo-only", func(g *sharegraph.Graph) core.Protocol { return baseline.NewFIFOOnly(g) }},
+	}
+	graphs := []struct {
+		name string
+		g    *sharegraph.Graph
+	}{
+		{"ring8", sharegraph.Ring(8)},
+		{"fig5", sharegraph.Fig5Example()},
+	}
+	scheds := []struct {
+		name string
+		mk   func(seed int64) transport.Scheduler
+	}{
+		{"random", func(seed int64) transport.Scheduler { return transport.NewRandom(seed) }},
+		{"lifo", func(int64) transport.Scheduler { return transport.LIFOScheduler{} }},
+	}
+	for _, gc := range graphs {
+		for _, pc := range protos {
+			p := pc.build(gc.g)
+			for _, sc := range scheds {
+				for seed := int64(1); seed <= 3; seed++ {
+					script := workload.OwnerWrites(gc.g, 300, seed)
+					run := func(flat bool) *Result {
+						res, err := Run(Config{
+							Graph: gc.g, Protocol: p, Script: script,
+							Sched: sc.mk(seed), FlatOracle: flat,
+							TrackFalseDeps: true, CaptureState: true,
+						})
+						if err != nil {
+							t.Fatalf("%s/%s/%s seed %d: %v", gc.name, pc.name, sc.name, seed, err)
+						}
+						return res
+					}
+					pers := run(false)
+					flat := run(true)
+					if !reflect.DeepEqual(pers, flat) {
+						t.Fatalf("%s/%s/%s seed %d: results differ\npersistent: %+v\nflat: %+v",
+							gc.name, pc.name, sc.name, seed, pers, flat)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterFlatOracleOption drives the live worker-pool cluster with
+// the flat reference oracle: same protocol, real concurrency, and the
+// verdict must be clean exactly as under the default persistent oracle.
+func TestClusterFlatOracleOption(t *testing.T) {
+	g := sharegraph.Ring(8)
+	p, err := core.NewEdgeIndexed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []struct {
+		name string
+		opts []ClusterOption
+		impl string
+	}{
+		{"persistent", nil, "persistent"},
+		{"flat", []ClusterOption{WithFlatOracle()}, "flat"},
+	} {
+		c, err := NewCluster(g, p, append(opt.opts, WithWorkers(4), WithSeed(7))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Tracker().Impl(); got != opt.impl {
+			t.Fatalf("%s: Tracker().Impl() = %q", opt.name, got)
+		}
+		violations := c.RunScript(workload.Uniform(g, 1000, 3))
+		if len(violations) != 0 {
+			t.Errorf("%s: live run reported %d violations: %v", opt.name, len(violations), violations[:1])
+		}
+		if c.PendingTotal() != 0 {
+			t.Errorf("%s: %d updates stuck", opt.name, c.PendingTotal())
+		}
+		c.Close()
+	}
+}

@@ -27,12 +27,20 @@ type Config struct {
 	// from the script size.
 	MaxSteps int
 	// SkipAudit disables the causality oracle for pure-throughput runs.
-	// The oracle clones one causal-past bitset per issued update —
-	// O(ops²/8) bytes per run, the dominant cost at 50k-op scale — so
-	// throughput benchmarks skip it. Violations stays nil and
+	// Since the oracle moved to persistent copy-on-write sets its audited
+	// cost is near-linear (the per-issue causal-past snapshot is O(1)
+	// structural sharing, no longer a full bitset clone), so audited runs
+	// are the default even at 50k-op scale; SkipAudit remains for runs
+	// that want no verdict at all. Violations stays nil and
 	// TrackFalseDeps is ignored (false dependencies are defined against
 	// the oracle's ground truth).
 	SkipAudit bool
+	// FlatOracle audits with the flat-bitset reference oracle (one full
+	// causal-past clone per issued update, quadratic bytes) instead of
+	// the persistent copy-on-write oracle. Differential tests run the
+	// same schedule under both and require identical verdicts; it is not
+	// meant for scale runs.
+	FlatOracle bool
 	// TrackFalseDeps enables per-step oracle queries on pending updates
 	// (quadratic-ish cost; off for throughput benchmarks).
 	TrackFalseDeps bool
@@ -142,7 +150,11 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: protocol built %d nodes for %d replicas", len(nodes), n)
 	}
 	var tracker *causality.Tracker
-	if !cfg.SkipAudit {
+	switch {
+	case cfg.SkipAudit:
+	case cfg.FlatOracle:
+		tracker = causality.NewFlatTracker(cfg.Graph)
+	default:
 		tracker = causality.NewTracker(cfg.Graph)
 	}
 	res := &Result{Protocol: cfg.Protocol.Name(), Scheduler: cfg.Sched.Name()}

@@ -4,13 +4,27 @@
 # trajectory (BENCH_PR<n>.json per PR; compare with benchstat or jq).
 #
 # Usage: scripts/bench.sh [output.json] [go-bench-regex]
-#   default output: BENCH_PR3.json at the repo root
+#   default output: BENCH_PR<n+1>.json at the repo root, where <n> is the
+#                   highest existing BENCH_PR<n>.json — each PR's run lands
+#                   in a fresh file without touching the checked-in history
 #   default regex:  . (every benchmark in the root harness)
+#
+# CI compares a capture against the latest checked-in BENCH_PR<n>.json
+# with cmd/prcc-benchgate (and renders a benchstat diff via its -text
+# mode); see .github/workflows/ci.yml.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+if [ -n "${1:-}" ]; then
+  out="$1"
+else
+  # `|| true` keeps set -e/pipefail from aborting when no capture exists
+  # yet; the fallback then starts the trajectory at BENCH_PR1.json.
+  latest=$( (ls BENCH_PR*.json 2>/dev/null || true) \
+    | sed -En 's/^BENCH_PR([0-9]+)\.json$/\1/p' | sort -n | tail -1)
+  out="BENCH_PR$(( ${latest:-0} + 1 )).json"
+fi
 pattern="${2:-.}"
 
 tmp="$(mktemp)"
@@ -23,8 +37,20 @@ go test -run xxx -bench "$pattern" -benchmem -benchtime 1s . | tee "$tmp" >&2
 # canonical ns/op, B/op and allocs/op (custom ReportMetric values such as
 # ops/s or metaB/msg) are kept as extra key/value pairs.
 awk '
+/^cpu:/ {
+    # Record the capture hardware so the gate knows when ns/op numbers
+    # are comparable (cross-machine timing comparison is meaningless).
+    cpu = $0
+    sub(/^cpu: */, "", cpu)
+    gsub(/"/, "", cpu)
+    printf "%s{\"name\":\"_env\",\"cpu\":\"%s\"}", sep, cpu
+    sep = ",\n"
+}
 /^Benchmark/ {
     n = split($0, f, /[ \t]+/)
+    # go test suffixes names with -GOMAXPROCS on multi-core machines;
+    # strip it so captures from different machines share names.
+    sub(/-[0-9]+$/, "", f[1])
     printf "%s{\"name\":\"%s\",\"iterations\":%s", sep, f[1], f[2]
     for (i = 3; i + 1 <= n; i += 2) {
         unit = f[i+1]
