@@ -44,13 +44,15 @@ type namedGraph struct {
 }
 
 // BenchmarkE2TimestampGraph measures Definition 5 timestamp-graph
-// construction (exhaustive (i,e_jk)-loop search) on the Figure 5 example
-// and on rings.
+// construction ((i,e_jk)-loop search via the exact dominance-pruned
+// engine) on the Figure 5 example, on rings, and — untruncated — on the
+// dense random topology the legacy enumerating DFS could not finish.
 func BenchmarkE2TimestampGraph(b *testing.B) {
 	cases := []namedGraph{
 		{"fig5", sharegraph.Fig5Example()},
 		{"ring8", sharegraph.Ring(8)},
 		{"ring12", sharegraph.Ring(12)},
+		{"randomk32_exact", sharegraph.RandomK(32, 96, 3, 7)},
 	}
 	for _, tc := range cases {
 		g := tc.g
@@ -281,10 +283,12 @@ func BenchmarkE16Truncation(b *testing.B) {
 // out at rings of 8 and 300 ops), and the 100k case only became
 // affordable when the oracle moved to persistent copy-on-write sets —
 // the flat-clone oracle pays O(ops²/8) bytes, over a gigabyte at that
-// size. The dense RandomK topology uses the Appendix D loop-length
-// truncation (MaxLen 5) because the exact Definition 5 loop search is
-// exponential on dense share graphs; the oracle still audits every
-// benchmarked schedule clean.
+// size. The dense RandomK topology runs twice: once under the Appendix D
+// loop-length truncation (MaxLen 5, the sacrificed-causality variant) and
+// once untruncated (randomk32_5k_exact) — the exact Definition 5 protocol,
+// reachable since the dominance-pruned loop engine replaced the
+// enumerating DFS for timestamp-graph construction. The oracle still
+// audits every benchmarked schedule clean.
 func BenchmarkScaleDelivery(b *testing.B) {
 	type scaleCase struct {
 		name  string
@@ -298,6 +302,7 @@ func BenchmarkScaleDelivery(b *testing.B) {
 		{"ring64_50k", func() *sharegraph.Graph { return sharegraph.Ring(64) }, sharegraph.LoopOptions{}, 50000},
 		{"ring64_100k", func() *sharegraph.Graph { return sharegraph.Ring(64) }, sharegraph.LoopOptions{}, 100000},
 		{"randomk32_5k", func() *sharegraph.Graph { return sharegraph.RandomK(32, 96, 3, 7) }, sharegraph.LoopOptions{MaxLen: 5}, 5000},
+		{"randomk32_5k_exact", func() *sharegraph.Graph { return sharegraph.RandomK(32, 96, 3, 7) }, sharegraph.LoopOptions{}, 5000},
 	}
 	type schedCase struct {
 		name string

@@ -227,6 +227,9 @@ func e11() error {
 		{"random k=2", sharegraph.RandomK(8, 24, 2, 5)},
 		{"random k=3", sharegraph.RandomK(8, 24, 3, 5)},
 		{"random k=4", sharegraph.RandomK(8, 24, 4, 5)},
+		// Dense 32-replica row, untruncated: buildable in milliseconds
+		// since the exact loop engine replaced the enumerating DFS.
+		{"random k=3 R=32 exact", sharegraph.RandomK(32, 96, 3, 7)},
 	}
 	for _, row := range rows {
 		reports := optimize.AnalyzeAll(row.g, sharegraph.BuildAllTSGraphs(row.g, sharegraph.LoopOptions{}))

@@ -207,9 +207,17 @@ func compare(out io.Writer, baseline, candidate []entry, re *regexp.Regexp, nsTh
 		}
 		compared++
 		for _, metric := range metrics {
-			bv, cv := b.metrics[metric], c.metrics[metric]
+			bv := b.metrics[metric]
 			if bv <= 0 {
 				continue
+			}
+			cv, ok := c.metrics[metric]
+			if !ok {
+				// A gated metric recorded in the baseline but absent from
+				// the candidate would otherwise read as 0 and pass as
+				// "improved" — a capture without -benchmem must not slip
+				// an arbitrary regression through the gate.
+				return fmt.Errorf("%s: baseline has %s but candidate capture lacks it", c.name, metric)
 			}
 			ratio := cv / bv
 			status := "ok        "

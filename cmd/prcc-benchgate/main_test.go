@@ -85,6 +85,23 @@ func TestGateFailsOnMissingScaleBenchmark(t *testing.T) {
 	}
 }
 
+func TestGateFailsOnMissingGatedMetric(t *testing.T) {
+	// A candidate entry that lacks a gated metric the baseline records
+	// (e.g. a capture run without -benchmem) must fail loudly rather than
+	// read the metric as 0 and pass as "improved".
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+	cand := writeJSON(t, dir, "cand.json", `[
+`+sameCPU+`
+{"name":"BenchmarkScaleDelivery/ring64_50k/random","ns/op":300000000},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":10000000,"B/op":4000000}
+]`)
+	err := run([]string{base, cand}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "lacks it") {
+		t.Fatalf("candidate without B/op not rejected: %v", err)
+	}
+}
+
 func TestGateIgnoresUnfilteredAndAllowsNew(t *testing.T) {
 	dir := t.TempDir()
 	base := writeJSON(t, dir, "base.json", baselineJSON)

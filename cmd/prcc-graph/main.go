@@ -7,6 +7,8 @@
 //	prcc-graph -topology ring -n 6
 //	prcc-graph -topology fig5 -bounds -m 4
 //	prcc-graph -topology hm1 -hoops
+//	prcc-graph -topology random -n 32 -seed 7   # dense, untruncated (exact engine)
+//	prcc-graph -topology random -n 32 -maxlen 5 # Appendix D truncation
 package main
 
 import (
@@ -36,6 +38,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for the random family")
 	bounds := fs.Bool("bounds", false, "compute Section 4 conflict-clique lower bounds")
 	m := fs.Int("m", 2, "per-edge update budget for -bounds")
+	maxlen := fs.Int("maxlen", 0, "truncate the loop search to this many vertices (Appendix D; 0 = exact)")
 	hoops := fs.Bool("hoops", false, "compare Definition 5 tracking with Hélary–Milani minimal hoops")
 	emit := fs.Bool("emit-config", false, "print the placement as a JSON config and exit")
 	if err := fs.Parse(args); err != nil {
@@ -57,7 +60,9 @@ func run(args []string) error {
 	fmt.Print(g.String())
 	fmt.Println()
 
-	graphs := sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{})
+	// The exact dominance-pruned engine keeps untruncated builds fast even
+	// on dense topologies; -maxlen opts into the Appendix D truncation.
+	graphs := sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{MaxLen: *maxlen})
 	reports := optimize.AnalyzeAll(g, graphs)
 	fmt.Println("replica | timestamp entries | compressed | tracked edges")
 	for i, tg := range graphs {

@@ -8,6 +8,10 @@ func TestRunTopologies(t *testing.T) {
 		{"-topology", "fig3", "-bounds", "-m", "2"},
 		{"-topology", "hm1", "-hoops"},
 		{"-topology", "ring", "-n", "5", "-bounds"},
+		{"-topology", "ring", "-n", "6", "-maxlen", "4"},
+		// Dense random placement, untruncated: exercises the exact loop
+		// engine end to end through the CLI.
+		{"-topology", "random", "-n", "16", "-seed", "3"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {

@@ -113,52 +113,11 @@ func (a *AugmentedGraph) ClientsFor(i ReplicaID) []ClientID {
 // IsAugmentedIEJKLoop checks Definition 27 for a given simple loop in Ĝ:
 // condition (i) is unchanged, while conditions (ii) and (iii) are
 // alternatively satisfied when the two replicas of the hop are both
-// accessible to a single client.
+// accessible to a single client. Like IsIEJKLoop it runs on the graph's
+// bitmask tables with pooled scratch, so it validates witnesses
+// allocation-free inside differential and fuzz loops.
 func (a *AugmentedGraph) IsAugmentedIEJKLoop(lp Loop) bool {
-	s, t := len(lp.L), len(lp.R)
-	if s < 1 || t < 1 {
-		return false
-	}
-	seen := map[ReplicaID]bool{lp.I: true}
-	for _, v := range append(append([]ReplicaID(nil), lp.L...), lp.R...) {
-		if seen[v] {
-			return false
-		}
-		seen[v] = true
-	}
-	verts := lp.Vertices()
-	for h := 0; h+1 < len(verts); h++ {
-		if !a.HasEdge(Edge{verts[h], verts[h+1]}) {
-			return false
-		}
-	}
-	j, k := lp.R[0], lp.L[s-1]
-	interior := make(RegisterSet)
-	for _, v := range lp.L[:s-1] {
-		interior.UnionInPlace(a.G.stores[v])
-	}
-	full := interior.Union(a.G.stores[k])
-	if !a.G.shared[Edge{j, k}].DiffNonEmpty(interior) { // (i): real edge only
-		return false
-	}
-	r2 := lp.I
-	if t >= 2 {
-		r2 = lp.R[1]
-	}
-	if !a.hopOK(j, r2, interior) { // (ii)
-		return false
-	}
-	for q := 2; q <= t; q++ { // (iii)
-		cur := lp.R[q-1]
-		next := lp.I
-		if q < t {
-			next = lp.R[q]
-		}
-		if !a.hopOK(cur, next, full) {
-			return false
-		}
-	}
-	return true
+	return checkIEJKLoop(a.G, a, lp)
 }
 
 // hopOK evaluates "X_uv − excluded ≠ ∅ or u,v ∈ R_c for some client c".
@@ -289,40 +248,21 @@ func (a *AugmentedGraph) FindAugmentedIEJKLoop(i ReplicaID, e Edge, opts LoopOpt
 // BuildAugmentedTSGraph computes Ê_i per Definition 28: incident Ê edges
 // and augmented-loop edges, intersected with the real edge set E. The
 // result is returned as a TSGraph whose tracked edges all belong to E.
+// Loop existence is decided by the exact engine (see search.go); the
+// incident edges of Ĝ intersected with E are exactly the share-graph
+// incident edges (client-only edges carry no registers), so the shared
+// builder applies unchanged.
 func (a *AugmentedGraph) BuildAugmentedTSGraph(i ReplicaID, opts LoopOptions) *TSGraph {
-	t := &TSGraph{
-		Owner: i,
-		index: make(map[Edge]int),
-		loops: make(map[Edge]Loop),
-	}
-	var edges []Edge
-	// Incident edges of Ĝ, intersected with E: exactly the share-graph
-	// incident edges (client-only edges carry no registers).
-	for _, j := range a.G.Neighbors(i) {
-		edges = append(edges, Edge{i, j}, Edge{j, i})
-	}
-	for _, e := range a.G.Edges() {
-		if e.From == i || e.To == i {
-			continue
-		}
-		if lp, ok := a.FindAugmentedIEJKLoop(i, e, opts); ok {
-			edges = append(edges, e)
-			t.loops[e] = lp
-		}
-	}
-	sortEdges(edges)
-	t.edges = edges
-	for idx, e := range edges {
-		t.index[e] = idx
-	}
-	return t
+	return buildTSGraphWith(a.G, i, opts, NewAugmentedLoopSearcher(a).Find)
 }
 
-// BuildAllAugmentedTSGraphs computes Ê_i for every replica.
+// BuildAllAugmentedTSGraphs computes Ê_i for every replica, sharing one
+// exact searcher across replicas.
 func (a *AugmentedGraph) BuildAllAugmentedTSGraphs(opts LoopOptions) []*TSGraph {
+	s := NewAugmentedLoopSearcher(a)
 	out := make([]*TSGraph, a.G.NumReplicas())
 	for i := range out {
-		out[i] = a.BuildAugmentedTSGraph(ReplicaID(i), opts)
+		out[i] = buildTSGraphWith(a.G, ReplicaID(i), opts, s.Find)
 	}
 	return out
 }

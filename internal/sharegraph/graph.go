@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Graph is the share graph of Definition 3: vertices are replicas and a
@@ -19,6 +20,11 @@ type Graph struct {
 	adj     [][]ReplicaID
 	holders map[Register][]ReplicaID
 	regs    []Register // all registers, sorted
+
+	// Canonical bitmask tables for the loop machinery (see search.go),
+	// built on first use so plain share-graph construction stays cheap.
+	searchOnce sync.Once
+	searchIdx  *searchIndex
 }
 
 // ErrNoReplicas is returned when a graph is constructed with zero replicas.

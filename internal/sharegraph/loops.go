@@ -53,57 +53,110 @@ type LoopOptions struct {
 // Definition 4: it verifies simplicity, presence of all structural edges,
 // s ≥ 1, t ≥ 1, and the three register-set side conditions. The edge e_jk
 // being witnessed is implied by the loop itself (j = R[0], k = L[s-1]).
+// The check runs on the graph's canonical bitmask tables with pooled
+// scratch, so it is cheap enough to validate every witness inside the
+// engine's differential and fuzz loops.
 func (g *Graph) IsIEJKLoop(lp Loop) bool {
+	return checkIEJKLoop(g, nil, lp)
+}
+
+// checkIEJKLoop validates Definition 4 (aug == nil) or Definition 27
+// (aug != nil, which relaxes structural edges to Ĝ and lets client pairs
+// stand in for conditions (ii)/(iii)).
+func checkIEJKLoop(g *Graph, aug *AugmentedGraph, lp Loop) bool {
 	s, t := len(lp.L), len(lp.R)
 	if s < 1 || t < 1 {
 		return false
 	}
-	// Simplicity: all vertices distinct.
-	seen := map[ReplicaID]bool{lp.I: true}
-	for _, v := range append(append([]ReplicaID(nil), lp.L...), lp.R...) {
-		if seen[v] {
+	// Structural edges along the cycle first: each hop must be a share
+	// (or, augmented, Ĝ) edge, which also proves every vertex names a
+	// real replica before any slice indexing below.
+	prev := lp.I
+	for _, v := range lp.L {
+		if !structEdge(g, aug, prev, v) {
 			return false
 		}
-		seen[v] = true
+		prev = v
 	}
-	// Structural edges along the cycle.
-	verts := lp.Vertices()
-	for h := 0; h+1 < len(verts); h++ {
-		if !g.HasEdge(Edge{verts[h], verts[h+1]}) {
+	for _, v := range lp.R {
+		if !structEdge(g, aug, prev, v) {
 			return false
 		}
+		prev = v
 	}
-	j, k := lp.R[0], lp.L[s-1]
-	// interior = ∪_{1≤p≤s-1} X_{l_p}; full = interior ∪ X_{l_s} = interior ∪ X_k.
-	interior := make(RegisterSet)
-	for _, v := range lp.L[:s-1] {
-		interior.UnionInPlace(g.stores[v])
-	}
-	full := interior.Union(g.stores[k])
-	// (i) X_jk − interior ≠ ∅.
-	if !g.shared[Edge{j, k}].DiffNonEmpty(interior) {
+	if !structEdge(g, aug, prev, lp.I) {
 		return false
 	}
-	// (ii) X_{j r_2} − interior ≠ ∅, where r_2 = R[1] if t ≥ 2 else i.
+	idx := g.searchIndex()
+	sc := idx.scratch()
+	defer idx.release(sc)
+	// Simplicity: all vertices distinct.
+	maskZero(sc.seen)
+	bitSet(sc.seen, int(lp.I))
+	for _, v := range lp.L {
+		if bitGet(sc.seen, int(v)) {
+			return false
+		}
+		bitSet(sc.seen, int(v))
+	}
+	for _, v := range lp.R {
+		if bitGet(sc.seen, int(v)) {
+			return false
+		}
+		bitSet(sc.seen, int(v))
+	}
+	j, k := lp.R[0], lp.L[s-1]
+	// interior = ∪_{1≤p≤s-1} X_{l_p}; full = interior ∪ X_{l_s}. Private
+	// registers never occur in edge labels, so the shared-register masks
+	// decide the conditions exactly.
+	maskZero(sc.interior)
+	for _, v := range lp.L[:s-1] {
+		maskOr(sc.interior, idx.xb[v])
+	}
+	// (i) X_jk − interior ≠ ∅: a real share edge in both variants.
+	if !maskDiffNonEmpty(idx.eb[Edge{j, k}], sc.interior) {
+		return false
+	}
+	// (ii) hop j → r_2 against interior, where r_2 = R[1] if t ≥ 2 else i.
 	r2 := lp.I
 	if t >= 2 {
 		r2 = lp.R[1]
 	}
-	if !g.shared[Edge{j, r2}].DiffNonEmpty(interior) {
+	if !condHop(idx, aug, j, r2, sc.interior) {
 		return false
 	}
-	// (iii) for 2 ≤ q ≤ t: X_{r_q r_{q+1}} − full ≠ ∅, with r_{t+1} = i.
+	// (iii) for 2 ≤ q ≤ t: hop r_q → r_{q+1} against full, with r_{t+1} = i.
+	maskCopy(sc.full, sc.interior)
+	maskOr(sc.full, idx.xb[k])
 	for q := 2; q <= t; q++ {
 		cur := lp.R[q-1]
 		next := lp.I
 		if q < t {
 			next = lp.R[q]
 		}
-		if !g.shared[Edge{cur, next}].DiffNonEmpty(full) {
+		if !condHop(idx, aug, cur, next, sc.full) {
 			return false
 		}
 	}
 	return true
+}
+
+// structEdge is the structural-edge test of the applicable definition:
+// share edges only, or Ĝ edges when augmented.
+func structEdge(g *Graph, aug *AugmentedGraph, from, to ReplicaID) bool {
+	if aug != nil {
+		return aug.HasEdge(Edge{from, to})
+	}
+	return g.HasEdge(Edge{from, to})
+}
+
+// condHop evaluates one side-condition hop: "X_uv − excluded ≠ ∅", with
+// a client pair standing in when augmented.
+func condHop(idx *searchIndex, aug *AugmentedGraph, u, v ReplicaID, excluded []uint64) bool {
+	if aug != nil && aug.clientPair[Edge{u, v}] {
+		return true
+	}
+	return maskDiffNonEmpty(idx.eb[Edge{u, v}], excluded)
 }
 
 // FindIEJKLoop searches for an (i, e_jk)-loop (Definition 4) and returns a

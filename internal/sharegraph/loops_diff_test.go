@@ -1,0 +1,191 @@
+package sharegraph
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Differential tests proving the exact dominance-pruned engine (search.go)
+// equivalent to the legacy enumerating DFS, which stays in the tree as the
+// reference implementation. Equivalence is checked three ways: existence
+// agreement on every (i, e) pair, witness validity through the Definition 4
+// validator, and byte-identical tracked-edge sets for whole timestamp
+// graphs built through either engine.
+
+// diffGraphs returns every generator family at sizes small enough for the
+// legacy DFS to stay fast.
+func diffGraphs() map[string]*Graph {
+	hm1, _ := HelaryMilani1()
+	hm2, _ := HelaryMilani2()
+	return map[string]*Graph{
+		"fig3":     Fig3Example(),
+		"fig5":     Fig5Example(),
+		"hm1":      hm1,
+		"hm2":      hm2,
+		"ring4":    Ring(4),
+		"ring6":    Ring(6),
+		"ring8":    Ring(8),
+		"line5":    Line(5),
+		"star6":    Star(6),
+		"tree6":    Tree([]int{0, 0, 1, 1, 2, 3}),
+		"fullrep5": FullReplication(5, 3),
+		"pairclq6": PairClique(6),
+		"grid9":    Grid(3, 3),
+		"randomk2": RandomK(8, 20, 2, 11),
+		"randomk3": RandomK(8, 24, 3, 7),
+		"randomk4": RandomK(9, 18, 4, 3),
+	}
+}
+
+// checkEngineAgreement asserts, for every (i, e) pair of g, that the exact
+// engine and the legacy DFS agree on existence and that every witness the
+// engine returns satisfies Definition 4 and witnesses the requested edge.
+func checkEngineAgreement(t *testing.T, name string, g *Graph, opts LoopOptions) {
+	t.Helper()
+	s := NewLoopSearcher(g)
+	for i := 0; i < g.NumReplicas(); i++ {
+		for _, e := range g.Edges() {
+			if e.From == ReplicaID(i) || e.To == ReplicaID(i) {
+				continue
+			}
+			legacy := g.HasIEJKLoop(ReplicaID(i), e, opts)
+			lp, exact := s.Find(ReplicaID(i), e, opts)
+			if legacy != exact {
+				t.Fatalf("%s: replica %d edge %v opts %+v: legacy=%v exact=%v\n%s",
+					name, i, e, opts, legacy, exact, g)
+			}
+			if !exact {
+				continue
+			}
+			if !g.IsIEJKLoop(lp) {
+				t.Fatalf("%s: replica %d edge %v: engine witness %v fails IsIEJKLoop\n%s",
+					name, i, e, lp, g)
+			}
+			if lp.I != ReplicaID(i) || lp.Edge() != e {
+				t.Fatalf("%s: replica %d edge %v: witness %v has I=%d Edge=%v",
+					name, i, e, lp, lp.I, lp.Edge())
+			}
+		}
+	}
+}
+
+// TestExactEngineMatchesLegacyOnGenerators runs the full differential
+// sweep over every generator family, unbounded and truncated.
+func TestExactEngineMatchesLegacyOnGenerators(t *testing.T) {
+	for name, g := range diffGraphs() {
+		checkEngineAgreement(t, name, g, LoopOptions{})
+		checkEngineAgreement(t, name, g, LoopOptions{MaxLen: 5})
+	}
+}
+
+// TestExactEngineMatchesLegacyRandomPlacements runs the differential sweep
+// over randomized register assignments.
+func TestExactEngineMatchesLegacyRandomPlacements(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := placementFromSeed(seed, 7, 10)
+		checkEngineAgreement(t, "random", g, LoopOptions{})
+		return !t.Failed()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildTSGraphByteIdenticalToLegacy: routing BuildTSGraph through the
+// exact engine must leave every tracked-edge set byte-identical to a build
+// through the legacy DFS — the timestamp layout (and hence the wire
+// format) may not shift by a single entry.
+func TestBuildTSGraphByteIdenticalToLegacy(t *testing.T) {
+	check := func(name string, g *Graph, opts LoopOptions) {
+		t.Helper()
+		for i := 0; i < g.NumReplicas(); i++ {
+			engine := BuildTSGraph(g, ReplicaID(i), opts)
+			legacy := buildTSGraphWith(g, ReplicaID(i), opts, g.FindIEJKLoop)
+			if !reflect.DeepEqual(engine.Edges(), legacy.Edges()) {
+				t.Fatalf("%s replica %d opts %+v: engine edges %v != legacy edges %v",
+					name, i, opts, engine.Edges(), legacy.Edges())
+			}
+		}
+	}
+	for name, g := range diffGraphs() {
+		check(name, g, LoopOptions{})
+		check(name, g, LoopOptions{MaxLen: 4})
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		check("random", placementFromSeed(seed, 7, 10), LoopOptions{})
+	}
+}
+
+// TestAugmentedEngineMatchesLegacy runs the augmented differential sweep:
+// random placements with random client assignments, existence agreement on
+// every (i, e) pair, witnesses validated by IsAugmentedIEJKLoop, and whole
+// augmented timestamp graphs byte-identical through either engine.
+func TestAugmentedEngineMatchesLegacy(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		g := placementFromSeed(seed, 6, 9)
+		rng := newTestRand(seed ^ 0x5eed)
+		var assignment ClientAssignment
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			p := rng.Intn(g.NumReplicas())
+			q := rng.Intn(g.NumReplicas())
+			if p == q {
+				q = (q + 1) % g.NumReplicas()
+			}
+			assignment = append(assignment, []ReplicaID{ReplicaID(p), ReplicaID(q)})
+		}
+		a, err := NewAugmented(g, assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewAugmentedLoopSearcher(a)
+		for i := 0; i < g.NumReplicas(); i++ {
+			for _, e := range g.Edges() {
+				if e.From == ReplicaID(i) || e.To == ReplicaID(i) {
+					continue
+				}
+				_, legacy := a.FindAugmentedIEJKLoop(ReplicaID(i), e, LoopOptions{})
+				lp, exact := s.Find(ReplicaID(i), e, LoopOptions{})
+				if legacy != exact {
+					t.Fatalf("seed %d replica %d edge %v: legacy=%v exact=%v\n%s clients=%v",
+						seed, i, e, legacy, exact, g, assignment)
+				}
+				if exact && !a.IsAugmentedIEJKLoop(lp) {
+					t.Fatalf("seed %d replica %d edge %v: witness %v fails IsAugmentedIEJKLoop\n%s clients=%v",
+						seed, i, e, lp, g, assignment)
+				}
+			}
+			engine := a.BuildAugmentedTSGraph(ReplicaID(i), LoopOptions{})
+			legacy := buildTSGraphWith(a.G, ReplicaID(i), LoopOptions{}, a.FindAugmentedIEJKLoop)
+			if !reflect.DeepEqual(engine.Edges(), legacy.Edges()) {
+				t.Fatalf("seed %d replica %d: engine edges %v != legacy edges %v",
+					seed, i, engine.Edges(), legacy.Edges())
+			}
+		}
+	}
+}
+
+// TestExactEngineAgainstBruteForce closes the loop a third way: the exact
+// engine against the exhaustive split-enumeration oracle used to validate
+// the legacy DFS, independent of the legacy DFS's own search order.
+func TestExactEngineAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := placementFromSeed(seed, 6, 8)
+		s := NewLoopSearcher(g)
+		for i := 0; i < g.NumReplicas(); i++ {
+			for _, e := range g.Edges() {
+				if e.From == ReplicaID(i) || e.To == ReplicaID(i) {
+					continue
+				}
+				if s.Has(ReplicaID(i), e, LoopOptions{}) != bruteForceHasLoop(g, ReplicaID(i), e) {
+					t.Logf("seed %d replica %d edge %v\n%s", seed, i, e, g)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package sharegraph
+
+import "testing"
+
+// FuzzIEJKLoopSearch derives a register placement from raw fuzz bytes and
+// requires the exact engine (search.go) and the legacy enumerating DFS to
+// agree on (i, e_jk)-loop existence for every (i, e) pair, with every
+// engine witness re-validated by the Definition 4 checker. Each placement
+// byte is a holder bitmask for one register over up to 7 replicas, so the
+// fuzzer explores arbitrary shared-register hypergraphs, not just the
+// generator families. A truncation byte additionally exercises the
+// Appendix D MaxLen delegation path.
+func FuzzIEJKLoopSearch(f *testing.F) {
+	f.Add(uint8(4), uint8(0), []byte{0b0011, 0b0110, 0b1100, 0b1001})
+	f.Add(uint8(7), uint8(0), []byte{0b0010011, 0b0110010, 0b1100100, 0b0001001, 0b1010000, 0b0100101})
+	f.Add(uint8(5), uint8(3), []byte{0b11111, 0b10101, 0b01010, 0b00111})
+	f.Add(uint8(6), uint8(0), []byte{0b110000, 0b011000, 0b001100, 0b000110, 0b000011, 0b100001})
+	f.Fuzz(func(t *testing.T, nrep, trunc uint8, placement []byte) {
+		n := 2 + int(nrep)%6 // 2..7 replicas
+		if len(placement) > 12 {
+			placement = placement[:12]
+		}
+		stores := make([][]Register, n)
+		for r, bits := range placement {
+			reg := Register('a' + rune(r))
+			for i := 0; i < n; i++ {
+				if bits&(1<<i) != 0 {
+					stores[i] = append(stores[i], reg)
+				}
+			}
+		}
+		g, err := New(stores)
+		if err != nil {
+			t.Fatal(err) // n >= 2 replicas always
+		}
+		opts := LoopOptions{MaxLen: int(trunc) % (n + 2)} // 0 = exact, else truncated
+		checkEngineAgreement(t, "fuzz", g, opts)
+	})
+}

@@ -1,0 +1,588 @@
+package sharegraph
+
+import "sync"
+
+// This file implements the exact (i, e_jk)-loop decision engine. The legacy
+// DFS in loops.go enumerates simple loops through i and is exponential on
+// dense share graphs; this engine decides Definition 4 existence without
+// enumerating loops, by exploiting two structural facts:
+//
+//  1. Every side condition has the form "X − S ≠ ∅" for a set S that only
+//     grows as the l-path grows (interior ⊆ full, and both are unions of
+//     replica register sets). Feasibility is therefore ANTITONE in the
+//     interior: any loop that closes against a small interior also closes
+//     against any subset of it. The l-path search keeps, per vertex, an
+//     antichain of ⊆-minimal interior masks and prunes every dominated
+//     state — the search is a Pareto fixpoint over (vertex, interior-mask)
+//     states instead of a walk over simple paths.
+//
+//  2. Once the l-path is fixed, the r-path needs no vertex bookkeeping at
+//     all: a hop into an l-path interior vertex v carries a label
+//     X_uv ⊆ X_v ⊆ interior, so conditions (ii)/(iii) already forbid the
+//     r-path from touching the l-path (and X_uk ⊆ X_k ⊆ full forbids k).
+//     Deciding conditions (ii)+(iii) is plain BFS reachability from j to i
+//     in an edge-filtered graph — polynomial, evaluated once per
+//     undominated arrival at k. The only vertex the filter cannot exclude
+//     is a FIRST hop onto k (condition (ii) tests against interior, which
+//     excludes X_k), so r_2 = k is rejected explicitly.
+//
+// Dominance over register masks alone is sound because the l-path can be
+// relaxed to a WALK: shortcutting a walk only shrinks the interior, which
+// only helps every condition, so walk-reachable (k, S) with a feasible
+// r-side implies a simple witness with interior ⊆ S. Parent chains through
+// the antichain are in fact already simple (a revisit would be dominated
+// by the chain's own earlier state), so witness reconstruction needs no
+// shortcutting.
+//
+// The augmented variant (Definition 27) weakens hops to "label condition
+// OR both endpoints client-accessible". Client-pair hops bypass the
+// register filter, so fact 2 no longer excludes the l-path automatically;
+// the augmented engine appends per-vertex visited bits to the state mask
+// (dominance becomes the product order over registers × vertices) and the
+// r-side BFS excludes the l-path's vertex set explicitly.
+//
+// Truncated searches (0 < MaxLen < R, the Appendix D causality sacrifice)
+// delegate to the legacy bounded DFS: the length bound breaks mask
+// monotonicity, the bounded DFS is tractable by construction, and
+// delegation keeps the truncation semantics bit-identical.
+
+// searchIndex holds the per-graph canonical bitmask tables shared by the
+// exact engine and the allocation-free IsIEJKLoop validator: one bit per
+// register that appears in at least one shared edge set (private registers
+// never occur in edge labels, so they cannot affect any side condition).
+type searchIndex struct {
+	words  int              // register-mask words
+	vwords int              // vertex-bitset words (⌈R/64⌉)
+	regBit map[Register]int // shared registers → bit position
+	xb     [][]uint64       // xb[v] = X_v ∩ shared registers
+	eb     map[Edge][]uint64
+	pool   sync.Pool // *loopScratch for the validators
+}
+
+// loopScratch is the reusable working memory of IsIEJKLoop /
+// IsAugmentedIEJKLoop, recycled through searchIndex.pool so validation
+// runs allocation-free inside fuzz and differential loops.
+type loopScratch struct {
+	seen     []uint64
+	interior []uint64
+	full     []uint64
+}
+
+// searchIndex lazily builds (once, concurrency-safe) the bitmask tables.
+func (g *Graph) searchIndex() *searchIndex {
+	g.searchOnce.Do(func() {
+		idx := &searchIndex{regBit: make(map[Register]int)}
+		for _, r := range g.regs {
+			if len(g.holders[r]) >= 2 {
+				idx.regBit[r] = len(idx.regBit)
+			}
+		}
+		idx.words = (len(idx.regBit) + 63) / 64
+		if idx.words == 0 {
+			idx.words = 1 // keep mask slices non-empty on edgeless graphs
+		}
+		idx.vwords = (g.r + 63) / 64
+		idx.xb = make([][]uint64, g.r)
+		for i := range idx.xb {
+			m := make([]uint64, idx.words)
+			for r := range g.stores[i] {
+				if b, ok := idx.regBit[r]; ok {
+					m[b>>6] |= 1 << (b & 63)
+				}
+			}
+			idx.xb[i] = m
+		}
+		idx.eb = make(map[Edge][]uint64, len(g.shared))
+		for e, x := range g.shared {
+			m := make([]uint64, idx.words)
+			for r := range x {
+				b := idx.regBit[r]
+				m[b>>6] |= 1 << (b & 63)
+			}
+			idx.eb[e] = m
+		}
+		idx.pool.New = func() any {
+			return &loopScratch{
+				seen:     make([]uint64, idx.vwords),
+				interior: make([]uint64, idx.words),
+				full:     make([]uint64, idx.words),
+			}
+		}
+		g.searchIdx = idx
+	})
+	return g.searchIdx
+}
+
+func (idx *searchIndex) scratch() *loopScratch   { return idx.pool.Get().(*loopScratch) }
+func (idx *searchIndex) release(sc *loopScratch) { idx.pool.Put(sc) }
+
+// ---- word-mask primitives ----
+
+func maskZero(m []uint64) {
+	for w := range m {
+		m[w] = 0
+	}
+}
+
+func maskCopy(dst, src []uint64) { copy(dst, src) }
+
+func maskOr(dst, src []uint64) {
+	for w := range src {
+		dst[w] |= src[w]
+	}
+}
+
+// maskSubset reports a ⊆ b.
+func maskSubset(a, b []uint64) bool {
+	for w := range a {
+		if a[w]&^b[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// maskDiffNonEmpty reports a − b ≠ ∅; a nil a (no such edge label) is
+// empty, a nil b is the empty exclusion set.
+func maskDiffNonEmpty(a, b []uint64) bool {
+	if b == nil {
+		for _, w := range a {
+			if w != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for w := range a {
+		if a[w]&^b[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func bitSet(m []uint64, i int) { m[i>>6] |= 1 << (i & 63) }
+
+func bitGet(m []uint64, i int) bool { return m[i>>6]&(1<<(i&63)) != 0 }
+
+// ---- the engine ----
+
+// LoopSearcher is the exact (i, e_jk)-loop engine over one share graph.
+// It decides Definition 4 existence (and produces a witness) in time
+// polynomial in the Pareto-frontier size instead of the simple-loop count,
+// which makes untruncated timestamp graphs tractable on dense topologies
+// where the legacy DFS runs for minutes. A searcher reuses its working
+// memory across queries and is NOT safe for concurrent use; create one
+// per goroutine. Results are exactly those of Graph.FindIEJKLoop (the
+// retained reference implementation), as asserted by the differential and
+// fuzz tests in loops_diff_test.go.
+type LoopSearcher struct {
+	es exactSearch
+}
+
+// NewLoopSearcher builds a searcher for g.
+func NewLoopSearcher(g *Graph) *LoopSearcher {
+	s := &LoopSearcher{}
+	s.es.init(g, nil)
+	return s
+}
+
+// Find searches for an (i, e_jk)-loop and returns a witness if one
+// exists. Truncated searches (0 < opts.MaxLen < R) delegate to the legacy
+// bounded DFS so Appendix D behavior is preserved bit-for-bit.
+func (s *LoopSearcher) Find(i ReplicaID, e Edge, opts LoopOptions) (Loop, bool) {
+	return s.es.find(i, e, opts)
+}
+
+// Has reports whether any (i, e_jk)-loop exists.
+func (s *LoopSearcher) Has(i ReplicaID, e Edge, opts LoopOptions) bool {
+	_, ok := s.es.find(i, e, opts)
+	return ok
+}
+
+// AugmentedLoopSearcher is the exact engine for augmented (i, e_jk)-loops
+// (Definition 27) over Ĝ. Same contract as LoopSearcher, with
+// AugmentedGraph.FindAugmentedIEJKLoop as the reference implementation.
+type AugmentedLoopSearcher struct {
+	es exactSearch
+}
+
+// NewAugmentedLoopSearcher builds a searcher for a.
+func NewAugmentedLoopSearcher(a *AugmentedGraph) *AugmentedLoopSearcher {
+	s := &AugmentedLoopSearcher{}
+	s.es.init(a.G, a)
+	return s
+}
+
+// Find searches for an augmented (i, e_jk)-loop witness.
+func (s *AugmentedLoopSearcher) Find(i ReplicaID, e Edge, opts LoopOptions) (Loop, bool) {
+	return s.es.find(i, e, opts)
+}
+
+// Has reports whether any augmented (i, e_jk)-loop exists.
+func (s *AugmentedLoopSearcher) Has(i ReplicaID, e Edge, opts LoopOptions) bool {
+	_, ok := s.es.find(i, e, opts)
+	return ok
+}
+
+// sstate is one Pareto state of the l-path search: the path's end vertex
+// and a parent link for witness reconstruction. Its mask lives in the
+// arena at [id*tw, (id+1)*tw). live is cleared when a later ⊆-smaller
+// mask dominates the state out of its vertex's antichain.
+type sstate struct {
+	v    ReplicaID
+	prev int32
+	live bool
+}
+
+type exactSearch struct {
+	g   *Graph
+	aug *AugmentedGraph // nil for the plain engine
+	idx *searchIndex
+	n   int
+	rw  int // register words in a state mask
+	vw  int // vertex words in a state mask (augmented only, else 0)
+	tw  int // total state-mask words
+
+	adj     [][]ReplicaID // G adjacency, or Ĝ adjacency when augmented
+	adjLab  [][][]uint64  // edge label per (v, adj index); nil for client-only edges
+	adjPair [][]bool      // client-pair flag per (v, adj index); nil when plain
+
+	// Per-query scratch, reset between queries and reused across them.
+	states  []sstate
+	masks   []uint64  // state-mask arena, tw words per state
+	anti    [][]int32 // antichain of state ids per vertex (k's slot holds arrivals)
+	dirty   []int32   // vertices with non-empty antichains, for cheap reset
+	queue   []int32
+	cur     []uint64 // popped state's mask (arena may grow mid-expansion)
+	cand    []uint64 // candidate successor mask
+	fhAll   []uint64 // union of all usable first-hop labels out of j
+	reach   []uint64 // vertices that can reach k avoiding j
+	rvis    []uint64 // r-side BFS visited set
+	rq      []ReplicaID
+	rparent []ReplicaID // r-side BFS parents; -1 = reached directly from j
+	rfull   []uint64    // full = interior ∪ X_k for the current r-side query
+	rGoal   ReplicaID   // last r-path vertex before i (valid after success)
+	rDirect bool        // r-path was the direct close j → i (t = 1)
+}
+
+func (es *exactSearch) init(g *Graph, aug *AugmentedGraph) {
+	es.g, es.aug = g, aug
+	es.idx = g.searchIndex()
+	es.n = g.r
+	es.rw = es.idx.words
+	if aug != nil {
+		es.vw = es.idx.vwords
+		es.adj = aug.adj
+	} else {
+		es.adj = g.adj
+	}
+	es.tw = es.rw + es.vw
+	es.adjLab = make([][][]uint64, es.n)
+	if aug != nil {
+		es.adjPair = make([][]bool, es.n)
+	}
+	for v := 0; v < es.n; v++ {
+		nbrs := es.adj[v]
+		labs := make([][]uint64, len(nbrs))
+		for x, w := range nbrs {
+			labs[x] = es.idx.eb[Edge{ReplicaID(v), w}]
+		}
+		es.adjLab[v] = labs
+		if aug != nil {
+			ps := make([]bool, len(nbrs))
+			for x, w := range nbrs {
+				ps[x] = aug.clientPair[Edge{ReplicaID(v), w}]
+			}
+			es.adjPair[v] = ps
+		}
+	}
+	es.anti = make([][]int32, es.n)
+	es.cur = make([]uint64, es.tw)
+	es.cand = make([]uint64, es.tw)
+	es.fhAll = make([]uint64, es.rw)
+	es.reach = make([]uint64, es.idx.vwords)
+	es.rvis = make([]uint64, es.idx.vwords)
+	es.rparent = make([]ReplicaID, es.n)
+	es.rfull = make([]uint64, es.rw)
+}
+
+func (es *exactSearch) mask(id int32) []uint64 {
+	return es.masks[int(id)*es.tw : (int(id)+1)*es.tw]
+}
+
+// pair reports whether the x-th adjacency hop out of v is client-backed.
+func (es *exactSearch) pair(v ReplicaID, x int) bool {
+	return es.adjPair != nil && es.adjPair[v][x]
+}
+
+func (es *exactSearch) find(i ReplicaID, e Edge, opts LoopOptions) (Loop, bool) {
+	j, k := e.From, e.To
+	if i == j || i == k || j == k || !es.g.HasEdge(e) {
+		return Loop{}, false
+	}
+	if opts.MaxLen > 0 && opts.MaxLen < es.n {
+		// Appendix D truncation: the legacy bounded DFS is the semantics.
+		if es.aug != nil {
+			return es.aug.FindAugmentedIEJKLoop(i, e, opts)
+		}
+		return es.g.FindIEJKLoop(i, e, opts)
+	}
+	tl := es.idx.eb[e] // X_jk, the condition (i) label
+
+	// Depth-1 pre-filter: only vertices that can reach k at all (avoiding
+	// j, which the l-path may not touch) can sit on an l-path.
+	if !es.computeReach(k, j, i) {
+		return Loop{}, false
+	}
+	// Depth-0 pre-filter: if the r-side cannot close even against an
+	// empty interior — the easiest it will ever be — no l-path helps.
+	if !es.rFeasible(i, j, k, nil) {
+		return Loop{}, false
+	}
+	// Union of first-hop labels out of j (r_2 = k is never allowed): once
+	// an interior covers all of them and no client pair can stand in,
+	// condition (ii) is dead for every extension — masks only grow.
+	fhFree := false
+	maskZero(es.fhAll)
+	for x, v := range es.adj[j] {
+		if v == k {
+			continue
+		}
+		if es.pair(j, x) {
+			fhFree = true
+		}
+		if lab := es.adjLab[j][x]; lab != nil {
+			maskOr(es.fhAll, lab)
+		}
+	}
+
+	// Reset per-query scratch.
+	es.states = es.states[:0]
+	es.masks = es.masks[:0]
+	for _, v := range es.dirty {
+		es.anti[v] = es.anti[v][:0]
+	}
+	es.dirty = es.dirty[:0]
+	es.queue = es.queue[:0]
+
+	// Seed: the empty l-path at i. Interior excludes X_i by Definition 4.
+	maskZero(es.cand)
+	if es.vw > 0 {
+		bitSet(es.cand[es.rw:], int(i))
+	}
+	if id, ok := es.insertState(i, es.cand, -1); ok {
+		es.queue = append(es.queue, id)
+	}
+
+	for qi := 0; qi < len(es.queue); qi++ {
+		sid := es.queue[qi]
+		if !es.states[sid].live {
+			continue // dominated after being queued
+		}
+		v := es.states[sid].v
+		copy(es.cur, es.mask(sid))
+		for _, w := range es.adj[v] {
+			if w == j || w == i {
+				continue
+			}
+			if w == k {
+				// l-path complete; cur's register part is the interior.
+				if !maskDiffNonEmpty(tl, es.cur[:es.rw]) {
+					continue // condition (i) fails
+				}
+				if _, ok := es.insertState(k, es.cur, sid); !ok {
+					continue // a ⊆-smaller arrival already failed the r-side
+				}
+				if es.rFeasible(i, j, k, es.cur) {
+					return es.buildWitness(i, j, k, sid), true
+				}
+				continue
+			}
+			if !bitGet(es.reach, int(w)) {
+				continue
+			}
+			if es.vw > 0 && bitGet(es.cur[es.rw:], int(w)) {
+				continue // augmented states track vertices; simple paths suffice
+			}
+			copy(es.cand, es.cur)
+			maskOr(es.cand[:es.rw], es.idx.xb[w])
+			if es.vw > 0 {
+				bitSet(es.cand[es.rw:], int(w))
+			}
+			if maskSubset(tl, es.cand[:es.rw]) {
+				continue // condition (i) can never hold past w
+			}
+			if !fhFree && maskSubset(es.fhAll, es.cand[:es.rw]) {
+				continue // condition (ii) can never hold past w
+			}
+			if id, ok := es.insertState(w, es.cand, sid); ok {
+				es.queue = append(es.queue, id)
+			}
+		}
+	}
+	return Loop{}, false
+}
+
+// insertState adds a state to v's antichain unless a ⊆-smaller mask is
+// already there; states the new mask dominates are evicted.
+func (es *exactSearch) insertState(v ReplicaID, m []uint64, prev int32) (int32, bool) {
+	lst := es.anti[v]
+	for _, id := range lst {
+		if maskSubset(es.mask(id), m) {
+			return -1, false
+		}
+	}
+	wasEmpty := len(lst) == 0
+	out := lst[:0]
+	for _, id := range lst {
+		if maskSubset(m, es.mask(id)) {
+			es.states[id].live = false
+			continue
+		}
+		out = append(out, id)
+	}
+	id := int32(len(es.states))
+	es.states = append(es.states, sstate{v: v, prev: prev, live: true})
+	es.masks = append(es.masks, m...)
+	es.anti[v] = append(out, id)
+	if wasEmpty {
+		es.dirty = append(es.dirty, int32(v))
+	}
+	return id, true
+}
+
+// computeReach BFS-fills es.reach with the vertices that can reach k in
+// the (symmetric) search adjacency without touching j, and reports whether
+// i is among them.
+func (es *exactSearch) computeReach(k, j, i ReplicaID) bool {
+	maskZero(es.reach)
+	bitSet(es.reach, int(k))
+	es.rq = es.rq[:0]
+	es.rq = append(es.rq, k)
+	for qi := 0; qi < len(es.rq); qi++ {
+		for _, w := range es.adj[es.rq[qi]] {
+			if w == j || bitGet(es.reach, int(w)) {
+				continue
+			}
+			bitSet(es.reach, int(w))
+			es.rq = append(es.rq, w)
+		}
+	}
+	return bitGet(es.reach, int(i))
+}
+
+// rFeasible decides whether an r-path exists for the l-path summarized by
+// lmask (nil = the empty l-path): conditions (ii) and (iii) as BFS edge
+// filters, target i. For the plain engine the filters themselves keep the
+// r-path off the l-path interior and k (their labels are inside the
+// excluded sets); the augmented engine additionally excludes the l-path's
+// visited-vertex bits, since client-pair hops bypass the register filter.
+// On success the BFS parents (or rDirect) describe a concrete r-path.
+func (es *exactSearch) rFeasible(i, j, k ReplicaID, lmask []uint64) bool {
+	var interior, excl []uint64
+	if lmask != nil {
+		interior = lmask[:es.rw]
+		if es.vw > 0 {
+			excl = lmask[es.rw:]
+		}
+	}
+	maskCopy(es.rfull, es.idx.xb[k])
+	if interior != nil {
+		maskOr(es.rfull, interior)
+	}
+	// t = 1: close j → i directly under condition (ii).
+	if es.hopOK(j, i, interior) {
+		es.rDirect = true
+		return true
+	}
+	es.rDirect = false
+	maskZero(es.rvis)
+	es.rq = es.rq[:0]
+	// First hops j → r_2 under condition (ii); r_2 = k would revisit the
+	// l-path's endpoint and is the one vertex the filter cannot exclude.
+	for x, v := range es.adj[j] {
+		if v == i || v == k {
+			continue
+		}
+		if excl != nil && bitGet(excl, int(v)) {
+			continue
+		}
+		if !es.pair(j, x) && !maskDiffNonEmpty(es.adjLab[j][x], interior) {
+			continue
+		}
+		if bitGet(es.rvis, int(v)) {
+			continue
+		}
+		bitSet(es.rvis, int(v))
+		es.rparent[v] = -1
+		es.rq = append(es.rq, v)
+	}
+	// Later hops r_q → r_{q+1} (and the close onto i) under condition (iii).
+	for qi := 0; qi < len(es.rq); qi++ {
+		u := es.rq[qi]
+		for x, w := range es.adj[u] {
+			if !es.pair(u, x) && !maskDiffNonEmpty(es.adjLab[u][x], es.rfull) {
+				continue
+			}
+			if w == i {
+				es.rGoal = u
+				return true
+			}
+			if w == j || w == k || bitGet(es.rvis, int(w)) {
+				continue
+			}
+			if excl != nil && bitGet(excl, int(w)) {
+				continue
+			}
+			bitSet(es.rvis, int(w))
+			es.rparent[w] = u
+			es.rq = append(es.rq, w)
+		}
+	}
+	return false
+}
+
+// hopOK evaluates one r-side hop condition: "client pair, or the edge
+// exists with label − excluded ≠ ∅". A nil excluded set is empty.
+func (es *exactSearch) hopOK(u, v ReplicaID, excluded []uint64) bool {
+	if es.aug != nil && es.aug.clientPair[Edge{u, v}] {
+		return true
+	}
+	return maskDiffNonEmpty(es.idx.eb[Edge{u, v}], excluded)
+}
+
+// buildWitness reassembles the Loop from the successful l-state chain and
+// the r-side BFS scratch left by the deciding rFeasible call. The chain is
+// provably simple (a vertex revisit along a chain would be dominated by
+// the chain's own earlier state) and the r-path provably avoids it, so no
+// shortcutting is needed; the differential tests re-validate every witness
+// with IsIEJKLoop / IsAugmentedIEJKLoop regardless.
+func (es *exactSearch) buildWitness(i, j, k ReplicaID, sid int32) Loop {
+	var rev []ReplicaID
+	for id := sid; es.states[id].prev >= 0; id = es.states[id].prev {
+		rev = append(rev, es.states[id].v)
+	}
+	lp := Loop{I: i, L: make([]ReplicaID, 0, len(rev)+1)}
+	for p := len(rev) - 1; p >= 0; p-- {
+		lp.L = append(lp.L, rev[p])
+	}
+	lp.L = append(lp.L, k)
+	if es.rDirect {
+		lp.R = []ReplicaID{j}
+		return lp
+	}
+	var rrev []ReplicaID
+	for v := es.rGoal; ; v = es.rparent[v] {
+		rrev = append(rrev, v)
+		if es.rparent[v] < 0 {
+			break
+		}
+	}
+	lp.R = make([]ReplicaID, 0, len(rrev)+1)
+	lp.R = append(lp.R, j)
+	for p := len(rrev) - 1; p >= 0; p-- {
+		lp.R = append(lp.R, rrev[p])
+	}
+	return lp
+}

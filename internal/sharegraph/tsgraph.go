@@ -17,11 +17,21 @@ type TSGraph struct {
 	loops map[Edge]Loop // witness loop per non-incident edge (diagnostics)
 }
 
-// BuildTSGraph computes G_i for replica i by exhaustive (i, e_jk)-loop
-// search over every non-incident share-graph edge. opts.MaxLen, when
-// non-zero, truncates the search to loops of at most that many vertices
-// (the Appendix D causality-sacrificing optimization).
+// BuildTSGraph computes G_i for replica i by (i, e_jk)-loop search over
+// every non-incident share-graph edge, using the exact dominance-pruned
+// engine (see search.go) so dense topologies build untruncated.
+// opts.MaxLen, when non-zero, truncates the search to loops of at most
+// that many vertices (the Appendix D causality-sacrificing optimization,
+// delegated to the legacy bounded DFS).
 func BuildTSGraph(g *Graph, i ReplicaID, opts LoopOptions) *TSGraph {
+	return buildTSGraphWith(g, i, opts, NewLoopSearcher(g).Find)
+}
+
+// buildTSGraphWith assembles a timestamp graph from incident edges plus
+// every non-incident edge the given loop finder witnesses. The finder is
+// a parameter so the differential tests can build through the legacy DFS
+// and require byte-identical edge sets.
+func buildTSGraphWith(g *Graph, i ReplicaID, opts LoopOptions, find func(ReplicaID, Edge, LoopOptions) (Loop, bool)) *TSGraph {
 	t := &TSGraph{
 		Owner: i,
 		index: make(map[Edge]int),
@@ -35,7 +45,7 @@ func BuildTSGraph(g *Graph, i ReplicaID, opts LoopOptions) *TSGraph {
 		if e.From == i || e.To == i {
 			continue
 		}
-		if lp, ok := g.FindIEJKLoop(i, e, opts); ok {
+		if lp, ok := find(i, e, opts); ok {
 			edges = append(edges, e)
 			t.loops[e] = lp
 		}
@@ -75,11 +85,14 @@ func NewTSGraphFromEdges(owner ReplicaID, edges []Edge) *TSGraph {
 	return t
 }
 
-// BuildAllTSGraphs computes the timestamp graph of every replica.
+// BuildAllTSGraphs computes the timestamp graph of every replica. One
+// exact searcher is shared across replicas so its working memory is
+// reused for every query.
 func BuildAllTSGraphs(g *Graph, opts LoopOptions) []*TSGraph {
+	s := NewLoopSearcher(g)
 	out := make([]*TSGraph, g.NumReplicas())
 	for i := range out {
-		out[i] = BuildTSGraph(g, ReplicaID(i), opts)
+		out[i] = buildTSGraphWith(g, ReplicaID(i), opts, s.Find)
 	}
 	return out
 }

@@ -114,6 +114,39 @@
 // still skip auditing with SimOptions.SkipAudit /
 // ClusterOptions.SkipAudit.
 //
+// # Loop search
+//
+// Definition 5 timestamp graphs need an (i, e_jk)-loop existence decision
+// per replica and non-incident edge. The original formulation enumerates
+// simple loops through i — exponential in replica count, and in practice
+// unable to finish sharegraph.RandomK(32, 96, 3, 7) untruncated. Builds
+// now run on an exact engine (sharegraph.NewLoopSearcher /
+// NewAugmentedLoopSearcher) that never enumerates loops. It canonicalizes
+// register sets to word masks over the registers that actually appear in
+// shared edge sets (private registers cannot affect any side condition),
+// and searches l-paths as a Pareto fixpoint over (vertex, interior-mask)
+// states: every Definition 4 side condition has the form "X − S ≠ ∅" for
+// an S that only grows along the path, so feasibility is antitone in the
+// interior mask and each vertex needs only an antichain of ⊆-minimal
+// masks — dominated states are pruned instead of explored. States that
+// cannot reach k, or whose mask already covers X_jk or every usable first
+// r-hop label, die at depth 1. The r-side needs no search at all: a hop
+// into an l-path interior vertex v carries a label inside X_v ⊆ interior,
+// so conditions (ii)/(iii) already exclude the l-path and deciding the
+// r-path is one BFS over filter-passing edges per undominated arrival at
+// k. The augmented engine (Definition 27) appends visited-vertex bits to
+// the state mask, since client-pair hops bypass the register filter. The
+// untruncated RandomK(32, 96, 3, 7) build dropped from not finishing to
+// ~40ms, so dense-topology benchmarks, prcc-graph and the simulator all
+// run the exact protocol rather than the Appendix D sacrificed-causality
+// variant. The legacy enumerating DFS survives as Graph.FindIEJKLoop —
+// the reference implementation that differential and fuzz tests hold the
+// engine byte-identical to — and still wins where it is already linear
+// (one-query lookups on sparse rings/trees with no searcher reuse) and
+// for bounded searches: LoopOptions.MaxLen truncation (Appendix D)
+// delegates to it, because a length bound breaks mask monotonicity while
+// making the DFS tractable by construction.
+//
 // Scale benchmarks covering 32- and 64-replica topologies at up to 100k
 // operations live in the root bench harness:
 //
@@ -121,10 +154,10 @@
 //
 // or run scripts/bench.sh to capture the full suite as JSON (the CI
 // bench job replays it and fails on >25% scale-benchmark regressions via
-// cmd/prcc-benchgate). Dense random topologies build their timestamp
-// graphs with a bounded loop search (sharegraph.LoopOptions{MaxLen: 5},
-// the Appendix D truncation), because the exact Definition 5 search is
-// exponential in replica count on dense share graphs.
+// cmd/prcc-benchgate). The dense random topology runs both truncated
+// (randomk32_5k, the Appendix D variant) and untruncated
+// (randomk32_5k_exact) so the cost of exact causality tracking stays
+// measured.
 package prcc
 
 import (
