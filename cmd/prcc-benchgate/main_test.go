@@ -221,3 +221,49 @@ func TestErrorsOnBadInput(t *testing.T) {
 		t.Error("empty comparison accepted")
 	}
 }
+
+// TestThroughputSplitTransition pins the default filter across the
+// BenchmarkClusterThroughput base/chaos split: a pre-split baseline's
+// slash-less row is neither gated nor counted as shrunk coverage, the
+// new /base row arrives ungated as "new", and the /chaos row stays
+// outside the gate even when it is far slower than everything else.
+func TestThroughputSplitTransition(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[
+{"name":"_env","cpu":"TestCPU @ 2.10GHz"},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":10000000,"B/op":4000000},
+{"name":"BenchmarkClusterThroughput","ns/op":20000000,"B/op":9000000}
+]`)
+	cand := writeJSON(t, dir, "cand.json", `[
+`+sameCPU+`
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":10000000,"B/op":4000000},
+{"name":"BenchmarkClusterThroughput/base","ns/op":21000000,"B/op":9000000},
+{"name":"BenchmarkClusterThroughput/chaos","ns/op":90000000,"B/op":90000000}
+]`)
+	var out strings.Builder
+	if err := run([]string{base, cand}, &out); err != nil {
+		t.Fatalf("transition capture rejected: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new       BenchmarkClusterThroughput/base") {
+		t.Errorf("/base not reported as new:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "chaos") {
+		t.Errorf("/chaos row leaked into the gate:\n%s", out.String())
+	}
+
+	// Once a split baseline exists, /base is gated like any scale row.
+	base2 := writeJSON(t, dir, "base2.json", `[
+{"name":"_env","cpu":"TestCPU @ 2.10GHz"},
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":10000000,"B/op":4000000},
+{"name":"BenchmarkClusterThroughput/base","ns/op":20000000,"B/op":9000000}
+]`)
+	cand2 := writeJSON(t, dir, "cand2.json", `[
+`+sameCPU+`
+{"name":"BenchmarkScaleDelivery/ring32_5k/random","ns/op":10000000,"B/op":4000000},
+{"name":"BenchmarkClusterThroughput/base","ns/op":30000000,"B/op":9000000}
+]`)
+	err := run([]string{base2, cand2}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("gated /base regression not caught: %v", err)
+	}
+}

@@ -125,6 +125,8 @@ type oracle interface {
 	OnClientAccess(c sharegraph.ClientID, i sharegraph.ReplicaID)
 	OnClientWrite(c sharegraph.ClientID, i sharegraph.ReplicaID, x sharegraph.Register) UpdateID
 	ClientPastSize(c sharegraph.ClientID) int
+	ExportCheckpoint(j sharegraph.ReplicaID) *ReplicaCheckpoint
+	RestoreCheckpoint(j sharegraph.ReplicaID, ck *ReplicaCheckpoint) error
 	Impl() string
 }
 

@@ -16,12 +16,69 @@ package clientserver
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/causality"
 	"repro/internal/core"
 	"repro/internal/sharegraph"
 	"repro/internal/timestamp"
 )
+
+// ---------------------------------------------------------------------------
+// Vector freelist
+//
+// The client-server hot path clones timestamps constantly: every request
+// carries µ_c, every response carries τ_i, and every update message
+// carries τ_i once per recipient. All of those vectors have a clear
+// single owner and a clear end of life (the receiver merges them and is
+// done), so instead of leaving a clone per message to the garbage
+// collector they cycle through a freelist: cloneVec takes a recycled
+// vector, putVec returns one.
+
+var (
+	vecMu   sync.Mutex
+	vecFree []timestamp.Vec
+)
+
+const maxVecFree = 1024
+
+// getVec returns a zeroed vector of length n, recycled when possible.
+func getVec(n int) timestamp.Vec {
+	vecMu.Lock()
+	for i := len(vecFree) - 1; i >= 0; i-- {
+		if cap(vecFree[i]) >= n {
+			v := vecFree[i][:n]
+			vecFree[i] = vecFree[len(vecFree)-1]
+			vecFree = vecFree[:len(vecFree)-1]
+			vecMu.Unlock()
+			for j := range v {
+				v[j] = 0
+			}
+			return v
+		}
+	}
+	vecMu.Unlock()
+	return make(timestamp.Vec, n)
+}
+
+// cloneVec copies src into a recycled vector.
+func cloneVec(src timestamp.Vec) timestamp.Vec {
+	v := getVec(len(src))
+	copy(v, src)
+	return v
+}
+
+// putVec recycles a vector whose owner is done with it. Nil is allowed.
+func putVec(v timestamp.Vec) {
+	if v == nil {
+		return
+	}
+	vecMu.Lock()
+	if len(vecFree) < maxVecFree {
+		vecFree = append(vecFree, v)
+	}
+	vecMu.Unlock()
+}
 
 // System holds the immutable structure shared by all servers and clients:
 // the augmented graph, every replica's augmented timestamp graph Ê_i, and
@@ -76,14 +133,16 @@ func mergeMax(dstIdx *sharegraph.TSGraph, dst timestamp.Vec, srcIdx *sharegraph.
 // Server is one replica's state machine for the client-server prototype
 // (Appendix E.1). Not safe for concurrent use.
 type Server struct {
-	sys   *System
-	id    sharegraph.ReplicaID
-	eidx  *sharegraph.TSGraph
-	τ     timestamp.Vec
-	store map[sharegraph.Register]core.Value
+	sys    *System
+	id     sharegraph.ReplicaID
+	eidx   *sharegraph.TSGraph
+	τ      timestamp.Vec
+	store  map[sharegraph.Register]core.Value
+	recips sharegraph.RecipientCache
 
 	pendingUpdates  []serverUpdate
 	pendingRequests []Request
+	staleDrops      int
 }
 
 type serverUpdate struct {
@@ -133,15 +192,20 @@ func (u UpdateMsg) MetaBytes() int { return timestamp.EncodedSize(u.TS) }
 // hook the shared worker-pool engine (internal/runtime) keys on.
 func (u UpdateMsg) Dest() int { return int(u.To) }
 
+// Source returns the sending replica — the hook the engine's fault
+// layer keys its per-edge loss, duplication and partition plans on.
+func (u UpdateMsg) Source() int { return int(u.From) }
+
 // NewServer builds replica i's server.
 func NewServer(sys *System, i sharegraph.ReplicaID) *Server {
 	eidx := sys.ReplicaGraphs[i]
 	return &Server{
-		sys:   sys,
-		id:    i,
-		eidx:  eidx,
-		τ:     make(timestamp.Vec, eidx.Len()),
-		store: make(map[sharegraph.Register]core.Value),
+		sys:    sys,
+		id:     i,
+		eidx:   eidx,
+		τ:      make(timestamp.Vec, eidx.Len()),
+		store:  make(map[sharegraph.Register]core.Value),
+		recips: sharegraph.NewRecipientCache(sys.Aug.G, i),
 	}
 }
 
@@ -159,6 +223,12 @@ func (s *Server) PendingUpdates() int { return len(s.pendingUpdates) }
 
 // PendingRequests returns the number of buffered client requests.
 func (s *Server) PendingRequests() int { return len(s.pendingRequests) }
+
+// StaleDrops returns the number of update messages this server
+// discarded at ingest: duplicates, stale replays, and malformed
+// envelopes (unknown sender, misrouted, wrong-length timestamp). See
+// HandleUpdate.
+func (s *Server) StaleDrops() int { return s.staleDrops }
 
 // requestReady implements J1 = J2: τ[e_ji] ≥ µ[e_ji] for every edge into
 // this replica tracked by Ê_i.
@@ -199,36 +269,56 @@ func (s *Server) updateReady(u serverUpdate) bool {
 	return true
 }
 
-// HandleRequest ingests a client request. If its predicate holds it is
-// served immediately (see Outcome); otherwise it is buffered until later
-// update applications unblock it.
-func (s *Server) HandleRequest(req Request) *Outcome {
+// HandleRequest ingests a client request, appending everything it
+// produces to out (the caller owns and recycles the Outcome — the emit
+// half of the contract that keeps the serve path allocation-free). If
+// the request's predicate holds it is served immediately; otherwise it
+// is buffered until later update applications unblock it. The server
+// takes ownership of req.Mu. Returns false — without consuming req —
+// if the request is addressed to a different replica.
+func (s *Server) HandleRequest(req Request, out *Outcome) bool {
 	if req.Replica != s.id {
-		return nil
+		return false
 	}
 	if !s.requestReady(req) {
 		s.pendingRequests = append(s.pendingRequests, req)
-		return &Outcome{}
+		return true
 	}
-	out := &Outcome{}
 	s.serve(req, out)
-	return out
+	return true
 }
 
 // Outcome aggregates everything one event produced: responses to clients,
 // update messages to replicas, and an ordered trail of applies and
 // request acceptances. The trail preserves the true interleaving inside a
 // drain, which the causality oracle needs to audit accesses correctly.
+//
+// Callers pass an Outcome into HandleRequest/HandleUpdate and recycle it
+// with Reset once its contents are consumed. Ownership of the timestamp
+// vectors inside (Updates[i].TS, Responses[i].Tau) transfers to whoever
+// consumes the message: update receivers recycle TS after merging it,
+// clients recycle Tau when absorbing the response.
 type Outcome struct {
 	Responses []Response
 	Updates   []UpdateMsg
 	Events    []OutcomeEvent
 }
 
-// OutcomeEvent is one step of an outcome trail; exactly one field is set.
+// Reset clears the outcome for reuse, keeping capacity. It does not
+// release the timestamp vectors referenced by the cleared entries —
+// their ownership moved to the message consumers at dispatch.
+func (o *Outcome) Reset() {
+	o.Responses = o.Responses[:0]
+	o.Updates = o.Updates[:0]
+	o.Events = o.Events[:0]
+}
+
+// OutcomeEvent is one step of an outcome trail: an update application
+// (IsApply true) or a client request acceptance.
 type OutcomeEvent struct {
-	Apply  *core.Applied
-	Accept *AcceptedAccess
+	IsApply bool
+	Apply   core.Applied
+	Accept  AcceptedAccess
 }
 
 // AcceptedAccess is one client request acceptance.
@@ -244,59 +334,99 @@ type AcceptedAccess struct {
 	NumUpdates int
 }
 
-// serve executes an accepted request (predicate already true).
+// serve executes an accepted request (predicate already true), recycling
+// the request's µ once it is consumed.
 func (s *Server) serve(req Request, out *Outcome) {
 	if req.IsRead {
-		out.Events = append(out.Events, OutcomeEvent{Accept: &AcceptedAccess{
+		out.Events = append(out.Events, OutcomeEvent{Accept: AcceptedAccess{
 			Client: req.Client, Replica: s.id, Reg: req.Reg,
 		}})
 		out.Responses = append(out.Responses, Response{
 			Client: req.Client, Replica: s.id, Reg: req.Reg,
-			Val: s.store[req.Reg], IsRead: true, Tau: s.τ.Clone(),
+			Val: s.store[req.Reg], IsRead: true, Tau: cloneVec(s.τ),
 		})
+		putVec(req.Mu)
 		return
 	}
 	// Write: advance per Appendix E — increment edges e_{i,k} with
-	// x ∈ X_ik; take max(τ, µ) elsewhere.
+	// x ∈ X_ik; take max(τ, µ) elsewhere. τ is mutated in place: every
+	// copy handed out (responses, updates, Timestamp) is a clone, so no
+	// one aliases it.
 	s.store[req.Reg] = req.Val
-	next := s.τ.Clone()
 	cidx := s.sys.ClientGraphs[req.Client]
 	for pos, e := range s.eidx.Edges() {
 		if e.From == s.id && s.sys.Aug.G.Shared(s.id, e.To).Has(req.Reg) {
-			next[pos]++
+			s.τ[pos]++
 			continue
 		}
-		if mpos, ok := cidx.Index(e); ok && req.Mu[mpos] > next[pos] {
-			next[pos] = req.Mu[mpos]
+		if mpos, ok := cidx.Index(e); ok && req.Mu[mpos] > s.τ[pos] {
+			s.τ[pos] = req.Mu[mpos]
 		}
 	}
-	s.τ = next
+	putVec(req.Mu)
 	seq := len(out.Updates)
-	for _, k := range s.sys.Aug.G.UpdateRecipients(s.id, req.Reg) {
+	for _, k := range s.recips.Recipients(req.Reg) {
 		out.Updates = append(out.Updates, UpdateMsg{
-			From: s.id, To: k, Reg: req.Reg, Val: req.Val, TS: s.τ.Clone(),
+			From: s.id, To: k, Reg: req.Reg, Val: req.Val, TS: cloneVec(s.τ),
 		})
 	}
-	out.Events = append(out.Events, OutcomeEvent{Accept: &AcceptedAccess{
+	out.Events = append(out.Events, OutcomeEvent{Accept: AcceptedAccess{
 		Client: req.Client, Replica: s.id, Reg: req.Reg, IsWrite: true,
 		UpdateSeq: seq, NumUpdates: len(out.Updates) - seq,
 	}})
 	out.Responses = append(out.Responses, Response{
 		Client: req.Client, Replica: s.id, Reg: req.Reg,
-		Val: req.Val, Tau: s.τ.Clone(),
+		Val: req.Val, Tau: cloneVec(s.τ),
 	})
 }
 
 // HandleUpdate ingests an inter-replica update (step 3 of the replica
 // prototype), draining both buffered updates and buffered client requests
-// to a fixpoint.
-func (s *Server) HandleUpdate(u UpdateMsg) *Outcome {
+// to a fixpoint into out. The server takes ownership of u.TS.
+//
+// Duplicate and stale deliveries are discarded at the door: replica k
+// increments the e_ki entry for every update it sends here, so
+// τ_i[e_ki] ≥ T[e_ki] means this exact update (or a successor) has
+// already been applied. Without the guard a re-delivered envelope would
+// sit in pendingUpdates forever — J3 demands τ[e_ki] = T[e_ki] − 1
+// exactly — leaking memory and polluting false-dependency accounting.
+func (s *Server) HandleUpdate(u UpdateMsg, out *Outcome) {
+	// Malformed envelopes are discarded at the door: an unknown sender,
+	// a misrouted destination, or a timestamp that does not match the
+	// sender's graph would otherwise index out of bounds (or merge
+	// nonsense) deep inside the predicate machinery.
+	if u.From < 0 || int(u.From) >= len(s.sys.ReplicaGraphs) || u.To != s.id ||
+		len(u.TS) != s.sys.ReplicaGraphs[u.From].Len() {
+		s.staleDrops++
+		putVec(u.TS)
+		return
+	}
+	eki := sharegraph.Edge{From: u.From, To: s.id}
+	if rpos, ok := s.eidx.Index(eki); ok {
+		if spos, ok2 := s.sys.ReplicaGraphs[u.From].Index(eki); ok2 {
+			if s.τ[rpos] >= u.TS[spos] {
+				s.staleDrops++
+				putVec(u.TS)
+				return
+			}
+			// A duplicate of a still-buffered update passes the applied
+			// check (τ has not advanced yet) but would rot forever once
+			// its twin applies — J3 demands equality, never ≤. Discard it
+			// against the buffer.
+			for i := range s.pendingUpdates {
+				pu := &s.pendingUpdates[i]
+				if pu.from == u.From && pu.ts[spos] == u.TS[spos] {
+					s.staleDrops++
+					putVec(u.TS)
+					return
+				}
+			}
+		}
+	}
 	s.pendingUpdates = append(s.pendingUpdates, serverUpdate{
 		from: u.From, ts: u.TS, reg: u.Reg, val: u.Val, oracleID: u.OracleID,
 	})
-	out := &Outcome{}
 	s.drain(out)
-	return out
 }
 
 // drain alternates between applying deliverable updates (J3) and serving
@@ -311,8 +441,9 @@ func (s *Server) drain(out *Outcome) {
 			}
 			s.store[u.reg] = u.val
 			mergeMax(s.eidx, s.τ, s.sys.ReplicaGraphs[u.from], u.ts)
+			putVec(u.ts)
 			s.pendingUpdates = append(s.pendingUpdates[:idx], s.pendingUpdates[idx+1:]...)
-			out.Events = append(out.Events, OutcomeEvent{Apply: &core.Applied{
+			out.Events = append(out.Events, OutcomeEvent{IsApply: true, Apply: core.Applied{
 				OracleID: u.oracleID, From: u.from, Reg: u.reg, Val: u.val,
 			}})
 			progress = true
@@ -348,16 +479,21 @@ func (s *Server) Read(x sharegraph.Register) (core.Value, bool) {
 
 // Client maintains µ_c and issues requests. Not safe for concurrent use.
 type Client struct {
-	sys  *System
-	id   sharegraph.ClientID
-	cidx *sharegraph.TSGraph
-	µ    timestamp.Vec
+	sys      *System
+	id       sharegraph.ClientID
+	cidx     *sharegraph.TSGraph
+	µ        timestamp.Vec
+	replicas []sharegraph.ReplicaID // R_c, cached: the graph is immutable
 }
 
 // NewClient builds client c.
 func NewClient(sys *System, c sharegraph.ClientID) *Client {
 	cidx := sys.ClientGraphs[c]
-	return &Client{sys: sys, id: c, cidx: cidx, µ: make(timestamp.Vec, cidx.Len())}
+	return &Client{
+		sys: sys, id: c, cidx: cidx,
+		µ:        make(timestamp.Vec, cidx.Len()),
+		replicas: sys.Aug.ClientReplicas(c),
+	}
 }
 
 // ID returns the client id.
@@ -372,7 +508,7 @@ func (c *Client) Timestamp() timestamp.Vec { return c.µ.Clone() }
 // PickReplica chooses a replica in R_c storing x (the lowest-numbered, for
 // determinism). ok is false if the client cannot access x at all.
 func (c *Client) PickReplica(x sharegraph.Register) (sharegraph.ReplicaID, bool) {
-	for _, r := range c.sys.Aug.ClientReplicas(c.id) {
+	for _, r := range c.replicas {
 		if c.sys.Aug.G.StoresRegister(r, x) {
 			return r, true
 		}
@@ -388,12 +524,14 @@ func (c *Client) NewRequest(x sharegraph.Register, v core.Value, isRead bool) (R
 		return Request{}, fmt.Errorf("clientserver: client %d cannot access register %q", c.id, x)
 	}
 	return Request{
-		Client: c.id, Replica: r, Reg: x, Val: v, IsRead: isRead, Mu: c.µ.Clone(),
+		Client: c.id, Replica: r, Reg: x, Val: v, IsRead: isRead, Mu: cloneVec(c.µ),
 	}, nil
 }
 
 // AbsorbResponse implements merge1 = merge2: µ_c takes the elementwise max
-// with τ over Ê_i, unchanged elsewhere.
+// with τ over Ê_i, unchanged elsewhere. The response's Tau is consumed —
+// recycled into the vector freelist — so callers must not retain it.
 func (c *Client) AbsorbResponse(resp Response) {
 	mergeMax(c.cidx, c.µ, c.sys.ReplicaGraphs[resp.Replica], resp.Tau)
+	putVec(resp.Tau)
 }

@@ -117,7 +117,8 @@ func TestJ1BlocksStaleRead(t *testing.T) {
 		req.Replica = 3
 	}
 	req.Replica = 3
-	out := servers[3].HandleRequest(req)
+	var out Outcome
+	servers[3].HandleRequest(req, &out)
 	if len(out.Responses) != 1 || len(out.Updates) != 1 {
 		t.Fatalf("write outcome: %+v", out)
 	}
@@ -129,7 +130,8 @@ func TestJ1BlocksStaleRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	read.Replica = 0
-	out0 := servers[0].HandleRequest(read)
+	var out0 Outcome
+	servers[0].HandleRequest(read, &out0)
 	if len(out0.Responses) != 0 || servers[0].PendingRequests() != 1 {
 		t.Fatalf("stale read served immediately: %+v", out0)
 	}
@@ -140,7 +142,8 @@ func TestJ1BlocksStaleRead(t *testing.T) {
 	if upd.To != 0 {
 		t.Fatalf("update destination = %d, want 0", upd.To)
 	}
-	out0 = servers[0].HandleUpdate(upd)
+	out0.Reset()
+	servers[0].HandleUpdate(upd, &out0)
 	if len(out0.Responses) != 1 {
 		t.Fatalf("buffered read did not unblock: %+v", out0)
 	}
@@ -293,7 +296,7 @@ func TestRunValidationAndAccessErrors(t *testing.T) {
 	if srv.ID() != 0 || srv.MetadataEntries() == 0 {
 		t.Error("bad server identity")
 	}
-	if out := srv.HandleRequest(Request{Replica: 2}); out != nil {
+	if srv.HandleRequest(Request{Replica: 2}, &Outcome{}) {
 		t.Error("misrouted request processed")
 	}
 	if _, ok := srv.Read("b"); ok {

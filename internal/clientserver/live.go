@@ -53,6 +53,29 @@ func NewLive(sys *System) *LiveSystem {
 
 // NewLiveWith starts a live deployment with explicit engine options.
 func NewLiveWith(sys *System, opts rt.Options) *LiveSystem {
+	ls := newLiveBase(sys)
+	ls.eng = rt.New(len(ls.servers), opts, ls.deliver)
+	return ls
+}
+
+// NewLiveChaotic starts a live deployment whose inter-replica transport
+// runs through the engine's seeded fault layer: per-edge loss and
+// duplication lotteries, partitions and crash parking per the plan.
+// Faults are transient (drops retransmit, cuts park until heal), so a
+// chaotic system that heals still converges and must pass CheckLiveness.
+func NewLiveChaotic(sys *System, opts rt.Options, plan rt.FaultPlan) *LiveSystem {
+	ls := newLiveBase(sys)
+	clone := func(u UpdateMsg) UpdateMsg {
+		// The duplicate needs its own timestamp: the original's TS is
+		// consumed (recycled) by whichever server ingests it first.
+		u.TS = cloneVec(u.TS)
+		return u
+	}
+	ls.eng = rt.NewWithFaults(len(ls.servers), opts, plan, clone, ls.deliver)
+	return ls
+}
+
+func newLiveBase(sys *System) *LiveSystem {
 	ls := &LiveSystem{
 		sys:       sys,
 		tracker:   causality.NewTracker(sys.Aug.G),
@@ -62,9 +85,31 @@ func NewLiveWith(sys *System, opts rt.Options) *LiveSystem {
 	for i := range ls.servers {
 		ls.servers[i] = &liveServer{s: NewServer(sys, sharegraph.ReplicaID(i))}
 	}
-	ls.eng = rt.New(len(ls.servers), opts, ls.deliver)
 	return ls
 }
+
+// Faults exposes the fault injector; nil unless built with NewLiveChaotic.
+func (ls *LiveSystem) Faults() *rt.FaultInjector[UpdateMsg] { return ls.eng.Faults() }
+
+// StaleDrops sums the duplicate/stale updates every server discarded.
+func (ls *LiveSystem) StaleDrops() int {
+	total := 0
+	for _, srv := range ls.servers {
+		srv.mu.Lock()
+		total += srv.s.StaleDrops()
+		srv.mu.Unlock()
+	}
+	return total
+}
+
+// outcomePool recycles Outcome scratch across client calls and update
+// deliveries; dispatch copies everything out of the outcome (updates and
+// responses move by value, their vectors by ownership transfer), so an
+// outcome is reusable as soon as dispatch returns.
+var outcomePool = sync.Pool{New: func() any { return &Outcome{} }}
+
+func getOutcome() *Outcome  { return outcomePool.Get().(*Outcome) }
+func putOutcome(o *Outcome) { o.Reset(); outcomePool.Put(o) }
 
 // Tracker exposes the auditing oracle.
 func (ls *LiveSystem) Tracker() *causality.Tracker { return ls.tracker }
@@ -131,14 +176,16 @@ func (lc *LiveClient) doResp(x sharegraph.Register, v core.Value, isRead bool) (
 		return Response{}, err
 	}
 	srv := ls.servers[req.Replica]
+	out := getOutcome()
 	srv.mu.Lock()
-	out := srv.s.HandleRequest(req)
+	srv.s.HandleRequest(req, out)
 	ls.recordOutcome(srv.s, out)
 	srv.mu.Unlock()
 	// Dispatch outside the server lock: Send applies inbox backpressure
 	// and may block; a blocked sender holding a server lock could starve
 	// the workers that must drain the full inbox.
 	ls.dispatch(out, true)
+	putOutcome(out)
 
 	ls.respMu.Lock()
 	ch := ls.respChans[lc.c.ID()]
@@ -155,18 +202,18 @@ func (ls *LiveSystem) recordOutcome(server *Server, out *Outcome) {
 	if out == nil {
 		return
 	}
-	for _, ev := range out.Events {
-		switch {
-		case ev.Apply != nil:
+	for i := range out.Events {
+		ev := &out.Events[i]
+		if ev.IsApply {
 			ls.tracker.OnApply(server.ID(), ev.Apply.OracleID)
-		case ev.Accept != nil:
-			acc := ev.Accept
-			ls.tracker.OnClientAccess(acc.Client, acc.Replica)
-			if acc.IsWrite {
-				id := ls.tracker.OnClientWrite(acc.Client, acc.Replica, acc.Reg)
-				for k := 0; k < acc.NumUpdates; k++ {
-					out.Updates[acc.UpdateSeq+k].OracleID = id
-				}
+			continue
+		}
+		acc := &ev.Accept
+		ls.tracker.OnClientAccess(acc.Client, acc.Replica)
+		if acc.IsWrite {
+			id := ls.tracker.OnClientWrite(acc.Client, acc.Replica, acc.Reg)
+			for k := 0; k < acc.NumUpdates; k++ {
+				out.Updates[acc.UpdateSeq+k].OracleID = id
 			}
 		}
 	}
@@ -208,11 +255,13 @@ func (ls *LiveSystem) dispatch(out *Outcome, backpressure bool) {
 // engine calls it from pool workers.
 func (ls *LiveSystem) deliver(u UpdateMsg) {
 	srv := ls.servers[u.To]
+	out := getOutcome()
 	srv.mu.Lock()
-	out := srv.s.HandleUpdate(u)
+	srv.s.HandleUpdate(u, out)
 	ls.recordOutcome(srv.s, out)
 	srv.mu.Unlock()
 	ls.dispatch(out, false)
+	putOutcome(out)
 }
 
 // Quiesce blocks until no inter-replica updates are in flight.

@@ -60,12 +60,23 @@ func (r *RunResult) Ok() bool {
 	return len(r.Violations) == 0 && r.StuckUpdates == 0 && r.StuckRequests == 0 && r.UnfinishedOps == 0
 }
 
-// event is one in-flight message of the client-server runner.
+// event is one in-flight message of the client-server runner. Events
+// hold their messages by value — outcomes are recycled scratch, so an
+// event must own everything it defers.
 type event struct {
-	req    *Request
-	resp   *Response
-	update *UpdateMsg
+	kind   eventKind
+	req    Request
+	resp   Response
+	update UpdateMsg
 }
+
+type eventKind uint8
+
+const (
+	evRequest eventKind = iota
+	evResponse
+	evUpdate
+)
 
 // Run executes the client scripts to quiescence under the scheduler,
 // auditing with the causality oracle (including the client clauses of
@@ -104,37 +115,34 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 
 	var pool []event
+	var scratch Outcome // recycled across server calls; pool copies own their data
 	nextVal := core.Value(1)
 
 	processOutcome := func(server *Server, out *Outcome) {
-		if out == nil {
-			return
-		}
-		for _, ev := range out.Events {
-			switch {
-			case ev.Apply != nil:
+		for i := range out.Events {
+			ev := &out.Events[i]
+			if ev.IsApply {
 				tracker.OnApply(server.ID(), ev.Apply.OracleID)
-			case ev.Accept != nil:
-				acc := ev.Accept
-				tracker.OnClientAccess(acc.Client, acc.Replica)
-				if acc.IsWrite {
-					id := tracker.OnClientWrite(acc.Client, acc.Replica, acc.Reg)
-					for k := 0; k < acc.NumUpdates; k++ {
-						out.Updates[acc.UpdateSeq+k].OracleID = id
-					}
+				continue
+			}
+			acc := &ev.Accept
+			tracker.OnClientAccess(acc.Client, acc.Replica)
+			if acc.IsWrite {
+				id := tracker.OnClientWrite(acc.Client, acc.Replica, acc.Reg)
+				for k := 0; k < acc.NumUpdates; k++ {
+					out.Updates[acc.UpdateSeq+k].OracleID = id
 				}
 			}
 		}
 		for i := range out.Updates {
-			u := out.Updates[i]
 			res.UpdatesSent++
-			res.MetaBytes += u.MetaBytes()
-			pool = append(pool, event{update: &out.Updates[i]})
+			res.MetaBytes += out.Updates[i].MetaBytes()
+			pool = append(pool, event{kind: evUpdate, update: out.Updates[i]})
 		}
 		for i := range out.Responses {
 			res.Responses++
 			res.MetaBytes += timestamp.EncodedSize(out.Responses[i].Tau)
-			pool = append(pool, event{resp: &out.Responses[i]})
+			pool = append(pool, event{kind: evResponse, resp: out.Responses[i]})
 		}
 	}
 
@@ -167,17 +175,21 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			awaiting[c] = true
 			res.Requests++
 			res.MetaBytes += timestamp.EncodedSize(req.Mu)
-			pool = append(pool, event{req: &req})
+			pool = append(pool, event{kind: evRequest, req: req})
 		} else {
 			ev := pool[choice-len(idle)]
 			pool = append(pool[:choice-len(idle)], pool[choice-len(idle)+1:]...)
-			switch {
-			case ev.req != nil:
-				processOutcome(servers[ev.req.Replica], servers[ev.req.Replica].HandleRequest(*ev.req))
-			case ev.update != nil:
-				processOutcome(servers[ev.update.To], servers[ev.update.To].HandleUpdate(*ev.update))
-			case ev.resp != nil:
-				clients[ev.resp.Client].AbsorbResponse(*ev.resp)
+			switch ev.kind {
+			case evRequest:
+				scratch.Reset()
+				servers[ev.req.Replica].HandleRequest(ev.req, &scratch)
+				processOutcome(servers[ev.req.Replica], &scratch)
+			case evUpdate:
+				scratch.Reset()
+				servers[ev.update.To].HandleUpdate(ev.update, &scratch)
+				processOutcome(servers[ev.update.To], &scratch)
+			case evResponse:
+				clients[ev.resp.Client].AbsorbResponse(ev.resp)
 				awaiting[ev.resp.Client] = false
 			}
 		}

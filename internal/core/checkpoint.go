@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ingest"
+	"repro/internal/sharegraph"
+	"repro/internal/timestamp"
+)
+
+// NodeCheckpoint is a self-contained snapshot of one replica's protocol
+// state: register contents, the vector timestamp, and the buffered
+// (received but not yet deliverable) updates re-encoded as envelopes.
+// Together with the oracle's ReplicaCheckpoint it is everything a
+// crashed replica needs to rejoin — the runtime-side retention log
+// replays whatever happened after the snapshot.
+//
+// The checkpoint owns all of its memory (maps, vectors, encoded
+// metadata); it stays valid however the node evolves afterwards, and
+// one checkpoint may be installed any number of times.
+type NodeCheckpoint struct {
+	Replica sharegraph.ReplicaID
+	Store   map[sharegraph.Register]Value
+	Tau     timestamp.Vec
+	Pending []Envelope
+}
+
+// Snapshotter is implemented by nodes that support crash/restart state
+// transfer. The paper's edge-indexed nodes implement it; baselines that
+// do not simply cannot be crashed in chaos runs.
+type Snapshotter interface {
+	Node
+	// Snapshot captures the node's current state.
+	Snapshot() *NodeCheckpoint
+	// Install resets the node to a checkpoint previously taken from a
+	// node of the same protocol and replica. Buffered updates are
+	// re-filed through the normal ingest path; by protocol determinism
+	// they stay buffered (they were undeliverable at snapshot time and
+	// the restored τ is identical), but any applies that do occur are
+	// returned so the runtime can report them to the oracle.
+	Install(ck *NodeCheckpoint) ([]Applied, error)
+}
+
+var _ Snapshotter = (*edgeNode)(nil)
+
+// Snapshot implements Snapshotter.
+func (n *edgeNode) Snapshot() *NodeCheckpoint {
+	ck := &NodeCheckpoint{
+		Replica: n.id,
+		Tau:     n.τ.Clone(),
+		Store:   make(map[sharegraph.Register]Value, len(n.store)),
+	}
+	for x, v := range n.store {
+		ck.Store[x] = v
+	}
+	collect := func(u pendingUpdate) {
+		ck.Pending = append(ck.Pending, Envelope{
+			From: u.from, To: n.id, Reg: u.reg, Val: u.val,
+			Meta: timestamp.Encode(u.ts), OracleID: u.oracleID, MetaOnly: u.metaOnly,
+		})
+	}
+	if n.naive {
+		for _, u := range n.pending {
+			collect(u)
+		}
+	} else {
+		n.q.All(collect)
+	}
+	return ck
+}
+
+// Install implements Snapshotter.
+func (n *edgeNode) Install(ck *NodeCheckpoint) ([]Applied, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("core: nil checkpoint")
+	}
+	if ck.Replica != n.id {
+		return nil, fmt.Errorf("core: checkpoint of replica %d installed at %d", ck.Replica, n.id)
+	}
+	if len(ck.Tau) != len(n.τ) {
+		return nil, fmt.Errorf("core: checkpoint has %d timestamp entries, node tracks %d — different timestamp graphs",
+			len(ck.Tau), len(n.τ))
+	}
+	copy(n.τ, ck.Tau)
+	n.store = make(map[sharegraph.Register]Value, len(ck.Store))
+	for x, v := range ck.Store {
+		n.store[x] = v
+	}
+	n.pending = nil
+	if !n.naive {
+		n.q = ingest.NewSenderQueues[pendingUpdate](n.space.NumReplicas())
+	}
+	var out []Applied
+	for _, env := range ck.Pending {
+		// HandleMessage decodes Meta into a fresh vector, so the
+		// checkpoint's buffers stay untouched and reusable.
+		out = append(out, n.HandleMessage(env, DiscardSink{})...)
+	}
+	return out, nil
+}

@@ -18,6 +18,14 @@ func FuzzEdgeNodeIngest(f *testing.F) {
 	f.Add([]byte{0, 0, 5, 1, 9, 2, 3, 0, 7, 5})
 	f.Add([]byte{23, 0, 22, 0, 21, 0, 1, 3, 2, 4, 0, 5})
 	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 0})
+	// Exact duplicates: every envelope delivered twice back to back, the
+	// dup-lottery shape the chaotic transport produces.
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 1, 0, 2, 0, 2, 0, 3, 0, 3, 0})
+	// Stale replays: deliver 0..5 in order, then re-deliver 0, 1, 2 —
+	// the retransmit-after-apply shape; all three must park dead.
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 0, 0, 1, 0, 2, 0})
+	// Duplicates of a parked (ahead-of-gate) envelope, then the gap fills.
+	f.Add([]byte{2, 0, 2, 0, 3, 0, 3, 0, 0, 0, 1, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// The guards log dropped envelopes; silence the noise for fuzzing.
 		old := log.Writer()

@@ -43,6 +43,10 @@ type Envelope struct {
 // hook the shared worker-pool engine (internal/runtime) keys on.
 func (e Envelope) Dest() int { return int(e.To) }
 
+// Source returns the sending replica — the hook the engine's fault
+// layer keys its per-edge loss, duplication and partition plans on.
+func (e Envelope) Source() int { return int(e.From) }
+
 // Applied reports one update a node applied while processing an event.
 type Applied struct {
 	OracleID causality.UpdateID

@@ -13,6 +13,14 @@ func FuzzSenderQueues(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 1, 2, 0, 0, 3, 0, 250, 9, 0})
 	f.Add([]byte{3, 1, 1, 2, 2, 2, 1, 1, 1, 0, 0, 0, 0, 1, 4})
 	f.Add([]byte{})
+	// Exact duplicates: every sequence number offered twice back to back —
+	// once ahead of the gate (duplicate key parks dead) and once at it.
+	f.Add([]byte{0, 1, 1, 0, 1, 1, 0, 2, 1, 0, 2, 1, 0, 3, 1, 0, 3, 1})
+	// Stale replays: drain 1..3, then replay 1, 2 and the never-valid 0 —
+	// all must park dead below the gate, never re-deliver.
+	f.Add([]byte{0, 1, 1, 0, 2, 1, 0, 3, 1, 0, 1, 1, 0, 2, 1, 0, 0, 1})
+	// Duplicate storm across two senders with interleaved parks.
+	f.Add([]byte{1, 4, 1, 1, 4, 1, 2, 4, 1, 2, 4, 1, 1, 1, 1, 1, 1, 1, 2, 1, 0, 1, 2, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const senders = 4
 		q := NewSenderQueues[uint64](senders)

@@ -1,0 +1,298 @@
+// Package membership is a heartbeat failure detector and membership
+// view for the live runtimes: per-link local failure detection (each
+// replica probes every other on a fixed interval and counts consecutive
+// misses against a threshold) aggregated into a global view that marks
+// replicas alive, suspected or down, with incarnation numbers bumped on
+// each rejoin.
+//
+// The detector is deliberately transport-agnostic: it draws probes from
+// a caller-supplied function — in practice the fault injector's Probe,
+// so cuts, crashes and the loss lottery all shape what the detector
+// sees. Links that crossed the suspicion threshold back off
+// exponentially between reconnect probes (capped), so a long-dead
+// replica is not hammered at full heartbeat rate, yet a healed link is
+// still rediscovered promptly.
+//
+// Tuning: the detection latency of a clean failure is Interval ×
+// Threshold; the false-suspicion probability of one link per round is
+// Drop^Threshold under an independent per-probe loss rate Drop. Raising
+// Threshold suppresses false suspicion geometrically at linear latency
+// cost — the classic trade-off, measured in this repo's chaos tests.
+//
+// Timekeeping is injected (Tick takes the current time), so unit tests
+// drive the detector deterministically; Start runs a real-time loop for
+// the live cluster.
+package membership
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Status is one replica's standing in the membership view.
+type Status uint8
+
+const (
+	// Alive: every inbound link is below the suspicion threshold.
+	Alive Status = iota
+	// Suspected: some inbound links crossed the threshold, others still
+	// answer — an asymmetric partition or lossy-link signature.
+	Suspected
+	// Down: every inbound link crossed the threshold.
+	Down
+)
+
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspected:
+		return "suspected"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Event records one status transition of one replica.
+type Event struct {
+	Replica int
+	Old     Status
+	New     Status
+	// Incarnation counts rejoins: it is 0 until the replica's first
+	// Down→(Alive|Suspected) transition, then increments per rejoin.
+	Incarnation int
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("replica %d: %s -> %s (incarnation %d)", e.Replica, e.Old, e.New, e.Incarnation)
+}
+
+// Options tunes the detector. The zero value selects the defaults
+// documented per field.
+type Options struct {
+	// Interval is the heartbeat period per link (default 5ms).
+	Interval time.Duration
+	// Threshold is the number of consecutive missed probes after which a
+	// link is held against its destination (default 3).
+	Threshold int
+	// BackoffMax caps the exponential reconnect backoff of a
+	// suspected link (default 16 × Interval).
+	BackoffMax time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Millisecond
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 3
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 16 * o.Interval
+	}
+	return o
+}
+
+// link is the LFD state of one ordered replica pair.
+type link struct {
+	misses  int
+	backoff time.Duration
+	next    time.Time // next probe due; zero = immediately
+}
+
+// Detector aggregates per-link heartbeats into a membership view. Safe
+// for concurrent use.
+type Detector struct {
+	n     int
+	probe func(from, to int) bool
+	opts  Options
+
+	mu      sync.Mutex
+	links   []link // [from*n+to]
+	status  []Status
+	incarn  []int
+	events  []Event
+	onEvent func(Event)
+	probes  uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a detector over n replicas drawing probes from probe(from,
+// to) — true means the probe was answered. It does not start a clock;
+// call Start for the real-time loop or Tick to drive it manually.
+func New(n int, probe func(from, to int) bool, opts Options) *Detector {
+	return &Detector{
+		n:      n,
+		probe:  probe,
+		opts:   opts.withDefaults(),
+		links:  make([]link, n*n),
+		status: make([]Status, n),
+		incarn: make([]int, n),
+	}
+}
+
+// OnEvent registers a callback invoked (under the detector lock) for
+// every status transition. Set it before Start.
+func (d *Detector) OnEvent(fn func(Event)) { d.onEvent = fn }
+
+// Tick runs one detector round at the given time: every due link is
+// probed, miss counters and backoffs update, and replica statuses are
+// recomputed. Deterministic given the probe function.
+func (d *Detector) Tick(now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for from := 0; from < d.n; from++ {
+		for to := 0; to < d.n; to++ {
+			if from == to {
+				continue
+			}
+			l := &d.links[from*d.n+to]
+			if !l.next.IsZero() && now.Before(l.next) {
+				continue
+			}
+			d.probes++
+			if d.probe(from, to) {
+				l.misses = 0
+				l.backoff = 0
+				l.next = now.Add(d.opts.Interval)
+				continue
+			}
+			l.misses++
+			if l.misses < d.opts.Threshold {
+				l.next = now.Add(d.opts.Interval)
+				continue
+			}
+			// Suspected link: exponential-backoff reconnect probing.
+			if l.backoff == 0 {
+				l.backoff = 2 * d.opts.Interval
+			} else {
+				l.backoff *= 2
+			}
+			if l.backoff > d.opts.BackoffMax {
+				l.backoff = d.opts.BackoffMax
+			}
+			l.next = now.Add(l.backoff)
+		}
+	}
+	for to := 0; to < d.n; to++ {
+		d.refreshLocked(to)
+	}
+}
+
+// refreshLocked recomputes one replica's status from its inbound links.
+func (d *Detector) refreshLocked(to int) {
+	crossed, clean := 0, 0
+	for from := 0; from < d.n; from++ {
+		if from == to {
+			continue
+		}
+		if d.links[from*d.n+to].misses >= d.opts.Threshold {
+			crossed++
+		} else {
+			clean++
+		}
+	}
+	next := Alive
+	switch {
+	case crossed > 0 && clean == 0:
+		next = Down
+	case crossed > 0:
+		next = Suspected
+	}
+	old := d.status[to]
+	if next == old {
+		return
+	}
+	if old == Down {
+		d.incarn[to]++
+	}
+	d.status[to] = next
+	ev := Event{Replica: to, Old: old, New: next, Incarnation: d.incarn[to]}
+	d.events = append(d.events, ev)
+	if d.onEvent != nil {
+		d.onEvent(ev)
+	}
+}
+
+// Start runs the real-time detector loop until Stop: one Tick per
+// Interval. Links the Tick put into backoff are skipped until due, so
+// the wall-clock probe rate genuinely drops for suspected replicas.
+func (d *Detector) Start() {
+	d.mu.Lock()
+	if d.stop != nil {
+		d.mu.Unlock()
+		return // already running
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	stop, done := d.stop, d.done
+	d.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(d.opts.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-ticker.C:
+				d.Tick(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the Start loop and waits for it to exit. Safe to call on a
+// never-started detector.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	stop, done := d.stop, d.done
+	d.stop, d.done = nil, nil
+	d.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Status returns replica r's current standing.
+func (d *Detector) Status(r int) Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.status[r]
+}
+
+// Statuses returns a copy of every replica's standing.
+func (d *Detector) Statuses() []Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Status(nil), d.status...)
+}
+
+// Incarnation returns replica r's rejoin count.
+func (d *Detector) Incarnation(r int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.incarn[r]
+}
+
+// Events returns a copy of every status transition observed so far.
+func (d *Detector) Events() []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Event(nil), d.events...)
+}
+
+// Probes returns the number of probes issued so far — the quantity the
+// backoff exists to bound.
+func (d *Detector) Probes() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.probes
+}

@@ -1,0 +1,183 @@
+package membership
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// probeMatrix is a mutable, lockable fake transport.
+type probeMatrix struct {
+	mu   sync.Mutex
+	dead map[[2]int]bool // directed links that fail
+	down map[int]bool    // replicas that answer nothing and probe nothing
+}
+
+func newMatrix() *probeMatrix {
+	return &probeMatrix{dead: make(map[[2]int]bool), down: make(map[int]bool)}
+}
+
+func (p *probeMatrix) probe(from, to int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.down[from] && !p.down[to] && !p.dead[[2]int{from, to}]
+}
+
+// tickN drives n rounds spaced one interval apart, returning the final
+// synthetic time.
+func tickN(d *Detector, start time.Time, n int, interval time.Duration) time.Time {
+	now := start
+	for i := 0; i < n; i++ {
+		d.Tick(now)
+		now = now.Add(interval)
+	}
+	return now
+}
+
+func TestDetectorCrashRejoinIncarnation(t *testing.T) {
+	const n = 4
+	m := newMatrix()
+	opts := Options{Interval: time.Millisecond, Threshold: 3}
+	d := New(n, m.probe, opts)
+	t0 := time.Unix(0, 0)
+
+	now := tickN(d, t0, 5, opts.Interval)
+	for r := 0; r < n; r++ {
+		if d.Status(r) != Alive {
+			t.Fatalf("replica %d: %s, want alive", r, d.Status(r))
+		}
+	}
+
+	// Crash replica 2: every inbound link misses; after Threshold rounds
+	// it is Down.
+	m.mu.Lock()
+	m.down[2] = true
+	m.mu.Unlock()
+	now = tickN(d, now, opts.Threshold, opts.Interval)
+	if d.Status(2) != Down {
+		t.Fatalf("replica 2 after %d missed rounds: %s, want down", opts.Threshold, d.Status(2))
+	}
+	if d.Incarnation(2) != 0 {
+		t.Fatalf("incarnation before first rejoin: %d, want 0", d.Incarnation(2))
+	}
+	// Replica 2 down also means 2's own probes fail — but that holds
+	// links 2→j against j only if ALL of j's inbound links miss, so the
+	// healthy replicas stay Suspected at worst. With only one down
+	// replica, j has n-2 clean inbound links: Suspected.
+	for r := 0; r < n; r++ {
+		if r == 2 {
+			continue
+		}
+		if s := d.Status(r); s == Down {
+			t.Fatalf("healthy replica %d marked down", r)
+		}
+	}
+
+	// Restart: links recover on their next due probe (backoff-delayed),
+	// and the Down→Alive transition bumps the incarnation.
+	m.mu.Lock()
+	delete(m.down, 2)
+	m.mu.Unlock()
+	now = tickN(d, now, 40, opts.Interval) // enough rounds to clear BackoffMax
+	if d.Status(2) != Alive {
+		t.Fatalf("replica 2 after restart: %s, want alive", d.Status(2))
+	}
+	if d.Incarnation(2) != 1 {
+		t.Fatalf("incarnation after rejoin: %d, want 1", d.Incarnation(2))
+	}
+	var downSeen, rejoinSeen bool
+	for _, ev := range d.Events() {
+		if ev.Replica == 2 && ev.New == Down {
+			downSeen = true
+		}
+		if ev.Replica == 2 && ev.Old == Down && ev.Incarnation == 1 {
+			rejoinSeen = true
+		}
+	}
+	if !downSeen || !rejoinSeen {
+		t.Fatalf("event trail missing down/rejoin transitions: %v", d.Events())
+	}
+	_ = now
+}
+
+func TestDetectorAsymmetricPartitionSuspects(t *testing.T) {
+	const n = 3
+	m := newMatrix()
+	opts := Options{Interval: time.Millisecond, Threshold: 2}
+	d := New(n, m.probe, opts)
+	t0 := time.Unix(0, 0)
+	now := tickN(d, t0, 3, opts.Interval)
+
+	// One-way cut 0→1: only the 0→1 link misses; replica 1 still answers
+	// replica 2, so it must be Suspected, never Down.
+	m.mu.Lock()
+	m.dead[[2]int{0, 1}] = true
+	m.mu.Unlock()
+	now = tickN(d, now, 4, opts.Interval)
+	if d.Status(1) != Suspected {
+		t.Fatalf("replica 1 under one-way cut: %s, want suspected", d.Status(1))
+	}
+	if d.Status(0) != Alive || d.Status(2) != Alive {
+		t.Fatalf("unaffected replicas changed status: 0=%s 2=%s", d.Status(0), d.Status(2))
+	}
+
+	m.mu.Lock()
+	delete(m.dead, [2]int{0, 1})
+	m.mu.Unlock()
+	tickN(d, now, 20, opts.Interval)
+	if d.Status(1) != Alive {
+		t.Fatalf("replica 1 after heal: %s, want alive", d.Status(1))
+	}
+}
+
+// TestDetectorBackoffReducesProbes pins the reconnect backoff: with one
+// replica long dead, the probe rate toward it falls well below one per
+// link per interval.
+func TestDetectorBackoffReducesProbes(t *testing.T) {
+	const n = 2
+	m := newMatrix()
+	opts := Options{Interval: time.Millisecond, Threshold: 2, BackoffMax: 8 * time.Millisecond}
+	d := New(n, m.probe, opts)
+	t0 := time.Unix(0, 0)
+	now := tickN(d, t0, opts.Threshold+1, opts.Interval)
+
+	m.mu.Lock()
+	m.down[1] = true
+	m.mu.Unlock()
+	// Let the links cross the threshold and enter backoff.
+	now = tickN(d, now, opts.Threshold+1, opts.Interval)
+	base := d.Probes()
+	const rounds = 64
+	tickN(d, now, rounds, opts.Interval)
+	got := d.Probes() - base
+	// Without backoff both directed links would probe every round:
+	// 2*rounds probes. With exponential backoff capped at 8×Interval the
+	// steady rate is ~2*rounds/8; allow generous slack above that.
+	if limit := uint64(2 * rounds / 2); got >= limit {
+		t.Fatalf("suspected-link probes = %d over %d rounds, want < %d (backoff not applied)",
+			got, rounds, limit)
+	}
+}
+
+// TestDetectorStartStop exercises the real-time loop against a live
+// matrix — smoke only; the deterministic tests above pin semantics.
+func TestDetectorStartStop(t *testing.T) {
+	m := newMatrix()
+	d := New(3, m.probe, Options{Interval: time.Millisecond, Threshold: 2})
+	d.Start()
+	d.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Probes() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	d.Stop()
+	d.Stop() // idempotent
+	if d.Probes() == 0 {
+		t.Fatal("real-time loop never probed")
+	}
+	for r := 0; r < 3; r++ {
+		if d.Status(r) != Alive {
+			t.Fatalf("replica %d: %s, want alive", r, d.Status(r))
+		}
+	}
+}

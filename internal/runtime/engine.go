@@ -95,6 +95,12 @@ type Engine[M Message] struct {
 	outstanding int
 	stopping    bool // workers exit once the ready queue is empty
 	wg          sync.WaitGroup
+
+	// faults, when non-nil, intercepts every enqueue — the seeded
+	// fault-injection layer (see fault.go). Set once at construction
+	// (NewWithFaults) and never mutated, so the disabled path costs one
+	// nil check.
+	faults *FaultInjector[M]
 }
 
 // inbox buffers in-flight messages destined for one inbox index. Guarded
@@ -134,6 +140,25 @@ func New[M Message](destinations int, opts Options, deliver func(M)) *Engine[M] 
 	return e
 }
 
+// NewWithFaults builds and starts an engine whose send/forward boundary
+// runs through a seeded fault-injection layer: every message is subject
+// to the plan's loss/duplication lottery and to the injector's runtime
+// partition and crash controls. clone must return an independently
+// deliverable copy of a message (deep-copying any pooled buffers); nil
+// disables duplication. Both deployment shapes — the replica cluster and
+// the client-server system — inherit fault injection through this one
+// boundary.
+func NewWithFaults[M Message](destinations int, opts Options, plan FaultPlan, clone func(M) M, deliver func(M)) *Engine[M] {
+	e := New(destinations, opts, deliver)
+	e.faults = newFaultInjector(e, plan, clone)
+	go e.faults.pump()
+	return e
+}
+
+// Faults returns the engine's fault injector, or nil when the engine
+// was built without one.
+func (e *Engine[M]) Faults() *FaultInjector[M] { return e.faults }
+
 // Workers returns the delivery worker-pool size.
 func (e *Engine[M]) Workers() int { return e.workers }
 
@@ -155,6 +180,9 @@ func (e *Engine[M]) Forward(ms ...M) int { return e.enqueue(ms, false) }
 func (e *Engine[M]) enqueue(ms []M, backpressure bool) int {
 	if len(ms) == 0 {
 		return 0
+	}
+	if e.faults != nil {
+		return e.faults.send(ms, backpressure)
 	}
 	accepted := 0
 	e.mu.Lock()
@@ -180,6 +208,34 @@ func (e *Engine[M]) enqueue(ms []M, backpressure bool) int {
 	}
 	e.mu.Unlock()
 	return accepted
+}
+
+// enqueueOne files a single message directly into its inbox, bypassing
+// the fault layer — the delivery half the fault layer itself uses, and
+// the reason its flush paths may hold the injector lock: without
+// backpressure this never blocks.
+func (e *Engine[M]) enqueueOne(m M, backpressure bool) int {
+	to := m.Dest()
+	e.mu.Lock()
+	if backpressure {
+		for len(e.inboxes[to].buf) >= e.capacity && !e.stopping {
+			e.spaceCond.Wait()
+		}
+	}
+	if e.stopping {
+		e.mu.Unlock()
+		return 0
+	}
+	ib := &e.inboxes[to]
+	ib.buf = append(ib.buf, m)
+	e.outstanding++
+	if !ib.queued {
+		ib.queued = true
+		e.pushReady(to)
+		e.workAvail.Signal()
+	}
+	e.mu.Unlock()
+	return 1
 }
 
 // pushReady appends to the ready queue, reclaiming the consumed prefix
@@ -256,12 +312,35 @@ func (e *Engine[M]) worker() {
 // Quiesce blocks until no messages are in flight. Messages a protocol
 // buffers internally after ingest (a liveness failure) do not count as in
 // flight, so Quiesce terminates even for broken protocols.
+//
+// Under fault injection Quiesce also settles the retransmit queue: every
+// diverted transmission is force-delivered (loss is transient in the
+// paper's reliable model) and due scheduled heals are performed, looping
+// until nothing remains in flight. Messages parked behind a manual cut
+// or a down destination stay parked — heal or restart first for a fully
+// settled system.
 func (e *Engine[M]) Quiesce() {
-	e.mu.Lock()
-	for e.outstanding != 0 {
-		e.idleCond.Wait()
+	for {
+		e.mu.Lock()
+		for e.outstanding != 0 {
+			e.idleCond.Wait()
+		}
+		e.mu.Unlock()
+		if e.faults == nil {
+			return
+		}
+		if e.faults.settle() {
+			continue // the flush put messages back in flight; drain again
+		}
+		// The settle was empty, but the fault pump may have flushed
+		// retransmissions between our drain and the settle: re-check.
+		e.mu.Lock()
+		done := e.outstanding == 0
+		e.mu.Unlock()
+		if done {
+			return
+		}
 	}
-	e.mu.Unlock()
 }
 
 // Close waits for all in-flight deliveries to drain, then stops the
@@ -270,6 +349,12 @@ func (e *Engine[M]) Quiesce() {
 // before calling Close; sends racing shutdown are dropped once the drain
 // begins.
 func (e *Engine[M]) Close() {
+	if e.faults != nil {
+		// Stop the pump first so nothing re-enters the inboxes mid-drain;
+		// messages still parked in the fault layer die with the engine,
+		// like any message sent after shutdown.
+		e.faults.stop()
+	}
 	e.mu.Lock()
 	for e.outstanding != 0 {
 		e.idleCond.Wait()

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/membership"
+	rt "repro/internal/runtime"
+	"repro/internal/sharegraph"
+	"repro/internal/workload"
+)
+
+// ChaosConfig describes one orchestrated chaos run: a workload executed
+// in three phases with faults injected at the phase boundaries.
+type ChaosConfig struct {
+	Graph    *sharegraph.Graph
+	Protocol core.Protocol
+	Script   workload.Script
+	// Plan seeds the per-edge loss/duplication lottery for the whole run.
+	Plan rt.FaultPlan
+	// Heartbeat, when non-nil, runs the membership failure detector
+	// alongside the workload; its events are returned in the result.
+	Heartbeat *membership.Options
+	// Partition, when true, cuts PartitionA↔PartitionB in both directions
+	// after the first third of the workload. PartitionHeal > 0 schedules
+	// the heal; otherwise the cut lasts until the end-of-run HealAll.
+	Partition              bool
+	PartitionA, PartitionB sharegraph.ReplicaID
+	PartitionHeal          time.Duration
+	// Crash, when true, checkpoints CrashReplica up front, crashes it
+	// after the first third, and restarts it (checkpoint + log replay +
+	// parked-delivery flush) after the second third. The victim's
+	// middle-third operations are deferred to the final third, preserving
+	// its per-replica program order.
+	Crash        bool
+	CrashReplica sharegraph.ReplicaID
+	// Opts are extra cluster options (workers, seed, inbox capacity, …).
+	Opts []ClusterOption
+}
+
+// ChaosResult reports what a chaos run did and what the oracle thought
+// of it.
+type ChaosResult struct {
+	// Violations is the oracle's verdict after HealAll and Quiesce:
+	// safety violations plus liveness failures. A correct protocol under
+	// transient faults must return none.
+	Violations []causality.Violation
+	// Events is the membership detector's transition history (empty
+	// without Heartbeat).
+	Events []membership.Event
+	// FinalState is the per-replica register contents after quiescence.
+	FinalState   []map[sharegraph.Register]core.Value
+	MessagesSent int64
+	Dropped      uint64
+	Duped        uint64
+	PendingTotal int
+}
+
+// RunChaos executes the configured run: phase 1 fault-free apart from
+// the ambient loss/duplication lottery, faults injected at the 1/3
+// boundary, recovery at the 2/3 boundary, then HealAll, Quiesce and a
+// full oracle audit. Transient faults never excuse a verdict: every
+// cut heals and every crash restarts before the audit, so zero
+// violations — including liveness — is the pass criterion.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	opts := append([]ClusterOption{WithChaos(cfg.Plan)}, cfg.Opts...)
+	if cfg.Heartbeat != nil {
+		opts = append(opts, WithHeartbeats(*cfg.Heartbeat))
+	}
+	c, err := NewCluster(cfg.Graph, cfg.Protocol, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	if cfg.Crash {
+		if err := c.Checkpoint(cfg.CrashReplica); err != nil {
+			return nil, err
+		}
+	}
+
+	// Split the script into thirds, keeping per-replica order.
+	n := cfg.Graph.NumReplicas()
+	var phases [3][][]workload.Op
+	for p := range phases {
+		phases[p] = make([][]workload.Op, n)
+	}
+	for i, op := range cfg.Script {
+		p := i * 3 / len(cfg.Script)
+		phases[p][op.Replica] = append(phases[p][op.Replica], op)
+	}
+
+	var val atomic.Int64
+	runPhase := func(queues [][]workload.Op) {
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			if len(queues[r]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(r int, ops []workload.Op) {
+				defer wg.Done()
+				for _, op := range ops {
+					if op.IsRead {
+						c.Read(sharegraph.ReplicaID(r), op.Reg)
+						continue
+					}
+					v := core.Value(op.Val)
+					if v == 0 {
+						v = core.Value(val.Add(1))
+					}
+					_ = c.Write(sharegraph.ReplicaID(r), op.Reg, v)
+				}
+			}(r, queues[r])
+		}
+		wg.Wait()
+	}
+
+	runPhase(phases[0])
+
+	if cfg.Partition {
+		if err := c.Partition(cfg.PartitionA, cfg.PartitionB, cfg.PartitionHeal); err != nil {
+			return nil, err
+		}
+	}
+	var deferred []workload.Op
+	if cfg.Crash {
+		if err := c.Crash(cfg.CrashReplica); err != nil {
+			return nil, err
+		}
+		deferred = phases[1][cfg.CrashReplica]
+		phases[1][cfg.CrashReplica] = nil
+	}
+
+	runPhase(phases[1])
+
+	if cfg.Crash {
+		if err := c.Restart(cfg.CrashReplica); err != nil {
+			return nil, fmt.Errorf("restart replica %d: %w", cfg.CrashReplica, err)
+		}
+		phases[2][cfg.CrashReplica] = append(deferred, phases[2][cfg.CrashReplica]...)
+	}
+
+	runPhase(phases[2])
+
+	if err := c.HealAll(); err != nil {
+		return nil, err
+	}
+	c.Quiesce()
+
+	res := &ChaosResult{
+		FinalState:   c.StateSnapshot(),
+		MessagesSent: c.MessagesSent(),
+		PendingTotal: c.PendingTotal(),
+	}
+	if f := c.Faults(); f != nil {
+		res.Dropped = f.Dropped()
+		res.Duped = f.Duped()
+	}
+	if d := c.Membership(); d != nil {
+		d.Stop()
+		res.Events = d.Events()
+	}
+	if tr := c.Tracker(); tr != nil {
+		tr.CheckLiveness()
+		res.Violations = tr.Violations()
+	}
+	return res, nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/causality"
 	"repro/internal/core"
+	"repro/internal/membership"
 	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
 	"repro/internal/transport"
@@ -37,15 +38,25 @@ import (
 // buffer that returns to the pool once the message has been ingested at
 // its destination.
 type Cluster struct {
-	g       *sharegraph.Graph
-	tracker *causality.Tracker // nil when auditing is disabled
-	nodes   []core.Node
-	nodeMu  []sync.Mutex
-	eng     *rt.Engine[core.Envelope]
+	g        *sharegraph.Graph
+	protocol core.Protocol
+	tracker  *causality.Tracker // nil when auditing is disabled
+	nodes    []core.Node
+	nodeMu   []sync.Mutex
+	eng      *rt.Engine[core.Envelope]
 
 	opts       rt.Options
 	audit      bool
 	flatOracle bool
+
+	// Chaos state: nil/zero unless WithChaos / WithHeartbeats were given.
+	chaosPlan *rt.FaultPlan
+	hbOpts    *membership.Options
+	det       *membership.Detector
+	// rec[r] is replica r's recovery state, guarded by nodeMu[r]; the
+	// slice itself is nil when chaos is disabled, so the fault-free
+	// delivery path pays one nil check.
+	rec []replicaRec
 
 	meta    transport.BytePool
 	batches sync.Pool // *envBatch
@@ -152,6 +163,26 @@ func WithFlatOracle() ClusterOption {
 	return func(c *Cluster) { c.flatOracle = true }
 }
 
+// WithChaos routes every message through the engine's seeded
+// fault-injection layer (loss, duplication, partitions, crash parking —
+// see runtime.FaultPlan) and enables the cluster's recovery controls:
+// Partition/Heal, Checkpoint/Crash/Restart. Faults are transient, so a
+// chaos run that heals its partitions and restarts its crashed replicas
+// still satisfies the paper's reliable-delivery model in the limit and
+// must pass the oracle's liveness audit.
+func WithChaos(plan rt.FaultPlan) ClusterOption {
+	return func(c *Cluster) { c.chaosPlan = &plan }
+}
+
+// WithHeartbeats runs a membership failure detector over the cluster:
+// every replica pair is probed per the options' interval, with probes
+// answered by the fault layer (cuts, crashes and the loss lottery all
+// shape what the detector sees; without WithChaos every probe
+// succeeds). Access the view through Membership.
+func WithHeartbeats(opts membership.Options) ClusterOption {
+	return func(c *Cluster) { c.hbOpts = &opts }
+}
+
 // NewCluster builds and starts a live cluster for the protocol. The
 // worker pool runs until Close.
 func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOption) (*Cluster, error) {
@@ -160,10 +191,11 @@ func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOpti
 		return nil, fmt.Errorf("cluster: build nodes: %w", err)
 	}
 	c := &Cluster{
-		g:      g,
-		nodes:  nodes,
-		nodeMu: make([]sync.Mutex, len(nodes)),
-		audit:  true,
+		g:        g,
+		protocol: protocol,
+		nodes:    nodes,
+		nodeMu:   make([]sync.Mutex, len(nodes)),
+		audit:    true,
 	}
 	for _, o := range opts {
 		o(c)
@@ -176,9 +208,44 @@ func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOpti
 		}
 	}
 	c.batches.New = func() any { return &envBatch{} }
-	c.eng = rt.New(len(nodes), c.opts, c.deliver)
+	if c.chaosPlan != nil {
+		c.rec = make([]replicaRec, len(nodes))
+		c.eng = rt.NewWithFaults(len(nodes), c.opts, *c.chaosPlan, c.cloneEnv, c.deliver)
+	} else {
+		c.eng = rt.New(len(nodes), c.opts, c.deliver)
+	}
+	if c.hbOpts != nil {
+		c.det = membership.New(len(nodes), c.probe, *c.hbOpts)
+		c.det.Start()
+	}
 	return c, nil
 }
+
+// cloneEnv deep-copies an envelope for the fault layer's duplication
+// path: the original's Meta is a pooled buffer recycled after its own
+// delivery, so the duplicate needs an independent copy.
+func (c *Cluster) cloneEnv(env core.Envelope) core.Envelope {
+	env.Meta = c.meta.Copy(env.Meta)
+	return env
+}
+
+// probe answers one heartbeat: it succeeds unless the fault layer says
+// the link is unusable (endpoint down, edge cut, or the probe-stream
+// loss lottery fires).
+func (c *Cluster) probe(from, to int) bool {
+	if f := c.eng.Faults(); f != nil {
+		return f.Probe(from, to)
+	}
+	return true
+}
+
+// Membership exposes the heartbeat failure detector; nil unless the
+// cluster was built with WithHeartbeats.
+func (c *Cluster) Membership() *membership.Detector { return c.det }
+
+// Faults exposes the engine's fault injector; nil unless the cluster was
+// built with WithChaos.
+func (c *Cluster) Faults() *rt.FaultInjector[core.Envelope] { return c.eng.Faults() }
 
 // Tracker exposes the oracle auditing this cluster; nil when the cluster
 // was built with WithoutAudit.
@@ -205,8 +272,16 @@ func (c *Cluster) Write(r sharegraph.ReplicaID, x sharegraph.Register, v core.Va
 	}
 	b := c.getBatch()
 	c.nodeMu[r].Lock()
+	if c.rec != nil && c.rec[r].down {
+		c.nodeMu[r].Unlock()
+		c.putBatch(b)
+		return fmt.Errorf("cluster: replica %d is down", r)
+	}
 	id := c.issueID(r, x)
 	err := c.nodes[r].HandleWrite(x, v, id, b)
+	if err == nil && c.rec != nil && c.rec[r].logging {
+		c.rec[r].log = append(c.rec[r].log, logEntry{write: true, reg: x, val: v, id: id})
+	}
 	c.nodeMu[r].Unlock()
 	if err != nil {
 		c.putBatch(b)
@@ -218,10 +293,14 @@ func (c *Cluster) Write(r sharegraph.ReplicaID, x sharegraph.Register, v core.Va
 	return nil
 }
 
-// Read returns replica r's local copy of x.
+// Read returns replica r's local copy of x. A crashed replica serves no
+// reads: ok is false while r is down.
 func (c *Cluster) Read(r sharegraph.ReplicaID, x sharegraph.Register) (core.Value, bool) {
 	c.nodeMu[r].Lock()
 	defer c.nodeMu[r].Unlock()
+	if c.rec != nil && c.rec[r].down {
+		return 0, false
+	}
 	return c.nodes[r].Read(x)
 }
 
@@ -233,6 +312,23 @@ func (c *Cluster) deliver(env core.Envelope) {
 	b := c.getBatch()
 	to := env.To
 	c.nodeMu[to].Lock()
+	if c.rec != nil {
+		rec := &c.rec[to]
+		if rec.down {
+			// Arrived in the window between the fault layer's down check
+			// and delivery; park it (keeping its pooled Meta) until
+			// Restart re-forwards it.
+			rec.parked = append(rec.parked, env)
+			c.nodeMu[to].Unlock()
+			c.putBatch(b)
+			return
+		}
+		if rec.logging {
+			e := env
+			e.Meta = append([]byte(nil), env.Meta...)
+			rec.log = append(rec.log, logEntry{env: e})
+		}
+	}
 	applied := c.nodes[to].HandleMessage(env, b)
 	if c.tracker != nil {
 		for _, a := range applied {
@@ -258,6 +354,9 @@ func (c *Cluster) Quiesce() { c.eng.Quiesce() }
 // has exited — no goroutines outlive the cluster.
 func (c *Cluster) Close() {
 	c.closed.Store(true)
+	if c.det != nil {
+		c.det.Stop()
+	}
 	c.eng.Close()
 }
 

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+)
+
+// TestTheorem8NotMaskedByDupHardening pins an interaction between two
+// defenses: the ingest queues discard duplicated and stale envelopes,
+// and the oracle flags Theorem-8 violations on weakened timestamp
+// graphs. Discarding must be keyed on genuine redundancy (same sender,
+// same sequence), never on "looks already applied" heuristics that
+// could swallow the adversarial early delivery the theorem constructs.
+// So: the Case 3 execution, with every envelope delivered twice and the
+// whole prefix replayed stale at the end, must still produce the safety
+// violation on weakened graphs — and stay perfectly clean on full ones.
+func TestTheorem8NotMaskedByDupHardening(t *testing.T) {
+	g := sharegraph.Fig5Example()
+	dropped := sharegraph.Edge{From: 3, To: 2}
+	full := sharegraph.BuildAllTSGraphs(g, sharegraph.LoopOptions{})
+
+	// deliverTwiceTo: the duplicated-transport version of deliverTo.
+	deliverTwiceTo := func(h *harness, envs []core.Envelope, to sharegraph.ReplicaID) {
+		t.Helper()
+		h.deliverTo(envs, to)
+		h.deliverTo(envs, to)
+	}
+
+	run := func(p core.Protocol) *harness {
+		h := newHarness(t, g, p)
+		u0 := h.write(3, "z")
+		u1 := h.write(3, "w")
+		deliverTwiceTo(h, u1, 0)
+		uy := h.write(0, "y")
+		deliverTwiceTo(h, uy, 1)
+		ux := h.write(1, "x")
+		// Adversarial asynchrony with duplication: ux reaches replica 2
+		// twice before u0 does.
+		deliverTwiceTo(h, ux, 2)
+		deliverTwiceTo(h, u0, 2)
+		// Complete delivery (uy also goes to replica 3) so the liveness
+		// audit has no undelivered excuse, then replay the whole prefix
+		// stale, long after application.
+		deliverTwiceTo(h, uy, 3)
+		h.deliverTo(u1, 0)
+		h.deliverTo(uy, 1)
+		h.deliverTo(ux, 2)
+		h.deliverTo(u0, 2)
+		return h
+	}
+
+	pFull, err := core.NewEdgeIndexedWithGraphs(g, full, "edge-indexed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := run(pFull)
+	if !h.tracker.Ok() {
+		t.Errorf("full graphs under duplication violated safety: %v", h.tracker.Violations())
+	}
+	// Dead-parked duplicates are bookkeeping, not liveness debt: every
+	// genuine update must have applied (no deliverable update stuck).
+	if vs := h.tracker.CheckLiveness(); len(vs) != 0 {
+		t.Errorf("duplication broke liveness on full graphs: %v", vs)
+	}
+
+	pWeak, err := core.NewEdgeIndexedWithGraphs(g, weakenedGraphs(g, 0, dropped), "edge-indexed-weakened")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = run(pWeak)
+	sawSafety := false
+	for _, v := range h.tracker.Violations() {
+		if v.Kind == causality.SafetyViolation && v.Replica == 2 {
+			sawSafety = true
+		}
+	}
+	if !sawSafety {
+		t.Errorf("duplicate hardening masked the Theorem 8 violation: %v", h.tracker.Violations())
+	}
+}

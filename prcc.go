@@ -48,6 +48,54 @@
 // inter-replica updates through an identical worker pool, so both of the
 // paper's deployment shapes share one bounded-goroutine runtime.
 //
+// # Robustness
+//
+// The runtime carries a seeded fault-injection layer, armed by
+// ClusterOptions.Chaos: per-edge drop and duplication lotteries, one-
+// and two-way partitions with scheduled heals, and crash/restart of
+// whole replicas. Faults are injected at the engine's send/forward
+// boundary, so the replica cluster and the client-server deployment
+// inherit the same fault model. Every lottery outcome is a pure hash of
+// (seed, edge, stream, counter), so a chaos run injects the same faults
+// regardless of goroutine scheduling. A dropped transmission is
+// diverted to a retransmit queue with exponential backoff and is
+// force-delivered after FaultPlan.MaxRetransmits consecutive losses —
+// loss degrades latency, never liveness. Messages crossing a cut edge
+// or addressed to a crashed replica park at the transport and flush at
+// heal or restart.
+//
+// A heartbeat failure detector (ClusterOptions.Heartbeat) probes every
+// link each HeartbeatOptions.Interval and holds a link against its
+// destination after Threshold consecutive misses: every inbound link
+// over threshold is Down, only some is Suspected — the asymmetric-
+// partition signature. Detection latency is therefore
+// Interval × Threshold, while an ambient loss rate p falsely suspects a
+// healthy link with probability ~p^Threshold per interval; raising
+// Threshold trades detection speed for skepticism. A replica that
+// rejoins after Down bumps its incarnation number.
+//
+// Crashed replicas recover by state transfer. Cluster.Checkpoint
+// snapshots the node — register store, timestamp vector, buffered
+// updates — together with the oracle's causal-past export for that
+// replica, and begins a retention log of subsequent local events.
+// Cluster.Restart installs the checkpoint into a fresh node and replays
+// the log in original order (per-replica protocol determinism makes the
+// replay exact, and nothing is re-emitted: the first execution already
+// dispatched each update's fanout and the transport never truly loses a
+// message), then releases deliveries parked while the replica was down.
+//
+// The happened-before oracle stays the judge under every fault class:
+// loss and duplication must produce zero safety violations and full
+// liveness at quiescence; partitions must settle to full liveness once
+// healed; a crashed-and-restarted cluster must converge to the same
+// final state as a fault-free run of the same workload (the
+// differential test); and on deliberately weakened timestamp graphs the
+// Theorem 8 violation must still surface — duplicate hardening may
+// discard only genuine redundancy (same sender, same sequence), never
+// adversarial reordering. With chaos disarmed the fault hooks reduce to
+// one nil check on the delivery path, held to zero measured cost by the
+// gated BenchmarkClusterThroughput base/chaos split.
+//
 // Beyond the protocol itself the package exposes the paper's analyses:
 // metadata sizing and compression (Section 5), conflict-graph lower bounds
 // on timestamp size (Section 4), baseline protocols for comparison, the
@@ -169,7 +217,9 @@ import (
 	"repro/internal/causality"
 	"repro/internal/core"
 	"repro/internal/lowerbound"
+	"repro/internal/membership"
 	"repro/internal/optimize"
+	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -187,6 +237,39 @@ type Value = core.Value
 
 // Violation is a detected causal-consistency violation.
 type Violation = causality.Violation
+
+// FaultPlan seeds the runtime's deterministic fault lottery: per-edge
+// drop/duplication probabilities, the retransmit policy, and the
+// lottery seed. The zero value injects no ambient faults but still arms
+// the Partition/Crash/Checkpoint/Restart controls.
+type FaultPlan = rt.FaultPlan
+
+// EdgeFault is the per-edge loss/duplication probability pair of a
+// FaultPlan.
+type EdgeFault = rt.EdgeFault
+
+// HeartbeatOptions tunes the membership failure detector: probe
+// interval, suspicion threshold, and reconnect backoff. Detection
+// latency is Interval × Threshold; see the Robustness section.
+type HeartbeatOptions = membership.Options
+
+// MemberStatus is a replica's health as seen by the failure detector.
+type MemberStatus = membership.Status
+
+// Membership statuses.
+const (
+	// MemberAlive: every inbound link answers probes.
+	MemberAlive = membership.Alive
+	// MemberSuspected: some inbound links crossed the miss threshold,
+	// others still answer — an asymmetric partition or lossy link.
+	MemberSuspected = membership.Suspected
+	// MemberDown: every inbound link crossed the threshold.
+	MemberDown = membership.Down
+)
+
+// MembershipEvent records one status transition observed by the
+// failure detector.
+type MembershipEvent = membership.Event
 
 // System is a partially replicated shared-memory configuration: the
 // placement, its derived share and timestamp graphs, and the edge-indexed
@@ -268,6 +351,15 @@ type ClusterOptions struct {
 	// not a necessity, even at 50k-op scale. Check reports nothing on an
 	// unaudited cluster.
 	SkipAudit bool
+	// Chaos, when non-nil, arms the fault-injection layer with the given
+	// plan. The zero FaultPlan injects no ambient faults but enables the
+	// Partition/Crash/Checkpoint/Restart controls; without Chaos those
+	// methods return an error. See the Robustness package section.
+	Chaos *FaultPlan
+	// Heartbeat, when non-nil, runs the membership failure detector
+	// alongside the cluster. Its probes ride the fault layer's links, so
+	// without Chaos every probe succeeds and nothing is ever suspected.
+	Heartbeat *HeartbeatOptions
 }
 
 func (o ClusterOptions) simOptions() []sim.ClusterOption {
@@ -287,6 +379,12 @@ func (o ClusterOptions) simOptions() []sim.ClusterOption {
 	if o.SkipAudit {
 		opts = append(opts, sim.WithoutAudit())
 	}
+	if o.Chaos != nil {
+		opts = append(opts, sim.WithChaos(*o.Chaos))
+	}
+	if o.Heartbeat != nil {
+		opts = append(opts, sim.WithHeartbeats(*o.Heartbeat))
+	}
 	return opts
 }
 
@@ -303,12 +401,20 @@ func (s *System) ClusterWith(opts ClusterOptions) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("prcc: %w", err)
 	}
-	return &Cluster{inner: c}, nil
+	return &Cluster{inner: c, n: s.graph.NumReplicas()}, nil
 }
 
 // Cluster is a running shared-memory deployment.
 type Cluster struct {
 	inner *sim.Cluster
+	n     int
+}
+
+func (c *Cluster) checkReplica(r ReplicaID) error {
+	if int(r) < 0 || int(r) >= c.n {
+		return fmt.Errorf("prcc: replica %d out of range [0,%d)", r, c.n)
+	}
+	return nil
 }
 
 // Write performs a client write at replica r. It fails if r does not
@@ -363,6 +469,106 @@ func (c *Cluster) Outstanding() int { return c.inner.Outstanding() }
 // Close shuts the cluster down after draining in-flight deliveries; no
 // goroutines outlive it.
 func (c *Cluster) Close() { c.inner.Close() }
+
+// Partition cuts the links between a and b in both directions; messages
+// crossing a cut edge park at the transport and deliver at heal time.
+// healAfter > 0 schedules an automatic heal, 0 cuts until Heal/HealAll.
+// It errors on a cluster built without ClusterOptions.Chaos.
+func (c *Cluster) Partition(a, b ReplicaID, healAfter time.Duration) error {
+	if err := c.checkReplica(a); err != nil {
+		return err
+	}
+	if err := c.checkReplica(b); err != nil {
+		return err
+	}
+	return c.inner.Partition(a, b, healAfter)
+}
+
+// PartitionOneWay cuts only the from→to direction — the asymmetric-link
+// case the failure detector reports as Suspected rather than Down.
+func (c *Cluster) PartitionOneWay(from, to ReplicaID, healAfter time.Duration) error {
+	if err := c.checkReplica(from); err != nil {
+		return err
+	}
+	if err := c.checkReplica(to); err != nil {
+		return err
+	}
+	return c.inner.PartitionOneWay(from, to, healAfter)
+}
+
+// Heal restores both directions between a and b, flushing parked
+// messages.
+func (c *Cluster) Heal(a, b ReplicaID) error {
+	if err := c.checkReplica(a); err != nil {
+		return err
+	}
+	if err := c.checkReplica(b); err != nil {
+		return err
+	}
+	return c.inner.Heal(a, b)
+}
+
+// HealAll removes every cut in the cluster.
+func (c *Cluster) HealAll() error { return c.inner.HealAll() }
+
+// Checkpoint snapshots replica r — protocol state plus the oracle's
+// causal bookkeeping — and begins retaining r's subsequent local events
+// so a later Crash/Restart can replay them. Re-checkpointing truncates
+// the retention log.
+func (c *Cluster) Checkpoint(r ReplicaID) error {
+	if err := c.checkReplica(r); err != nil {
+		return err
+	}
+	return c.inner.Checkpoint(r)
+}
+
+// Crash takes replica r down: reads and writes at r fail, and the fault
+// layer parks everything addressed to it until Restart.
+func (c *Cluster) Crash(r ReplicaID) error {
+	if err := c.checkReplica(r); err != nil {
+		return err
+	}
+	return c.inner.Crash(r)
+}
+
+// Restart recovers a crashed replica by state transfer from its last
+// Checkpoint plus retention-log replay, then releases deliveries parked
+// while it was down. It errors if r is up or was never checkpointed.
+func (c *Cluster) Restart(r ReplicaID) error {
+	if err := c.checkReplica(r); err != nil {
+		return err
+	}
+	return c.inner.Restart(r)
+}
+
+// FaultStats reports the fault layer's counters: transmissions diverted
+// to the retransmitter and duplicate deliveries injected. Both are zero
+// on a cluster built without ClusterOptions.Chaos.
+func (c *Cluster) FaultStats() (dropped, duped uint64) {
+	if f := c.inner.Faults(); f != nil {
+		return f.Dropped(), f.Duped()
+	}
+	return 0, 0
+}
+
+// MemberStatus returns the failure detector's current view of replica
+// r. Without ClusterOptions.Heartbeat there is no detector and every
+// replica reads MemberAlive.
+func (c *Cluster) MemberStatus(r ReplicaID) MemberStatus {
+	if d := c.inner.Membership(); d != nil && int(r) >= 0 && int(r) < c.n {
+		return d.Status(int(r))
+	}
+	return MemberAlive
+}
+
+// MembershipEvents returns the failure detector's transition history
+// (nil without ClusterOptions.Heartbeat).
+func (c *Cluster) MembershipEvents() []MembershipEvent {
+	if d := c.inner.Membership(); d != nil {
+		return d.Events()
+	}
+	return nil
+}
 
 // ProtocolKind selects a protocol for Simulate.
 type ProtocolKind int
@@ -574,6 +780,138 @@ func (s *System) RunCluster(opts RunClusterOptions) (ClusterReport, error) {
 	}
 	c.Close()
 	return report, nil
+}
+
+// ChaosOptions configures an orchestrated chaos run: a seeded workload
+// executed in three phases on a live cluster, with faults injected at
+// the phase boundaries and recovery before the audit.
+type ChaosOptions struct {
+	// Protocol defaults to EdgeIndexedProtocol. Crash recovery requires
+	// a checkpointable protocol; of the built-ins only the edge-indexed
+	// engine is.
+	Protocol ProtocolKind
+	// Ops is the number of client operations (default 600).
+	Ops int
+	// ReadFraction in [0,1] (default 0).
+	ReadFraction float64
+	// Seed drives the workload and, unless Plan.Seed overrides it, the
+	// fault lottery (default 1).
+	Seed int64
+	// Plan is the ambient loss/duplication lottery applied for the whole
+	// run. A zero Plan.Seed inherits Seed.
+	Plan FaultPlan
+	// Heartbeat, when non-nil, runs the failure detector alongside the
+	// workload; its transition history is returned in the report.
+	Heartbeat *HeartbeatOptions
+	// Partition, when true, cuts PartitionA↔PartitionB in both
+	// directions after the first third of the workload. PartitionHeal >
+	// 0 schedules the heal; otherwise the cut lasts until the end-of-run
+	// HealAll.
+	Partition              bool
+	PartitionA, PartitionB ReplicaID
+	PartitionHeal          time.Duration
+	// Crash, when true, checkpoints CrashReplica up front, crashes it
+	// after the first third, and restarts it by state transfer after the
+	// second. The victim's middle-third operations are deferred to the
+	// final third, preserving its per-replica program order.
+	Crash        bool
+	CrashReplica ReplicaID
+	// Cluster configures the underlying runtime. Its Chaos and Heartbeat
+	// fields are ignored — Plan and Heartbeat above win.
+	Cluster ClusterOptions
+}
+
+// ChaosReport is the outcome of a chaos run.
+type ChaosReport struct {
+	// Violations is the oracle's verdict after heal, restart and
+	// quiescence — safety violations plus liveness failures. A correct
+	// protocol under transient faults returns none.
+	Violations []Violation
+	// Events is the failure detector's transition history (empty without
+	// ChaosOptions.Heartbeat).
+	Events   []MembershipEvent
+	Messages int64
+	// Dropped counts transmissions diverted to the retransmitter; Duped
+	// counts injected duplicate deliveries.
+	Dropped uint64
+	Duped   uint64
+	// PendingBuffered is the buffered-update count at quiescence.
+	// Injected duplicates park dead in the ingest queues and stay
+	// counted here without being liveness debt — the liveness audit in
+	// Violations is the judge, so a nonzero count under duplication is
+	// expected, not a failure.
+	PendingBuffered int
+}
+
+// Ok reports a clean run: the oracle found no safety or liveness
+// violations.
+func (r ChaosReport) Ok() bool { return len(r.Violations) == 0 }
+
+// RunChaos drives a seeded workload through a live cluster under the
+// configured faults: phase one runs under the ambient loss/duplication
+// lottery alone, the partition cut and crash land at the one-third
+// boundary, recovery at two-thirds, then every cut heals, the cluster
+// quiesces, and the oracle audits. Transient faults never excuse a
+// verdict — every cut heals and every crash restarts before the audit,
+// so zero violations (including liveness) is the pass criterion.
+func (s *System) RunChaos(opts ChaosOptions) (ChaosReport, error) {
+	p, err := s.protocolFor(opts.Protocol)
+	if err != nil {
+		return ChaosReport{}, err
+	}
+	ops := opts.Ops
+	if ops == 0 {
+		ops = 600
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if opts.Partition {
+		for _, r := range []ReplicaID{opts.PartitionA, opts.PartitionB} {
+			if int(r) < 0 || int(r) >= s.NumReplicas() {
+				return ChaosReport{}, fmt.Errorf("prcc: partition replica %d out of range [0,%d)", r, s.NumReplicas())
+			}
+		}
+	}
+	if opts.Crash && (int(opts.CrashReplica) < 0 || int(opts.CrashReplica) >= s.NumReplicas()) {
+		return ChaosReport{}, fmt.Errorf("prcc: crash replica %d out of range [0,%d)", opts.CrashReplica, s.NumReplicas())
+	}
+	script, err := workload.Generate(s.graph, workload.Options{
+		Ops: ops, ReadFraction: opts.ReadFraction, Seed: seed,
+	})
+	if err != nil {
+		return ChaosReport{}, fmt.Errorf("prcc: %w", err)
+	}
+	plan := opts.Plan
+	if plan.Seed == 0 {
+		plan.Seed = seed
+	}
+	cl := opts.Cluster
+	cl.Chaos, cl.Heartbeat = nil, nil
+	if cl.Seed == 0 {
+		cl.Seed = seed
+	}
+	res, err := sim.RunChaos(sim.ChaosConfig{
+		Graph: s.graph, Protocol: p, Script: script,
+		Plan:      plan,
+		Heartbeat: opts.Heartbeat,
+		Partition: opts.Partition, PartitionA: opts.PartitionA,
+		PartitionB: opts.PartitionB, PartitionHeal: opts.PartitionHeal,
+		Crash: opts.Crash, CrashReplica: opts.CrashReplica,
+		Opts: cl.simOptions(),
+	})
+	if err != nil {
+		return ChaosReport{}, fmt.Errorf("prcc: %w", err)
+	}
+	return ChaosReport{
+		Violations:      res.Violations,
+		Events:          res.Events,
+		Messages:        res.MessagesSent,
+		Dropped:         res.Dropped,
+		Duped:           res.Duped,
+		PendingBuffered: res.PendingTotal,
+	}, nil
 }
 
 // CompressionReport describes Section 5 timestamp compression for one
