@@ -151,10 +151,10 @@ func TestServeSteadyStateAllocs(t *testing.T) {
 		// Stand in for the consumers: recycle the vectors the update
 		// receivers and the client would.
 		for i := range out.Updates {
-			putVec(out.Updates[i].TS)
+			sys.putVec(out.Updates[i].TS)
 		}
 		for i := range out.Responses {
-			putVec(out.Responses[i].Tau)
+			sys.putVec(out.Responses[i].Tau)
 		}
 	}
 	for i := 0; i < 32; i++ {

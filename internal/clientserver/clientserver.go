@@ -32,63 +32,66 @@ import (
 // carries τ_i once per recipient. All of those vectors have a clear
 // single owner and a clear end of life (the receiver merges them and is
 // done), so instead of leaving a clone per message to the garbage
-// collector they cycle through a freelist: cloneVec takes a recycled
-// vector, putVec returns one.
-
-var (
-	vecMu   sync.Mutex
-	vecFree []timestamp.Vec
-)
+// collector they cycle through a per-System freelist: cloneVec takes a
+// recycled vector, putVec returns one. Hanging the freelist off System —
+// rather than a process-wide global — keeps vector lifetimes and mutex
+// contention confined to one deployment: independent live systems and
+// benchmarks in the same process never serialize on each other's clones,
+// and one system's large vectors cannot pin memory for another's.
 
 const maxVecFree = 1024
 
 // getVec returns a zeroed vector of length n, recycled when possible.
-func getVec(n int) timestamp.Vec {
-	vecMu.Lock()
-	for i := len(vecFree) - 1; i >= 0; i-- {
-		if cap(vecFree[i]) >= n {
-			v := vecFree[i][:n]
-			vecFree[i] = vecFree[len(vecFree)-1]
-			vecFree = vecFree[:len(vecFree)-1]
-			vecMu.Unlock()
+func (s *System) getVec(n int) timestamp.Vec {
+	s.vecMu.Lock()
+	for i := len(s.vecFree) - 1; i >= 0; i-- {
+		if cap(s.vecFree[i]) >= n {
+			v := s.vecFree[i][:n]
+			s.vecFree[i] = s.vecFree[len(s.vecFree)-1]
+			s.vecFree = s.vecFree[:len(s.vecFree)-1]
+			s.vecMu.Unlock()
 			for j := range v {
 				v[j] = 0
 			}
 			return v
 		}
 	}
-	vecMu.Unlock()
+	s.vecMu.Unlock()
 	return make(timestamp.Vec, n)
 }
 
 // cloneVec copies src into a recycled vector.
-func cloneVec(src timestamp.Vec) timestamp.Vec {
-	v := getVec(len(src))
+func (s *System) cloneVec(src timestamp.Vec) timestamp.Vec {
+	v := s.getVec(len(src))
 	copy(v, src)
 	return v
 }
 
 // putVec recycles a vector whose owner is done with it. Nil is allowed.
-func putVec(v timestamp.Vec) {
+func (s *System) putVec(v timestamp.Vec) {
 	if v == nil {
 		return
 	}
-	vecMu.Lock()
-	if len(vecFree) < maxVecFree {
-		vecFree = append(vecFree, v)
+	s.vecMu.Lock()
+	if len(s.vecFree) < maxVecFree {
+		s.vecFree = append(s.vecFree, v)
 	}
-	vecMu.Unlock()
+	s.vecMu.Unlock()
 }
 
-// System holds the immutable structure shared by all servers and clients:
-// the augmented graph, every replica's augmented timestamp graph Ê_i, and
-// every client's timestamp universe ∪_{i∈Rc} Ê_i.
+// System holds the structure shared by all servers and clients: the
+// augmented graph, every replica's augmented timestamp graph Ê_i, and
+// every client's timestamp universe ∪_{i∈Rc} Ê_i — all immutable after
+// construction — plus the deployment's timestamp-vector freelist.
 type System struct {
 	Aug *sharegraph.AugmentedGraph
 	// ReplicaGraphs[i] indexes replica i's timestamp τ_i.
 	ReplicaGraphs []*sharegraph.TSGraph
 	// ClientGraphs[c] indexes client c's timestamp µ_c.
 	ClientGraphs []*sharegraph.TSGraph
+
+	vecMu   sync.Mutex
+	vecFree []timestamp.Vec
 }
 
 // NewSystem computes Ê_i per Definition 28 and the client universes.
@@ -343,9 +346,9 @@ func (s *Server) serve(req Request, out *Outcome) {
 		}})
 		out.Responses = append(out.Responses, Response{
 			Client: req.Client, Replica: s.id, Reg: req.Reg,
-			Val: s.store[req.Reg], IsRead: true, Tau: cloneVec(s.τ),
+			Val: s.store[req.Reg], IsRead: true, Tau: s.sys.cloneVec(s.τ),
 		})
-		putVec(req.Mu)
+		s.sys.putVec(req.Mu)
 		return
 	}
 	// Write: advance per Appendix E — increment edges e_{i,k} with
@@ -363,11 +366,11 @@ func (s *Server) serve(req Request, out *Outcome) {
 			s.τ[pos] = req.Mu[mpos]
 		}
 	}
-	putVec(req.Mu)
+	s.sys.putVec(req.Mu)
 	seq := len(out.Updates)
 	for _, k := range s.recips.Recipients(req.Reg) {
 		out.Updates = append(out.Updates, UpdateMsg{
-			From: s.id, To: k, Reg: req.Reg, Val: req.Val, TS: cloneVec(s.τ),
+			From: s.id, To: k, Reg: req.Reg, Val: req.Val, TS: s.sys.cloneVec(s.τ),
 		})
 	}
 	out.Events = append(out.Events, OutcomeEvent{Accept: AcceptedAccess{
@@ -376,7 +379,7 @@ func (s *Server) serve(req Request, out *Outcome) {
 	}})
 	out.Responses = append(out.Responses, Response{
 		Client: req.Client, Replica: s.id, Reg: req.Reg,
-		Val: req.Val, Tau: cloneVec(s.τ),
+		Val: req.Val, Tau: s.sys.cloneVec(s.τ),
 	})
 }
 
@@ -398,7 +401,7 @@ func (s *Server) HandleUpdate(u UpdateMsg, out *Outcome) {
 	if u.From < 0 || int(u.From) >= len(s.sys.ReplicaGraphs) || u.To != s.id ||
 		len(u.TS) != s.sys.ReplicaGraphs[u.From].Len() {
 		s.staleDrops++
-		putVec(u.TS)
+		s.sys.putVec(u.TS)
 		return
 	}
 	eki := sharegraph.Edge{From: u.From, To: s.id}
@@ -406,7 +409,7 @@ func (s *Server) HandleUpdate(u UpdateMsg, out *Outcome) {
 		if spos, ok2 := s.sys.ReplicaGraphs[u.From].Index(eki); ok2 {
 			if s.τ[rpos] >= u.TS[spos] {
 				s.staleDrops++
-				putVec(u.TS)
+				s.sys.putVec(u.TS)
 				return
 			}
 			// A duplicate of a still-buffered update passes the applied
@@ -417,7 +420,7 @@ func (s *Server) HandleUpdate(u UpdateMsg, out *Outcome) {
 				pu := &s.pendingUpdates[i]
 				if pu.from == u.From && pu.ts[spos] == u.TS[spos] {
 					s.staleDrops++
-					putVec(u.TS)
+					s.sys.putVec(u.TS)
 					return
 				}
 			}
@@ -441,7 +444,7 @@ func (s *Server) drain(out *Outcome) {
 			}
 			s.store[u.reg] = u.val
 			mergeMax(s.eidx, s.τ, s.sys.ReplicaGraphs[u.from], u.ts)
-			putVec(u.ts)
+			s.sys.putVec(u.ts)
 			s.pendingUpdates = append(s.pendingUpdates[:idx], s.pendingUpdates[idx+1:]...)
 			out.Events = append(out.Events, OutcomeEvent{IsApply: true, Apply: core.Applied{
 				OracleID: u.oracleID, From: u.from, Reg: u.reg, Val: u.val,
@@ -524,7 +527,7 @@ func (c *Client) NewRequest(x sharegraph.Register, v core.Value, isRead bool) (R
 		return Request{}, fmt.Errorf("clientserver: client %d cannot access register %q", c.id, x)
 	}
 	return Request{
-		Client: c.id, Replica: r, Reg: x, Val: v, IsRead: isRead, Mu: cloneVec(c.µ),
+		Client: c.id, Replica: r, Reg: x, Val: v, IsRead: isRead, Mu: c.sys.cloneVec(c.µ),
 	}, nil
 }
 
@@ -533,5 +536,5 @@ func (c *Client) NewRequest(x sharegraph.Register, v core.Value, isRead bool) (R
 // recycled into the vector freelist — so callers must not retain it.
 func (c *Client) AbsorbResponse(resp Response) {
 	mergeMax(c.cidx, c.µ, c.sys.ReplicaGraphs[resp.Replica], resp.Tau)
-	putVec(resp.Tau)
+	c.sys.putVec(resp.Tau)
 }

@@ -68,7 +68,7 @@ func NewLiveChaotic(sys *System, opts rt.Options, plan rt.FaultPlan) *LiveSystem
 	clone := func(u UpdateMsg) UpdateMsg {
 		// The duplicate needs its own timestamp: the original's TS is
 		// consumed (recycled) by whichever server ingests it first.
-		u.TS = cloneVec(u.TS)
+		u.TS = sys.cloneVec(u.TS)
 		return u
 	}
 	ls.eng = rt.NewWithFaults(len(ls.servers), opts, plan, clone, ls.deliver)

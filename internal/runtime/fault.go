@@ -97,6 +97,25 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// backoffMax caps one retransmission backoff: exponential growth is only
+// meaningful for the first handful of attempts, and an unclamped
+// RetransmitBase << attempts overflows time.Duration for user-configured
+// MaxRetransmits past ~40, collapsing the backoff into immediate retries.
+const backoffMax = time.Second
+
+// backoff returns the delay before retransmission attempt n (n ≥ 1),
+// doubling per attempt up to backoffMax.
+func (f *FaultInjector[M]) backoff(attempts int) time.Duration {
+	d := f.plan.RetransmitBase
+	for i := 1; i < attempts; i++ {
+		d <<= 1
+		if d <= 0 || d >= backoffMax {
+			return backoffMax
+		}
+	}
+	return d
+}
+
 // retransEntry is one diverted transmission waiting to be re-attempted.
 type retransEntry[M Message] struct {
 	m        M
@@ -211,18 +230,24 @@ func (f *FaultInjector[M]) admit(m M, backpressure bool) bool {
 		return true
 	}
 	dup := ef.Dup > 0 && f.clone != nil && f.roll(from, to, streamDup) < ef.Dup
+	// The duplicate is a distinct delivery of cloned payload (pooled
+	// buffers inside m cannot be shared across two deliveries). The clone
+	// must be taken BEFORE the original enters the engine: once enqueued, a
+	// pool worker may deliver m concurrently and recycle its buffers, so a
+	// later clone would copy memory another sender already reuses.
+	var d M
 	if dup {
 		f.duped++
+		d = f.clone(m)
 	}
 	f.mu.Unlock()
 	if f.eng.enqueueOne(m, backpressure) == 0 {
 		return false
 	}
 	if dup {
-		// The duplicate is a distinct delivery of cloned payload (pooled
-		// buffers inside m cannot be shared across two deliveries), and it
-		// never backpressures: real networks duplicate without asking.
-		f.eng.enqueueOne(f.clone(m), false)
+		// Duplicates never backpressure: real networks duplicate without
+		// asking.
+		f.eng.enqueueOne(d, false)
 	}
 	return true
 }
@@ -415,7 +440,7 @@ func (f *FaultInjector[M]) step(now time.Time) {
 		if re.attempts < f.plan.MaxRetransmits && ef.Drop > 0 &&
 			f.roll(re.from, re.to, streamDrop) < ef.Drop {
 			re.attempts++
-			re.due = now.Add(f.plan.RetransmitBase << uint(re.attempts))
+			re.due = now.Add(f.backoff(re.attempts))
 			kept = append(kept, re)
 			continue
 		}
