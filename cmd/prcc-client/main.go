@@ -1,0 +1,134 @@
+// Command prcc-client drives a deployed cluster of prcc-node processes:
+// it generates the deployment config, runs scripted workloads, polls the
+// cluster to quiescence, prints canonical per-replica snapshots, and
+// performs orderly shutdown.
+//
+// Generate a config (the share graph placement every process derives the
+// same timestamp spaces from):
+//
+//	prcc-client -emit-config -topology ring -n 3 -baseport 42100 > cluster.json
+//
+// Run a workload and print the final states:
+//
+//	prcc-client -config cluster.json -ops 400 -seed 11 -snapshot
+//
+// Shut the cluster down (quiesces first):
+//
+//	prcc-client -config cluster.json -shutdown
+//
+// The snapshot output is the canonical byte-comparable form
+// (wire.FormatSnapshots); two runs of the same single-writer script on
+// any runtime must print identical bytes.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prcc-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prcc-client", flag.ContinueOnError)
+	config := fs.String("config", "", "cluster config JSON file")
+	ops := fs.Int("ops", 0, "owner-writes operations to run (0 = none)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	quiesce := fs.Duration("quiesce", 30*time.Second, "quiesce timeout after the workload")
+	dialTimeout := fs.Duration("dial-timeout", 10*time.Second, "per-cluster dial timeout")
+	snapshot := fs.Bool("snapshot", false, "print canonical per-replica snapshots after quiescing")
+	shutdown := fs.Bool("shutdown", false, "ask every replica to exit after quiescing")
+	emit := fs.Bool("emit-config", false, "emit a cluster config for -topology/-n instead of connecting")
+	topology := fs.String("topology", "ring", "emit-config: share graph family")
+	n := fs.Int("n", 3, "emit-config: size parameter")
+	protocol := fs.String("protocol", "edge-indexed", "emit-config: protocol name")
+	host := fs.String("host", "127.0.0.1", "emit-config: host for replica addresses")
+	basePort := fs.Int("baseport", 42100, "emit-config: first replica port")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *ops < 0 {
+		fs.Usage()
+		return fmt.Errorf("-ops %d: must be non-negative", *ops)
+	}
+
+	if *emit {
+		if *config != "" {
+			fs.Usage()
+			return errors.New("-emit-config generates a config; it cannot be combined with -config")
+		}
+		if *basePort <= 0 || *basePort > 65535 {
+			fs.Usage()
+			return fmt.Errorf("-baseport %d: must be a valid port", *basePort)
+		}
+		g, err := cli.Topology(*topology, *n, *seed)
+		if err != nil {
+			return err
+		}
+		cfg := wire.ConfigFromGraph(g, *protocol, *host, *basePort)
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		data, err := cfg.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", data)
+		return nil
+	}
+
+	if *config == "" {
+		fs.Usage()
+		return errors.New("-config is required (or -emit-config to generate one)")
+	}
+	cfg, err := wire.LoadClusterConfig(*config)
+	if err != nil {
+		return err
+	}
+	client, err := wire.Dial(cfg, *dialTimeout)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	if *ops > 0 {
+		g, err := client.Graph()
+		if err != nil {
+			return err
+		}
+		script := workload.OwnerWrites(g, *ops, *seed)
+		if err := client.RunScript(script); err != nil {
+			return err
+		}
+	}
+	if err := client.Quiesce(*quiesce); err != nil {
+		return err
+	}
+	if *snapshot {
+		snaps, err := client.Snapshots()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, wire.FormatSnapshots(snaps))
+	}
+	if *shutdown {
+		return client.Shutdown()
+	}
+	return nil
+}

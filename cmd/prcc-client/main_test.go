@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestEmitConfig(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-emit-config", "-topology", "ring", "-n", "3", "-baseport", "42100"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	cfg, err := wire.ParseClusterConfig(out.Bytes())
+	if err != nil {
+		t.Fatalf("emitted config does not parse: %v", err)
+	}
+	if len(cfg.Replicas) != 3 || cfg.Protocol != "edge-indexed" {
+		t.Fatalf("emitted config = %+v", cfg)
+	}
+	if cfg.Replicas[1].Addr != "127.0.0.1:42101" {
+		t.Fatalf("replica 1 addr = %s", cfg.Replicas[1].Addr)
+	}
+}
+
+// TestRunRejectsBadFlags is the satellite validation table: nonsensical
+// flag combinations exit non-zero with a message naming the offender.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"no config", nil, "-config is required"},
+		{"negative ops", []string{"-config", "x.json", "-ops", "-5"}, "-ops"},
+		{"emit with config", []string{"-emit-config", "-config", "x.json"}, "cannot be combined"},
+		{"emit bad baseport", []string{"-emit-config", "-baseport", "0"}, "-baseport"},
+		{"emit baseport overflow", []string{"-emit-config", "-baseport", "70000"}, "-baseport"},
+		{"emit bad topology", []string{"-emit-config", "-topology", "nope"}, "nope"},
+		{"positional junk", []string{"-emit-config", "extra"}, "unexpected arguments"},
+		{"missing config file", []string{"-config", "/nonexistent/cluster.json"}, "cluster config"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("run(%v) accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %q, want mention of %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

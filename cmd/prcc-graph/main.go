@@ -44,6 +44,28 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *maxlen < 0 {
+		fs.Usage()
+		return fmt.Errorf("-maxlen %d: must be non-negative (0 = exact search)", *maxlen)
+	}
+	if *config == "" && *n <= 0 {
+		fs.Usage()
+		return fmt.Errorf("-n %d: parametric families need at least one replica", *n)
+	}
+	mSet := false
+	fs.Visit(func(fl *flag.Flag) { mSet = mSet || fl.Name == "m" })
+	if mSet && !*bounds {
+		fs.Usage()
+		return fmt.Errorf("-m only applies with -bounds")
+	}
+	if *bounds && *m < 1 {
+		fs.Usage()
+		return fmt.Errorf("-m %d: the per-edge update budget must be at least 1", *m)
+	}
 
 	g, clientsCfg, err := cli.Load(*config, *topology, *n, *seed)
 	if err != nil {

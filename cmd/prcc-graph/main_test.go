@@ -21,11 +21,22 @@ func TestRunTopologies(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-topology", "nope"}); err == nil {
-		t.Error("unknown topology accepted")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown topology", []string{"-topology", "nope"}},
+		{"bad flag", []string{"-badflag"}},
+		{"negative maxlen", []string{"-topology", "fig5", "-maxlen", "-1"}},
+		{"nonpositive n", []string{"-topology", "ring", "-n", "0"}},
+		{"m without bounds", []string{"-topology", "fig5", "-m", "3"}},
+		{"nonpositive m", []string{"-topology", "fig5", "-bounds", "-m", "0"}},
+		{"positional junk", []string{"-topology", "fig5", "junk"}},
 	}
-	if err := run([]string{"-badflag"}); err == nil {
-		t.Error("bad flag accepted")
+	for _, tc := range cases {
+		if err := run(tc.args); err == nil {
+			t.Errorf("%s: run(%v) accepted", tc.name, tc.args)
+		}
 	}
 }
 

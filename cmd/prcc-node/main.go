@@ -1,0 +1,94 @@
+// Command prcc-node hosts one replica of a deployed cluster: the
+// protocol state machine behind a TCP listener, exchanging
+// length-prefixed wire frames with its peers (see internal/wire). Every
+// node of a cluster is started from the same config file; replica IDs
+// are positions in its replicas array.
+//
+// Usage:
+//
+//	prcc-node -config cluster.json -id 0
+//
+// The process serves until a client sends a Shutdown frame (see
+// prcc-client -shutdown) or it receives SIGINT/SIGTERM, then drains its
+// outgoing queues and exits 0.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cli"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prcc-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prcc-node", flag.ContinueOnError)
+	config := fs.String("config", "", "cluster config JSON file (required)")
+	id := fs.Int("id", -1, "replica ID: index into the config's replicas array (required)")
+	quiet := fs.Bool("quiet", false, "suppress per-connection diagnostics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *config == "" {
+		fs.Usage()
+		return errors.New("-config is required")
+	}
+	if *id < 0 {
+		fs.Usage()
+		return errors.New("-id is required (a non-negative replica index)")
+	}
+
+	cfg, err := wire.LoadClusterConfig(*config)
+	if err != nil {
+		return err
+	}
+	g, err := cfg.Graph()
+	if err != nil {
+		return err
+	}
+	p, err := cli.Protocol(cfg.Protocol, g)
+	if err != nil {
+		return err
+	}
+	opts := wire.NodeOptions{Logf: log.Printf}
+	if *quiet {
+		opts.Logf = func(string, ...any) {}
+	}
+	node, err := wire.NewNode(cfg, *id, p, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "prcc-node: replica %d (%s) listening on %s\n", *id, p.Name(), node.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- node.Serve() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-node.ShutdownRequested():
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "prcc-node: replica %d: %v\n", *id, s)
+	case err := <-serveErr:
+		if err != nil {
+			return err
+		}
+	}
+	node.Close()
+	return nil
+}

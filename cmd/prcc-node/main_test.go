@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunRejectsBadFlags is the satellite validation table for the node
+// binary: missing or contradictory flags exit non-zero with a message
+// naming the offender.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "cluster.json")
+	cfg := `{"protocol":"edge-indexed","replicas":[
+		{"addr":"127.0.0.1:42190","registers":["a","b"]},
+		{"addr":"127.0.0.1:42191","registers":["b","c"]}]}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no config", []string{"-id", "0"}, "-config is required"},
+		{"no id", []string{"-config", cfgPath}, "-id is required"},
+		{"id out of range", []string{"-config", cfgPath, "-id", "7"}, "outside"},
+		{"missing config file", []string{"-config", "/nonexistent.json", "-id", "0"}, "cluster config"},
+		{"positional junk", []string{"-config", cfgPath, "-id", "0", "extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatalf("run(%v) accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %q, want mention of %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "bad.json")
+	// Two replicas sharing an address: structurally invalid.
+	cfg := `{"protocol":"edge-indexed","replicas":[
+		{"addr":"127.0.0.1:42195","registers":["a"]},
+		{"addr":"127.0.0.1:42195","registers":["a"]}]}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", cfgPath, "-id", "0"}); err == nil {
+		t.Fatal("duplicate-address config accepted")
+	}
+}

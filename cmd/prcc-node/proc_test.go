@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/sharegraph"
+	"repro/internal/sim"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// TestMultiProcessDifferentialRing is the deployment acceptance test:
+// a Ring cluster running as real OS processes over loopback TCP must
+// finish the same OwnerWrites script with final states byte-equal to the
+// in-process sim.Cluster run (single-writer registers pin the final
+// state, so any divergence is a codec, transport or deployment bug).
+func TestMultiProcessDifferentialRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a multi-process cluster")
+	}
+	dir := t.TempDir()
+	nodeBin := filepath.Join(dir, "prcc-node")
+	clientBin := filepath.Join(dir, "prcc-client")
+	for bin, pkg := range map[string]string{nodeBin: "repro/cmd/prcc-node", clientBin: "repro/cmd/prcc-client"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.." // repo root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Deployment config on reserved loopback ports.
+	const replicas, ops, seed = 8, 400, 11
+	cfg := wire.ClusterConfig{Protocol: "edge-indexed", Replicas: make([]wire.NodeAddr, replicas)}
+	ring := sharegraph.Ring(replicas)
+	lns := make([]net.Listener, replicas)
+	for i := range cfg.Replicas {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		cfg.Replicas[i] = wire.NodeAddr{
+			Addr:      ln.Addr().String(),
+			Registers: ring.Stores(sharegraph.ReplicaID(i)).Sorted(),
+		}
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	data, err := cfg.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "cluster.json")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process reference run over the identical graph derivation (the
+	// deployed processes all rebuild the graph from the config, so the
+	// reference must too).
+	g, err := cfg.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := cli.Protocol(cfg.Protocol, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.NewCluster(g, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ref.RunScript(workload.OwnerWrites(g, ops, seed)); len(v) > 0 {
+		t.Fatalf("reference run: %d oracle violations", len(v))
+	}
+	want := wire.FormatSnapshots(ref.StateSnapshot())
+	ref.Close()
+
+	// The deployed cluster: one OS process per replica.
+	nodes := make([]*exec.Cmd, replicas)
+	logs := make([]*bytes.Buffer, replicas)
+	for i := range nodes {
+		logs[i] = new(bytes.Buffer)
+		nodes[i] = exec.Command(nodeBin, "-config", cfgPath, "-id", fmt.Sprint(i))
+		nodes[i].Stdout = logs[i]
+		nodes[i].Stderr = logs[i]
+		if err := nodes[i].Start(); err != nil {
+			t.Fatalf("start replica %d: %v", i, err)
+		}
+	}
+	defer func() {
+		for i, n := range nodes {
+			if n.ProcessState == nil {
+				n.Process.Kill()
+				n.Wait()
+			}
+			if t.Failed() {
+				t.Logf("replica %d output:\n%s", i, logs[i])
+			}
+		}
+	}()
+
+	// One client process runs the script, quiesces, prints the canonical
+	// snapshot and shuts the cluster down.
+	client := exec.Command(clientBin,
+		"-config", cfgPath, "-ops", fmt.Sprint(ops), "-seed", fmt.Sprint(seed),
+		"-snapshot", "-shutdown")
+	var stdout, stderr bytes.Buffer
+	client.Stdout = &stdout
+	client.Stderr = &stderr
+	if err := client.Run(); err != nil {
+		t.Fatalf("client: %v\n%s", err, &stderr)
+	}
+	if got := stdout.String(); got != want {
+		t.Errorf("final states diverge:\nprocesses:\n%s\nin-process:\n%s", got, want)
+	}
+
+	// Every node must exit cleanly on the shutdown frame.
+	for i, n := range nodes {
+		exited := make(chan error, 1)
+		go func() { exited <- n.Wait() }()
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Errorf("replica %d exit: %v\n%s", i, err, logs[i])
+			}
+		case <-time.After(10 * time.Second):
+			t.Errorf("replica %d did not exit on shutdown", i)
+			n.Process.Kill()
+		}
+	}
+}

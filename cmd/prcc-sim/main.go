@@ -61,6 +61,46 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *ops < 0 {
+		fs.Usage()
+		return fmt.Errorf("-ops %d: must be non-negative", *ops)
+	}
+	if *config == "" && *n <= 0 {
+		fs.Usage()
+		return fmt.Errorf("-n %d: parametric families need at least one replica", *n)
+	}
+	if !*chaos {
+		// The chaos knobs silently do nothing without -chaos; reject the
+		// combination instead of running a run the user did not ask for.
+		// -loss and -dup have nonzero defaults, so only explicitly-set
+		// flags count.
+		chaosOnly := map[string]bool{
+			"loss": true, "dup": true, "partition": true,
+			"heal": true, "crash": true, "heartbeat": true,
+		}
+		var set []string
+		fs.Visit(func(fl *flag.Flag) {
+			if chaosOnly[fl.Name] {
+				set = append(set, "-"+fl.Name)
+			}
+		})
+		if len(set) > 0 {
+			fs.Usage()
+			return fmt.Errorf("%s: chaos knobs require -chaos", strings.Join(set, ", "))
+		}
+	}
+	if *partition == "" {
+		healSet := false
+		fs.Visit(func(fl *flag.Flag) { healSet = healSet || fl.Name == "heal" })
+		if healSet {
+			fs.Usage()
+			return fmt.Errorf("-heal only applies with -partition")
+		}
+	}
 
 	g, _, err := cli.Load(*config, *topology, *n, *seed)
 	if err != nil {

@@ -18,13 +18,30 @@ func TestRunProtocols(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-protocol", "nope"}); err == nil {
-		t.Error("unknown protocol accepted")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown protocol", []string{"-protocol", "nope"}},
+		{"unknown topology", []string{"-topology", "nope"}},
+		{"bad read fraction", []string{"-reads", "3.0"}},
+		{"negative ops", []string{"-ops", "-1"}},
+		{"nonpositive n", []string{"-n", "0"}},
+		{"positional junk", []string{"-ops", "10", "junk"}},
+		{"partition without chaos", []string{"-partition", "0:2"}},
+		{"loss without chaos", []string{"-loss", "0.5"}},
+		{"dup without chaos", []string{"-dup", "0.5"}},
+		{"crash without chaos", []string{"-crash", "1"}},
+		{"heartbeat without chaos", []string{"-heartbeat", "1ms"}},
+		{"heal without chaos", []string{"-heal", "1ms"}},
+		{"heal without partition", []string{"-chaos", "-heal", "1ms"}},
+		{"malformed partition", []string{"-chaos", "-partition", "0-2", "-ops", "20"}},
+		{"partition replica out of range", []string{"-chaos", "-partition", "0:99", "-ops", "20"}},
+		{"crash replica out of range", []string{"-chaos", "-crash", "99", "-ops", "20"}},
 	}
-	if err := run([]string{"-topology", "nope"}); err == nil {
-		t.Error("unknown topology accepted")
-	}
-	if err := run([]string{"-reads", "3.0"}); err == nil {
-		t.Error("bad read fraction accepted")
+	for _, tc := range cases {
+		if err := run(tc.args); err == nil {
+			t.Errorf("%s: run(%v) accepted", tc.name, tc.args)
+		}
 	}
 }

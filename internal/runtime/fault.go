@@ -104,16 +104,9 @@ func mix64(x uint64) uint64 {
 const backoffMax = time.Second
 
 // backoff returns the delay before retransmission attempt n (n ≥ 1),
-// doubling per attempt up to backoffMax.
+// doubling per attempt up to backoffMax (the shared Backoff discipline).
 func (f *FaultInjector[M]) backoff(attempts int) time.Duration {
-	d := f.plan.RetransmitBase
-	for i := 1; i < attempts; i++ {
-		d <<= 1
-		if d <= 0 || d >= backoffMax {
-			return backoffMax
-		}
-	}
-	return d
+	return Backoff(f.plan.RetransmitBase, attempts, backoffMax)
 }
 
 // retransEntry is one diverted transmission waiting to be re-attempted.
@@ -206,7 +199,13 @@ func (f *FaultInjector[M]) admit(m M, backpressure bool) bool {
 	f.mu.Lock()
 	if f.stopped {
 		f.mu.Unlock()
-		return false
+		// Close has begun: the pump is joined and nothing may re-enter
+		// the retransmit or parking books, but workers still deliver —
+		// and forward — during the engine's drain. Pass straight through
+		// so a forward cascade racing Close is delivered exactly as it
+		// would be without the fault layer; the engine itself refuses
+		// once it sets stopping.
+		return f.eng.enqueueOne(m, backpressure) == 1
 	}
 	if f.down[to] {
 		f.crashed[to] = append(f.crashed[to], m)
@@ -506,6 +505,19 @@ func (f *FaultInjector[M]) stop() {
 	f.mu.Unlock()
 	close(f.stopPump)
 	<-f.pumpDone
+	// With the pump joined, admit in pass-through and settle a no-op,
+	// nothing touches the books again: cancel every pending retransmit
+	// and drop the parked backlogs deterministically, so Close leaves no
+	// timer-armed entry behind and releases the pinned payloads now
+	// rather than at the garbage collector's whim.
+	f.mu.Lock()
+	for i := range f.retrans {
+		f.retrans[i] = retransEntry[M]{}
+	}
+	f.retrans = f.retrans[:0]
+	clear(f.parked)
+	clear(f.crashed)
+	f.mu.Unlock()
 }
 
 // String summarizes the injector state for diagnostics.

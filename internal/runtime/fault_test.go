@@ -205,3 +205,66 @@ func TestFaultDisabledPath(t *testing.T) {
 	}
 	eng.Close()
 }
+
+// TestCloseUnderActiveLossInjection is the shutdown-determinism check
+// (run under -race): Close racing a storm of lossy sends and forwards
+// must cancel every pending retransmit, drop the parked backlogs, and
+// leave the engine fully drained — no retransmit timer may fire into a
+// closed engine, and no goroutine may still hold a message afterwards.
+func TestCloseUnderActiveLossInjection(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		plan := FaultPlan{
+			Seed:           int64(round + 1),
+			Default:        EdgeFault{Drop: 0.4, Dup: 0.2},
+			RetransmitBase: 100 * time.Microsecond,
+		}
+		var total atomic.Int64
+		clone := func(m edgeMsg) edgeMsg { return m }
+		eng := NewWithFaults(4, Options{Workers: 3, InboxCapacity: 16}, plan, clone, func(m edgeMsg) {
+			total.Add(1)
+		})
+		// One destination is cut and one down, so all three parking books
+		// (retransmit, partition, crash) have live entries at Close time.
+		eng.Faults().Cut(0, 2, 0)
+		eng.Faults().SetDown(3, true)
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for s := 0; s < 4; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					m := edgeMsg{from: s, to: (s + 1 + i) % 4, val: i}
+					if i%3 == 0 {
+						eng.Forward(m)
+					} else if eng.Send(m) == 0 {
+						return // engine refused: shutdown reached us
+					}
+				}
+			}(s)
+		}
+		time.Sleep(2 * time.Millisecond) // let drops, dups and retransmits accumulate
+		eng.Close()
+		close(stop)
+		wg.Wait()
+
+		if n := eng.Faults().ParkedMessages(); n != 0 {
+			t.Fatalf("round %d: %d messages still parked after Close", round, n)
+		}
+		if n := eng.Outstanding(); n != 0 {
+			t.Fatalf("round %d: %d messages outstanding after Close", round, n)
+		}
+		if got := eng.Send(edgeMsg{from: 0, to: 1}); got != 0 {
+			t.Fatalf("round %d: Send accepted %d after Close", round, got)
+		}
+		if eng.Faults().Dropped() == 0 {
+			t.Fatalf("round %d: loss lottery never fired; the race window was empty", round)
+		}
+	}
+}

@@ -23,6 +23,13 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0x01, 0x80})             // truncated element varint
 	f.Add([]byte{0x01, 0x01, 0x01})       // trailing bytes
 	f.Add([]byte{0x80, 0x01, 0x01, 0x01}) // non-minimal length varint
+	// Adversarial-length corpus: declared counts that overrun what the
+	// payload can hold (the decoder must reject them before allocating)
+	// and frames truncated mid-stream.
+	f.Add(append([]byte{0x80, 0x01}, make([]byte, 126)...))                   // 128 declared, 126 payload bytes
+	f.Add(append([]byte{0x80, 0x01}, bytes.Repeat([]byte{0x01}, 128)...))     // exactly fits
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // 2^63 declared, empty payload
+	f.Add(Encode(Vec{1 << 40, 7, 9, 1<<64 - 1})[:5])                          // truncated mid-element
 	f.Fuzz(func(t *testing.T, data []byte) {
 		v, err := Decode(data)
 		dirty := make(Vec, 3, 64)
@@ -53,4 +60,28 @@ func FuzzDecode(f *testing.F) {
 			return
 		}
 	})
+}
+
+// TestDecodeClampsDeclaredLength pins the hardened bound: the declared
+// element count is clamped against the bytes remaining AFTER the length
+// prefix, so a count the payload cannot possibly hold is rejected before
+// any allocation (previously a multi-byte prefix let counts up to the
+// whole input length through to a doomed-but-allocating parse).
+func TestDecodeClampsDeclaredLength(t *testing.T) {
+	cases := [][]byte{
+		append([]byte{0x80, 0x01}, make([]byte, 126)...), // 128 declared, 126 present
+		{0x03, 0x01, 0x01}, // 3 declared, 2 present
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // 2^63 declared
+	}
+	for _, data := range cases {
+		if v, err := Decode(data); err == nil {
+			t.Errorf("Decode(%x) accepted as %v", data, v)
+		}
+	}
+	// The bound is exact: a count that just fits still decodes.
+	ok := append([]byte{0x80, 0x01}, bytes.Repeat([]byte{0x01}, 128)...)
+	v, err := Decode(ok)
+	if err != nil || len(v) != 128 {
+		t.Fatalf("Decode(128 ones) = %d elems, %v", len(v), err)
+	}
 }

@@ -371,8 +371,12 @@ func DecodeInto(dst Vec, data []byte) (Vec, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("timestamp: corrupt length prefix")
 	}
-	if ln > uint64(len(data)) { // cheap sanity bound: ≥1 byte per element
-		return nil, fmt.Errorf("timestamp: implausible length %d for %d bytes", ln, len(data))
+	// Clamp the declared element count against the bytes actually present
+	// AFTER the prefix (each element takes at least one byte) before any
+	// allocation: a corrupt or adversarial length must fail here, not
+	// drive a huge make or survive to a partial parse.
+	if ln > uint64(len(data)-n) {
+		return nil, fmt.Errorf("timestamp: implausible length %d for %d payload bytes", ln, len(data)-n)
 	}
 	data = data[n:]
 	var out Vec

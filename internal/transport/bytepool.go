@@ -2,27 +2,41 @@ package transport
 
 import "sync"
 
-// BytePool recycles metadata buffers across the send→deliver cycle: a
+// BytePool recycles byte buffers across produce→consume cycles: a
 // runtime's sink copies a node-owned Meta buffer through Copy when it
-// retains an envelope, and returns the copy with Put once the message has
-// been ingested at its destination. In steady state every Copy is served
-// from a recycled buffer, so buffering envelopes costs no allocation.
+// retains an envelope (or takes an empty buffer with Get to encode into),
+// and returns the buffer with Put once the message has been consumed. In
+// steady state every Copy/Get is served from a recycled buffer, so
+// buffering envelopes — or encoding them onto the wire — costs no
+// allocation.
+//
+// The pool also keeps a live-buffer balance: Copy and Get count a buffer
+// out, Put counts it back in, and Live reports the difference. Leak
+// checks assert Live() == 0 once a run has drained — a nonzero balance
+// means some path took a pooled buffer and never returned it.
 //
 // The zero value is ready to use. Safe for concurrent use.
 type BytePool struct {
 	mu   sync.Mutex
 	bufs [][]byte
+	live int
 }
 
 // maxPooled bounds the freelist so a burst of in-flight messages cannot
 // pin memory forever; excess buffers fall to the garbage collector.
 const maxPooled = 1024
 
+// minBufCap sizes fresh Get buffers; big enough for a typical encoded
+// update frame so the first use does not immediately regrow.
+const minBufCap = 256
+
 // Copy returns a copy of b backed by a recycled buffer when one is
-// available. Copy(nil) is nil.
+// available. Copy of a nil or empty slice returns b unchanged and does
+// not count against the live balance (Put of a zero-capacity buffer is a
+// no-op, so the two stay paired).
 func (p *BytePool) Copy(b []byte) []byte {
-	if b == nil {
-		return nil
+	if len(b) == 0 {
+		return b
 	}
 	p.mu.Lock()
 	var buf []byte
@@ -31,19 +45,50 @@ func (p *BytePool) Copy(b []byte) []byte {
 		p.bufs[n-1] = nil
 		p.bufs = p.bufs[:n-1]
 	}
+	p.live++
 	p.mu.Unlock()
 	return append(buf, b...)
 }
 
+// Get returns an empty buffer to append into: recycled when available,
+// freshly allocated otherwise. Never nil; always counted in the live
+// balance until returned with Put.
+func (p *BytePool) Get() []byte {
+	p.mu.Lock()
+	var buf []byte
+	if n := len(p.bufs); n > 0 {
+		buf = p.bufs[n-1]
+		p.bufs[n-1] = nil
+		p.bufs = p.bufs[:n-1]
+	}
+	p.live++
+	p.mu.Unlock()
+	if buf == nil {
+		buf = make([]byte, 0, minBufCap)
+	}
+	return buf
+}
+
 // Put returns a buffer to the pool. Put(nil) and Put of zero-capacity
-// buffers are no-ops.
+// buffers are no-ops; a buffer that grew past the pool bound still counts
+// as returned even though its memory falls to the garbage collector.
 func (p *BytePool) Put(b []byte) {
 	if cap(b) == 0 {
 		return
 	}
 	p.mu.Lock()
+	p.live--
 	if len(p.bufs) < maxPooled {
 		p.bufs = append(p.bufs, b[:0])
 	}
 	p.mu.Unlock()
+}
+
+// Live returns the number of buffers currently counted out of the pool:
+// taken by Copy/Get and not yet returned by Put. Zero once every
+// in-flight buffer has completed its cycle.
+func (p *BytePool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
 }

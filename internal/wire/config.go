@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+)
+
+// NodeAddr is one replica's deployment entry: its listen address plus the
+// registers it stores.
+type NodeAddr struct {
+	Addr      string                `json:"addr"`
+	Registers []sharegraph.Register `json:"registers"`
+}
+
+// ClusterConfig is the static deployment description shared by every
+// process of one cluster: the protocol name, and per replica its address
+// and register placement. It is the on-disk JSON consumed by cmd/prcc-node
+// and cmd/prcc-client:
+//
+//	{
+//	  "protocol": "edge-indexed",
+//	  "replicas": [
+//	    {"addr": "127.0.0.1:42100", "registers": ["a", "b"]},
+//	    {"addr": "127.0.0.1:42101", "registers": ["b", "c"]}
+//	  ]
+//	}
+//
+// Replica IDs are positions in the replicas array; every process derives
+// the identical share graph (and thus identical timestamp graphs) from
+// the placement, so no graph state crosses the wire.
+type ClusterConfig struct {
+	Protocol string     `json:"protocol"`
+	Replicas []NodeAddr `json:"replicas"`
+}
+
+// ParseClusterConfig decodes and validates a ClusterConfig.
+func ParseClusterConfig(data []byte) (ClusterConfig, error) {
+	var c ClusterConfig
+	if err := json.Unmarshal(data, &c); err != nil {
+		return ClusterConfig{}, fmt.Errorf("wire: parse cluster config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return ClusterConfig{}, err
+	}
+	return c, nil
+}
+
+// LoadClusterConfig reads and parses a ClusterConfig file.
+func LoadClusterConfig(path string) (ClusterConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ClusterConfig{}, fmt.Errorf("wire: read cluster config: %w", err)
+	}
+	return ParseClusterConfig(data)
+}
+
+// Validate checks structural invariants: at least one replica, non-empty
+// pairwise-distinct addresses, and a named protocol. Protocol name
+// resolution happens at the call site (internal/cli) so the wire layer
+// stays independent of the protocol registry.
+func (c ClusterConfig) Validate() error {
+	if len(c.Replicas) == 0 {
+		return fmt.Errorf("wire: cluster config has no replicas")
+	}
+	if c.Protocol == "" {
+		return fmt.Errorf("wire: cluster config names no protocol")
+	}
+	seen := make(map[string]int, len(c.Replicas))
+	for i, r := range c.Replicas {
+		if r.Addr == "" {
+			return fmt.Errorf("wire: replica %d has no address", i)
+		}
+		if j, dup := seen[r.Addr]; dup {
+			return fmt.Errorf("wire: replicas %d and %d share address %s", j, i, r.Addr)
+		}
+		seen[r.Addr] = i
+	}
+	return nil
+}
+
+// Graph builds the share graph the placement describes.
+func (c ClusterConfig) Graph() (*sharegraph.Graph, error) {
+	stores := make([][]sharegraph.Register, len(c.Replicas))
+	for i, r := range c.Replicas {
+		stores[i] = r.Registers
+	}
+	return sharegraph.New(stores)
+}
+
+// Addrs returns the replica-indexed address list.
+func (c ClusterConfig) Addrs() []string {
+	out := make([]string, len(c.Replicas))
+	for i, r := range c.Replicas {
+		out[i] = r.Addr
+	}
+	return out
+}
+
+// ConfigFromGraph captures a share graph as a ClusterConfig with
+// loopback addresses basePort, basePort+1, … — the shape the run scripts
+// and tests deploy. Registers are sorted for determinism.
+func ConfigFromGraph(g *sharegraph.Graph, protocol, host string, basePort int) ClusterConfig {
+	c := ClusterConfig{Protocol: protocol, Replicas: make([]NodeAddr, g.NumReplicas())}
+	for i := range c.Replicas {
+		c.Replicas[i] = NodeAddr{
+			Addr:      fmt.Sprintf("%s:%d", host, basePort+i),
+			Registers: g.Stores(sharegraph.ReplicaID(i)).Sorted(),
+		}
+	}
+	return c
+}
+
+// MarshalIndent renders the config as indented JSON.
+func (c ClusterConfig) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// FormatSnapshots renders per-replica register states in the canonical
+// byte-comparable form the multi-process differential test pins against
+// the in-process cluster:
+//
+//	replica 0: a=3 b=17
+//	replica 1: b=17 c=4
+//
+// Registers are sorted; replicas appear in ID order.
+func FormatSnapshots(states []map[sharegraph.Register]core.Value) string {
+	var out []byte
+	for i, st := range states {
+		out = fmt.Appendf(out, "replica %d:", i)
+		regs := make([]string, 0, len(st))
+		for x := range st {
+			regs = append(regs, string(x))
+		}
+		sort.Strings(regs)
+		for _, x := range regs {
+			out = fmt.Appendf(out, " %s=%d", x, st[sharegraph.Register(x)])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

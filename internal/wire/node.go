@@ -1,0 +1,411 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+	"repro/internal/transport"
+)
+
+// Node hosts one replica as a network server: the protocol state machine
+// from internal/core behind a TCP listener, with outgoing updates routed
+// through a Transport. It is the process-boundary analogue of one slot of
+// sim.Cluster — the same emit contract, the same backpressure discipline,
+// with the wire codec in place of in-process message structs.
+//
+// Inbound connections are served one reader goroutine each: peer replicas
+// stream Update frames; clients stream Write frames and request Status,
+// Snapshot and Shutdown. All protocol calls serialize on the node lock,
+// and emitted envelopes are encoded into pooled frame buffers during
+// Emit (inside the lock, satisfying the node-owned-scratch contract),
+// then handed to the transport after the lock is released so
+// backpressure never blocks while holding the node.
+type Node struct {
+	cfg   ClusterConfig
+	self  sharegraph.ReplicaID
+	g     *sharegraph.Graph
+	node  core.Node
+	stock map[string]sharegraph.Register // interned register names
+
+	pool transport.BytePool
+	tr   *Transport
+	ln   net.Listener
+
+	nodeMu sync.Mutex
+	sinks  sync.Pool // *frameSink
+
+	conns   sync.WaitGroup
+	connMu  sync.Mutex
+	open    map[net.Conn]struct{}
+	closed  atomic.Bool
+	shutReq chan struct{}
+	shutOne sync.Once
+
+	applied atomic.Uint64
+	recvUpd atomic.Uint64
+	sentUpd atomic.Uint64
+	idSeq   atomic.Int64
+
+	logf func(format string, args ...any)
+}
+
+// NodeOptions configures a Node.
+type NodeOptions struct {
+	// Transport tunes the outgoing links.
+	Transport TransportOptions
+	// Logf sinks diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// NewNode builds replica self of the configured cluster and starts
+// listening on its configured address. The protocol must be built over
+// cfg.Graph() — every process derives the same graph from the same
+// placement, so all timestamp spaces agree. Serve must be called to
+// accept traffic.
+func NewNode(cfg ClusterConfig, self int, protocol core.Protocol, opts NodeOptions) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if self < 0 || self >= len(cfg.Replicas) {
+		return nil, fmt.Errorf("wire: replica id %d outside [0,%d)", self, len(cfg.Replicas))
+	}
+	g, err := cfg.Graph()
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := protocol.NewNodes()
+	if err != nil {
+		return nil, fmt.Errorf("wire: build nodes: %w", err)
+	}
+	if len(nodes) != len(cfg.Replicas) {
+		return nil, fmt.Errorf("wire: protocol built %d nodes for %d replicas", len(nodes), len(cfg.Replicas))
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	n := &Node{
+		cfg:     cfg,
+		self:    sharegraph.ReplicaID(self),
+		g:       g,
+		node:    nodes[self],
+		stock:   make(map[string]sharegraph.Register),
+		open:    make(map[net.Conn]struct{}),
+		shutReq: make(chan struct{}),
+		logf:    opts.Logf,
+	}
+	for _, x := range g.Registers() {
+		n.stock[string(x)] = x
+	}
+	n.sinks.New = func() any { return &frameSink{n: n} }
+	n.tr = NewTransport(self, cfg.Addrs(), &n.pool, opts.Transport)
+	ln, err := net.Listen("tcp", cfg.Replicas[self].Addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: replica %d listen: %w", self, err)
+	}
+	n.ln = ln
+	return n, nil
+}
+
+// Addr returns the listener's actual address (useful when the configured
+// address had port 0).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ShutdownRequested is closed when a client sends a Shutdown frame.
+func (n *Node) ShutdownRequested() <-chan struct{} { return n.shutReq }
+
+// Transport exposes the node's outgoing transport.
+func (n *Node) Transport() *Transport { return n.tr }
+
+// Pool exposes the node's frame buffer pool (leak checks assert its
+// balance returns to zero after a drained run).
+func (n *Node) Pool() *transport.BytePool { return &n.pool }
+
+// Serve accepts connections until Close. It returns nil on clean
+// shutdown.
+func (n *Node) Serve() error {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			if n.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("wire: replica %d accept: %w", n.self, err)
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		n.connMu.Lock()
+		if n.closed.Load() {
+			n.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		n.open[conn] = struct{}{}
+		n.connMu.Unlock()
+		n.conns.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+// Close stops accepting, drains the outgoing transport, closes inbound
+// connections and joins their readers. The orderly sequence — quiesce
+// first, then Close — is the client's job (cmd/prcc-client's -shutdown
+// polls Status to quiescence before sending Shutdown frames).
+func (n *Node) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	n.ln.Close()
+	n.tr.Close()
+	n.connMu.Lock()
+	for c := range n.open {
+		c.Close()
+	}
+	n.connMu.Unlock()
+	n.conns.Wait()
+}
+
+func (n *Node) dropConn(conn net.Conn) {
+	n.connMu.Lock()
+	delete(n.open, conn)
+	n.connMu.Unlock()
+	conn.Close()
+	n.conns.Done()
+}
+
+// serveConn is one inbound reader: Hello first, then frames until EOF.
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.dropConn(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
+	peerID := 0
+	for first := true; ; first = false {
+		body, err := ReadFrame(br, &buf)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !n.closed.Load() {
+				n.logf("wire: replica %d: read: %v", n.self, err)
+			}
+			return
+		}
+		kind, payload, err := DecodeBody(body)
+		if err != nil {
+			n.logf("wire: replica %d: bad frame: %v", n.self, err)
+			return
+		}
+		if first {
+			if kind != KindHello {
+				n.logf("wire: replica %d: conn opened with %v, want hello", n.self, kind)
+				return
+			}
+			peerID, err = DecodeHello(payload)
+			if err != nil {
+				n.logf("wire: replica %d: bad hello: %v", n.self, err)
+				return
+			}
+			continue
+		}
+		if err := n.handleFrame(conn, peerID, kind, payload); err != nil {
+			n.logf("wire: replica %d: %v frame from %d: %v", n.self, kind, peerID, err)
+			return
+		}
+	}
+}
+
+func (n *Node) handleFrame(conn net.Conn, peerID int, kind Kind, payload []byte) error {
+	switch kind {
+	case KindUpdate:
+		env, err := DecodeUpdate(payload, n.stock)
+		if err != nil {
+			return err
+		}
+		if env.To != n.self {
+			return fmt.Errorf("misrouted update for replica %d", env.To)
+		}
+		// Receipt is counted only after the delivery — including the flush
+		// of whatever it emitted — completes: the quiesce protocol's
+		// soundness rests on sum(sent) exceeding sum(recv) while any
+		// update is accepted but not yet fully processed.
+		n.deliver(env)
+		n.recvUpd.Add(1)
+		return nil
+	case KindWrite:
+		reg, val, err := DecodeWrite(payload)
+		if err != nil {
+			return err
+		}
+		if x, ok := n.stock[string(reg)]; ok {
+			reg = x
+		}
+		return n.clientWrite(reg, val)
+	case KindStatus:
+		if _, isResp, err := DecodeStatus(payload); err != nil {
+			return err
+		} else if isResp {
+			return fmt.Errorf("unexpected status response")
+		}
+		frame := AppendStatus(n.pool.Get(), n.Status())
+		_, err := conn.Write(frame)
+		n.pool.Put(frame)
+		return err
+	case KindSnapshot:
+		if _, isResp, err := DecodeSnapshot(payload); err != nil {
+			return err
+		} else if isResp {
+			return fmt.Errorf("unexpected snapshot response")
+		}
+		regs, vals := n.snapshot()
+		frame := AppendSnapshot(n.pool.Get(), regs, vals)
+		_, err := conn.Write(frame)
+		n.pool.Put(frame)
+		return err
+	case KindShutdown:
+		n.shutOne.Do(func() { close(n.shutReq) })
+		return nil
+	case KindHello:
+		return fmt.Errorf("duplicate hello")
+	default:
+		return fmt.Errorf("unknown kind %v", kind)
+	}
+}
+
+// frameSink implements core.Sink by encoding each emitted envelope into a
+// pooled frame buffer immediately — inside the node lock, while the
+// node-owned Meta scratch is still valid — and staging (destination,
+// frame) pairs for the flush that happens after the lock is released.
+type frameSink struct {
+	n      *Node
+	frames []stagedFrame
+}
+
+type stagedFrame struct {
+	to    int
+	frame []byte
+}
+
+func (s *frameSink) Emit(env core.Envelope) {
+	s.frames = append(s.frames, stagedFrame{
+		to:    int(env.To),
+		frame: AppendUpdate(s.n.pool.Get(), env),
+	})
+}
+
+func (n *Node) getSink() *frameSink { return n.sinks.Get().(*frameSink) }
+
+func (n *Node) putSink(s *frameSink) {
+	s.frames = s.frames[:0]
+	n.sinks.Put(s)
+}
+
+// flush hands staged frames to the transport. backpressure selects the
+// Send vs Forward contract; accepted frames are counted as sent.
+func (n *Node) flush(s *frameSink, backpressure bool) {
+	for _, sf := range s.frames {
+		if sf.to == int(n.self) {
+			// Self-addressed envelopes do not cross the wire; decode the
+			// staged frame back and deliver locally. Protocols do not emit
+			// these (recipient lists exclude the writer), but the contract
+			// tolerates them.
+			if _, payload, err := DecodeBody(sf.frame[4:]); err == nil {
+				if env, err := DecodeUpdate(payload, n.stock); err == nil {
+					// Send counts before the delivery, receipt after — the
+					// same sent-leads-recv discipline as the network path.
+					n.sentUpd.Add(1)
+					n.deliver(env)
+					n.recvUpd.Add(1)
+				}
+			}
+			n.pool.Put(sf.frame)
+			continue
+		}
+		var ok bool
+		if backpressure {
+			ok = n.tr.Send(sf.to, sf.frame)
+		} else {
+			ok = n.tr.Forward(sf.to, sf.frame)
+		}
+		if ok {
+			n.sentUpd.Add(1)
+		}
+	}
+	n.putSink(s)
+}
+
+// deliver ingests one update at the node and forwards whatever it emits.
+func (n *Node) deliver(env core.Envelope) {
+	s := n.getSink()
+	n.nodeMu.Lock()
+	applied := n.node.HandleMessage(env, s)
+	n.applied.Add(uint64(len(applied)))
+	n.nodeMu.Unlock()
+	n.flush(s, false)
+}
+
+// clientWrite performs one client write, blocking under transport
+// backpressure (the Send contract).
+func (n *Node) clientWrite(reg sharegraph.Register, val core.Value) error {
+	s := n.getSink()
+	n.nodeMu.Lock()
+	// Oracle IDs are process-local: the causality oracle does not cross
+	// process boundaries, so these only need to be distinct within the
+	// node (the emit contract requires an ID, not a globally audited one).
+	id := causality.UpdateID(n.idSeq.Add(1) - 1)
+	err := n.node.HandleWrite(reg, val, id, s)
+	n.nodeMu.Unlock()
+	if err != nil {
+		n.putSink(s)
+		return err
+	}
+	n.flush(s, true)
+	return nil
+}
+
+// Status returns the node's transport counters.
+func (n *Node) Status() Status {
+	n.nodeMu.Lock()
+	pending := n.node.PendingCount()
+	n.nodeMu.Unlock()
+	return Status{
+		Applied:   n.applied.Load(),
+		Pending:   uint64(pending),
+		SentUpd:   n.sentUpd.Load(),
+		RecvUpd:   n.recvUpd.Load(),
+		QueuedOut: uint64(n.tr.QueuedOut()),
+	}
+}
+
+// snapshot returns the replica's register contents, sorted by register
+// name (Sorted()'s order) so the encoding is byte-stable.
+func (n *Node) snapshot() ([]sharegraph.Register, []core.Value) {
+	regs := n.g.Stores(n.self).Sorted()
+	vals := make([]core.Value, 0, len(regs))
+	kept := regs[:0]
+	n.nodeMu.Lock()
+	for _, x := range regs {
+		if v, ok := n.node.Read(x); ok {
+			kept = append(kept, x)
+			vals = append(vals, v)
+		}
+	}
+	n.nodeMu.Unlock()
+	return kept, vals
+}
+
+// State returns the replica's registers as a map (the in-process shape
+// sim.Cluster.StateSnapshot produces for one replica).
+func (n *Node) State() map[sharegraph.Register]core.Value {
+	regs, vals := n.snapshot()
+	out := make(map[sharegraph.Register]core.Value, len(regs))
+	for i, x := range regs {
+		out[x] = vals[i]
+	}
+	return out
+}

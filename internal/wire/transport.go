@@ -1,0 +1,384 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	rt "repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// TransportOptions configures a Transport. The zero value selects the
+// documented defaults.
+type TransportOptions struct {
+	// QueueCap bounds each peer's outgoing frame queue (default 1024).
+	// Send blocks while a peer's queue is at capacity — the same
+	// backpressure contract as the in-process engine's inboxes.
+	QueueCap int
+	// DialBackoffBase is the first reconnect delay (default 5ms); it
+	// doubles per failed attempt up to DialBackoffMax (default 1s) —
+	// the shared runtime.Backoff discipline.
+	DialBackoffBase time.Duration
+	DialBackoffMax  time.Duration
+	// DrainAttempts bounds dial attempts per frame once Close has begun
+	// (default 3): a peer that stays unreachable during shutdown should
+	// not wedge the drain forever. Frames still queued when the attempts
+	// run out are dropped, like messages sent after an engine shutdown.
+	DrainAttempts int
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+}
+
+func (o TransportOptions) withDefaults() TransportOptions {
+	if o.QueueCap <= 0 {
+		o.QueueCap = 1024
+	}
+	if o.DialBackoffBase <= 0 {
+		o.DialBackoffBase = 5 * time.Millisecond
+	}
+	if o.DialBackoffMax <= 0 {
+		o.DialBackoffMax = time.Second
+	}
+	if o.DrainAttempts <= 0 {
+		o.DrainAttempts = 3
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// Transport is the TCP half of the runtime seam: the counterpart, across
+// process boundaries, of internal/runtime.Engine's in-process inboxes
+// (see runtime.Inboxes for the shared contract). One Transport serves one
+// local replica; it owns a lazily-created outgoing connection per peer,
+// each with a bounded frame queue drained by a dedicated writer
+// goroutine that dials on demand and reconnects with capped exponential
+// backoff.
+//
+//   - Send mirrors Engine.Send: it blocks while the peer's queue is at
+//     capacity (client-operation backpressure).
+//   - Forward mirrors Engine.Forward: it enqueues above capacity, because
+//     a reader goroutine mid-delivery that blocked on a full queue could
+//     deadlock two replicas forwarding to each other.
+//   - Flush mirrors Quiesce for the outgoing half: it blocks until every
+//     queued frame has been written to a socket.
+//   - Close drains each queue to the socket (bounded redial attempts),
+//     closes the connections and joins the writers.
+//
+// Frames are pooled []byte buffers: the transport takes ownership on
+// Send/Forward and returns each buffer to the pool once written (or
+// dropped), so the steady-state send path allocates nothing.
+type Transport struct {
+	self  int
+	addrs []string
+	opts  TransportOptions
+	pool  *transport.BytePool
+
+	mu      sync.Mutex
+	peers   []*peer // lazily created, indexed by replica ID
+	closing bool
+	wg      sync.WaitGroup
+}
+
+// peer is one outgoing link: a bounded queue of encoded frames plus the
+// writer goroutine that drains it.
+type peer struct {
+	t    *Transport
+	id   int
+	addr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond // queue became non-empty, or closing
+	space   *sync.Cond // queue dropped below capacity
+	idle    *sync.Cond // queue empty and writer not mid-write
+	queue   [][]byte
+	head    int
+	writing bool
+	closing bool
+	wrote   uint64 // frames fully written to a socket
+	dropped uint64 // frames dropped at drain exhaustion
+}
+
+// NewTransport builds a transport for replica self of the given address
+// list. Connections are dialed on first use, so peers may start in any
+// order. Frames handed to Send/Forward must originate from pool (they are
+// returned to it when done).
+func NewTransport(self int, addrs []string, pool *transport.BytePool, opts TransportOptions) *Transport {
+	return &Transport{
+		self:  self,
+		addrs: addrs,
+		opts:  opts.withDefaults(),
+		pool:  pool,
+		peers: make([]*peer, len(addrs)),
+	}
+}
+
+// Pool returns the frame buffer pool the transport recycles through.
+func (t *Transport) Pool() *transport.BytePool { return t.pool }
+
+func (t *Transport) peerFor(to int) (*peer, error) {
+	if to < 0 || to >= len(t.addrs) {
+		return nil, fmt.Errorf("wire: no peer %d in %d-replica cluster", to, len(t.addrs))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closing {
+		return nil, fmt.Errorf("wire: transport closing")
+	}
+	p := t.peers[to]
+	if p == nil {
+		p = &peer{t: t, id: to, addr: t.addrs[to]}
+		p.cond = sync.NewCond(&p.mu)
+		p.space = sync.NewCond(&p.mu)
+		p.idle = sync.NewCond(&p.mu)
+		t.peers[to] = p
+		t.wg.Add(1)
+		go p.writer()
+	}
+	return p, nil
+}
+
+// Send enqueues one encoded frame for peer to, blocking while the peer's
+// queue is at capacity — the backpressure path for client operations.
+// The transport takes ownership of the frame buffer. It reports whether
+// the frame was accepted; frames racing shutdown are returned to the
+// pool and refused.
+func (t *Transport) Send(to int, frame []byte) bool { return t.enqueue(to, frame, true) }
+
+// Forward enqueues one encoded frame without backpressure — the path for
+// frames produced while delivering another frame, where blocking could
+// deadlock two replicas forwarding to each other.
+func (t *Transport) Forward(to int, frame []byte) bool { return t.enqueue(to, frame, false) }
+
+func (t *Transport) enqueue(to int, frame []byte, backpressure bool) bool {
+	p, err := t.peerFor(to)
+	if err != nil {
+		t.pool.Put(frame)
+		return false
+	}
+	p.mu.Lock()
+	if backpressure {
+		for p.queued() >= t.opts.QueueCap && !p.closing {
+			p.space.Wait()
+		}
+	}
+	if p.closing {
+		p.mu.Unlock()
+		t.pool.Put(frame)
+		return false
+	}
+	if p.head > 0 && p.head >= len(p.queue)/2 {
+		p.queue = append(p.queue[:0], p.queue[p.head:]...)
+		p.head = 0
+	}
+	p.queue = append(p.queue, frame)
+	p.cond.Signal()
+	p.mu.Unlock()
+	return true
+}
+
+// queued returns the number of frames waiting. Caller holds p.mu.
+func (p *peer) queued() int { return len(p.queue) - p.head }
+
+// writer drains the peer's queue to its socket: dial on demand (capped
+// exponential backoff), write, recycle the frame buffer. A frame whose
+// write fails is retried on a fresh connection — the old connection dies
+// with its partial bytes, so the receiver never sees a torn or duplicated
+// frame from this path.
+func (p *peer) writer() {
+	defer p.t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		p.mu.Lock()
+		for p.queued() == 0 && !p.closing {
+			p.cond.Wait()
+		}
+		if p.queued() == 0 { // closing and drained
+			p.mu.Unlock()
+			return
+		}
+		frame := p.queue[p.head]
+		p.queue[p.head] = nil
+		p.head++
+		p.writing = true
+		closing := p.closing
+		p.mu.Unlock()
+
+		wrote := p.write(&conn, frame, closing)
+		p.t.pool.Put(frame)
+
+		p.mu.Lock()
+		if wrote {
+			p.wrote++
+		} else {
+			// write gives up only once Close has begun and the dial budget
+			// is spent; the rest of the queue would hit the same wall, so
+			// drop it wholesale instead of re-dialing per frame.
+			p.dropped++
+			for p.head < len(p.queue) {
+				p.t.pool.Put(p.queue[p.head])
+				p.queue[p.head] = nil
+				p.head++
+				p.dropped++
+			}
+		}
+		p.writing = false
+		if p.queued() == p.t.opts.QueueCap-1 {
+			// Crossed back below the bound: wake blocked senders. Forward
+			// overshoot re-crosses and re-signals on later pops.
+			p.space.Broadcast()
+		}
+		if p.queued() == 0 {
+			p.idle.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// write delivers one frame over the peer's connection, (re)dialing as
+// needed. During a drain (closing), dial attempts are bounded so an
+// unreachable peer cannot wedge shutdown; it reports whether the frame
+// was written.
+func (p *peer) write(conn *net.Conn, frame []byte, closing bool) bool {
+	attempts := 0
+	for {
+		if *conn == nil {
+			c, err := p.dial(&attempts, closing)
+			if err != nil {
+				return false // drain attempts exhausted
+			}
+			*conn = c
+		}
+		if _, err := (*conn).Write(frame); err == nil {
+			return true
+		}
+		(*conn).Close()
+		*conn = nil
+	}
+}
+
+// dial establishes the peer connection, sending the Hello identity frame
+// before any data. Retries with the shared capped-backoff discipline;
+// when closing, attempts are bounded by DrainAttempts.
+func (p *peer) dial(attempts *int, closing bool) (net.Conn, error) {
+	for {
+		*attempts++
+		if closing && *attempts > p.t.opts.DrainAttempts {
+			return nil, fmt.Errorf("wire: peer %d unreachable during drain", p.id)
+		}
+		c, err := net.DialTimeout("tcp", p.addr, p.t.opts.DialTimeout)
+		if err == nil {
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			hello := AppendHello(p.t.pool.Get(), p.t.self)
+			_, werr := c.Write(hello)
+			p.t.pool.Put(hello)
+			if werr == nil {
+				return c, nil
+			}
+			c.Close()
+			err = werr
+		}
+		// Also give up mid-backoff if Close started while we were
+		// retrying against a dead peer with live traffic queued.
+		if !closing {
+			p.mu.Lock()
+			closing = p.closing
+			p.mu.Unlock()
+			if closing && *attempts > p.t.opts.DrainAttempts {
+				return nil, err
+			}
+		}
+		time.Sleep(rt.Backoff(p.t.opts.DialBackoffBase, *attempts, p.t.opts.DialBackoffMax))
+	}
+}
+
+// QueuedOut returns the number of frames enqueued but not yet written to
+// a socket (including one mid-write), summed over peers — the transport
+// half of the quiesce condition the status protocol exposes.
+func (t *Transport) QueuedOut() int {
+	t.mu.Lock()
+	peers := append([]*peer(nil), t.peers...)
+	t.mu.Unlock()
+	n := 0
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		n += p.queued()
+		if p.writing {
+			n++
+		}
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// Dropped returns the number of frames dropped across peers (drain
+// exhaustion against unreachable peers); zero in a healthy run.
+func (t *Transport) Dropped() uint64 {
+	t.mu.Lock()
+	peers := append([]*peer(nil), t.peers...)
+	t.mu.Unlock()
+	var n uint64
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		n += p.dropped
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// Flush blocks until every queued frame has been written to a socket —
+// the outgoing half of Quiesce. Frames enqueued concurrently with Flush
+// may or may not be covered.
+func (t *Transport) Flush() {
+	t.mu.Lock()
+	peers := append([]*peer(nil), t.peers...)
+	t.mu.Unlock()
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		for p.queued() > 0 || p.writing {
+			p.idle.Wait()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close drains every peer queue to its socket (bounded redial attempts
+// against unreachable peers), closes the connections, and joins the
+// writer goroutines. Sends racing Close are refused and their frames
+// recycled.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	t.closing = true
+	peers := append([]*peer(nil), t.peers...)
+	t.mu.Unlock()
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		p.closing = true
+		p.cond.Broadcast()
+		p.space.Broadcast()
+		p.mu.Unlock()
+	}
+	t.wg.Wait()
+}

@@ -1,0 +1,290 @@
+package wire
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// frameServer accepts connections and records every frame body it reads,
+// keyed by nothing — transport tests care about content and count, not
+// provenance.
+type frameServer struct {
+	t  *testing.T
+	ln net.Listener
+
+	mu      sync.Mutex
+	hellos  []int
+	bodies  [][]byte
+	accepts int
+
+	dropNext atomic.Bool // close the next accepted conn after its hello
+	wg       sync.WaitGroup
+}
+
+func newFrameServer(t *testing.T) *frameServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &frameServer{t: t, ln: ln}
+	s.wg.Add(1)
+	go s.loop()
+	t.Cleanup(func() {
+		ln.Close()
+		s.wg.Wait()
+	})
+	return s
+}
+
+func (s *frameServer) addr() string { return s.ln.Addr().String() }
+
+func (s *frameServer) loop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.accepts++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *frameServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	var buf []byte
+	for first := true; ; first = false {
+		body, err := ReadFrame(br, &buf)
+		if err != nil {
+			return
+		}
+		kind, payload, err := DecodeBody(body)
+		if err != nil {
+			s.t.Errorf("server: bad frame: %v", err)
+			return
+		}
+		s.mu.Lock()
+		if kind == KindHello {
+			id, _ := DecodeHello(payload)
+			s.hellos = append(s.hellos, id)
+		} else {
+			s.bodies = append(s.bodies, append([]byte(nil), body...))
+		}
+		s.mu.Unlock()
+		if first && s.dropNext.CompareAndSwap(true, false) {
+			return // simulate a peer crash right after the handshake
+		}
+	}
+}
+
+func (s *frameServer) frameCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.bodies)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTransportDelivers(t *testing.T) {
+	srv := newFrameServer(t)
+	var pool transport.BytePool
+	tr := NewTransport(0, []string{"127.0.0.1:1", srv.addr()}, &pool, TransportOptions{})
+	t.Cleanup(tr.Close) // before the server cleanup, which joins readers
+	const n = 50
+	for i := 0; i < n; i++ {
+		if !tr.Send(1, AppendWrite(pool.Get(), "a", 1)) {
+			t.Fatalf("send %d refused", i)
+		}
+	}
+	tr.Flush()
+	waitFor(t, "frames", func() bool { return srv.frameCount() == n })
+	tr.Close()
+	if got := pool.Live(); got != 0 {
+		t.Fatalf("pool balance after close: %d live buffers", got)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.hellos) != 1 || srv.hellos[0] != 0 {
+		t.Fatalf("hellos = %v, want [0]", srv.hellos)
+	}
+}
+
+// TestTransportBackpressure pins the Send vs Forward contract: with the
+// peer unreachable, Send blocks once the queue is full, Forward keeps
+// enqueueing, and Close releases the blocked sender with a refusal.
+func TestTransportBackpressure(t *testing.T) {
+	// An address that cannot be dialed: a closed listener's port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	var pool transport.BytePool
+	tr := NewTransport(0, []string{"x", dead}, &pool, TransportOptions{
+		QueueCap:        4,
+		DialBackoffBase: time.Millisecond,
+		DialBackoffMax:  5 * time.Millisecond,
+		DialTimeout:     50 * time.Millisecond,
+	})
+	// Overfill the queue through Forward, which is exempt from
+	// backpressure: the stuck writer holds at most one frame, so ten
+	// forwards pin the queue above capacity no matter how the writer
+	// interleaves.
+	for i := 0; i < 10; i++ {
+		if !tr.Forward(1, AppendWrite(pool.Get(), "b", 2)) {
+			t.Fatalf("forward %d refused", i)
+		}
+	}
+	// The next Send must block: run it in a goroutine and confirm it has
+	// not returned, then confirm Close releases it with a refusal.
+	done := make(chan bool, 1)
+	go func() { done <- tr.Send(1, AppendWrite(pool.Get(), "c", 3)) }()
+	select {
+	case <-done:
+		t.Fatal("Send returned despite a full queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	tr.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("blocked Send reported success across Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Send never released by Close")
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("no frames dropped despite an unreachable peer at Close")
+	}
+	if got := pool.Live(); got != 0 {
+		t.Fatalf("pool balance after close: %d live buffers", got)
+	}
+	// Sends after Close are refused and their frames recycled.
+	if tr.Send(1, AppendWrite(pool.Get(), "d", 4)) {
+		t.Fatal("Send accepted after Close")
+	}
+	if got := pool.Live(); got != 0 {
+		t.Fatalf("pool balance after post-close send: %d live buffers", got)
+	}
+}
+
+// TestTransportReconnects pins the redial discipline: when the peer
+// drops the connection, the writer dials a fresh one (with a fresh
+// Hello) and later frames keep flowing. Frames that entered the dead
+// connection's kernel buffer before the reset arrived are lost — the
+// wire transport promises the engine's reliable delivery only while
+// peers stay up (crash recovery is the state-transfer layer's job) — so
+// the test asserts continued delivery, not exactly-once.
+func TestTransportReconnects(t *testing.T) {
+	srv := newFrameServer(t)
+	srv.dropNext.Store(true) // first connection dies right after Hello
+	var pool transport.BytePool
+	tr := NewTransport(3, []string{"x", srv.addr()}, &pool, TransportOptions{
+		DialBackoffBase: time.Millisecond,
+		DialBackoffMax:  10 * time.Millisecond,
+	})
+	t.Cleanup(tr.Close) // before the server cleanup, which joins readers
+	const n = 50
+	for i := 0; i < n; i++ {
+		if !tr.Send(1, AppendWrite(pool.Get(), "a", 1)) {
+			t.Fatalf("send %d refused", i)
+		}
+		// Slow trickle so the reset from the dropped connection surfaces
+		// while frames are still being sent.
+		time.Sleep(time.Millisecond)
+	}
+	tr.Flush()
+	waitFor(t, "a reconnect", func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return srv.accepts >= 2
+	})
+	waitFor(t, "frames on the fresh connection", func() bool { return srv.frameCount() >= n/2 })
+	tr.Close()
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.hellos) < 2 {
+		t.Fatalf("hellos = %v, want one per connection", srv.hellos)
+	}
+	for _, id := range srv.hellos {
+		if id != 3 {
+			t.Fatalf("hello = %d, want 3", id)
+		}
+	}
+	if got := pool.Live(); got != 0 {
+		t.Fatalf("pool balance after close: %d live buffers", got)
+	}
+}
+
+func TestTransportRejectsUnknownPeer(t *testing.T) {
+	var pool transport.BytePool
+	tr := NewTransport(0, []string{"x"}, &pool, TransportOptions{})
+	defer tr.Close()
+	if tr.Send(7, pool.Get()) {
+		t.Fatal("send to out-of-range peer accepted")
+	}
+	if tr.Send(-1, pool.Get()) {
+		t.Fatal("send to negative peer accepted")
+	}
+	if got := pool.Live(); got != 0 {
+		t.Fatalf("pool balance: %d live buffers", got)
+	}
+}
+
+// TestReadFrameReusesBuffer pins the reader's zero-steady-state-alloc
+// property: a second same-size frame must land in the same buffer.
+func TestReadFrameReusesBuffer(t *testing.T) {
+	frame := AppendWrite(nil, "abc", 5)
+	stream := append(append([]byte(nil), frame...), frame...)
+	r := &sliceReader{b: stream}
+	var buf []byte
+	b1, err := ReadFrame(r, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := &b1[0]
+	b2, err := ReadFrame(r, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &b2[0] != p1 {
+		t.Fatal("second same-size frame reallocated the read buffer")
+	}
+}
+
+// sliceReader is an io.Reader over a byte slice that does not implement
+// io.ReaderAt etc. — keeps ReadFrame on the plain path.
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -96,6 +96,29 @@
 // one nil check on the delivery path, held to zero measured cost by the
 // gated BenchmarkClusterThroughput base/chaos split.
 //
+// # Deployment
+//
+// A replica can be a process, not just a struct. internal/wire defines
+// a versioned length-prefixed envelope codec (magic + version + kind,
+// timestamp vectors via their append-style EncodeTo form) and a TCP
+// transport that implements the same Send/Forward contract as the
+// in-process engine: per-peer writer goroutines over bounded queues,
+// Send backpressure with Forward exempt, and reconnect with the same
+// capped exponential backoff the retransmit path uses. The decoder is
+// hardened against adversarial input — every declared length is clamped
+// against the bytes actually present before anything is allocated, and
+// frames are bounded by wire.MaxFrameSize.
+//
+// cmd/prcc-node serves one replica of a JSON cluster config;
+// cmd/prcc-client drives a deployed cluster (writes, quiescence
+// detection by double-polled stable status, snapshots, shutdown) and
+// can emit configs for the parametric topologies.
+// scripts/run_cluster.sh boots a full cluster of OS processes on
+// loopback and scripts/stop_cluster.sh retires it. The multi-process
+// cluster is pinned to the in-process runtime by a differential test:
+// the same owner-writes workload through real sockets must reach final
+// states byte-identical to sim.Cluster's.
+//
 // Beyond the protocol itself the package exposes the paper's analyses:
 // metadata sizing and compression (Section 5), conflict-graph lower bounds
 // on timestamp size (Section 4), baseline protocols for comparison, the

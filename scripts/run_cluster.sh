@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# run_cluster.sh — build the deployment binaries, generate a cluster
+# config, and launch one prcc-node process per replica on loopback.
+#
+# Usage: scripts/run_cluster.sh [rundir]
+#   default rundir: .prcc-cluster (created; holds binaries, config, logs
+#                   and pids; pass the same dir to stop_cluster.sh)
+#
+# Environment knobs:
+#   TOPOLOGY (ring)  N (3)  PROTOCOL (edge-indexed)  BASEPORT (42100)
+#   HOST (127.0.0.1)  SEED (1)
+#
+# The cluster serves until scripts/stop_cluster.sh performs the orderly
+# quiesce-then-shutdown (or the pids are killed). Drive workloads with:
+#   .prcc-cluster/prcc-client -config .prcc-cluster/cluster.json \
+#       -ops 400 -seed 11 -snapshot
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+rundir="${1:-.prcc-cluster}"
+topology="${TOPOLOGY:-ring}"
+n="${N:-3}"
+protocol="${PROTOCOL:-edge-indexed}"
+baseport="${BASEPORT:-42100}"
+host="${HOST:-127.0.0.1}"
+seed="${SEED:-1}"
+
+mkdir -p "$rundir"
+go build -o "$rundir/prcc-node" ./cmd/prcc-node
+go build -o "$rundir/prcc-client" ./cmd/prcc-client
+
+config="$rundir/cluster.json"
+"$rundir/prcc-client" -emit-config -topology "$topology" -n "$n" \
+  -protocol "$protocol" -host "$host" -baseport "$baseport" \
+  -seed "$seed" > "$config"
+
+replicas=$(grep -c '"addr"' "$config")
+: > "$rundir/pids"
+for (( id=0; id<replicas; id++ )); do
+  "$rundir/prcc-node" -config "$config" -id "$id" \
+    > "$rundir/node$id.log" 2>&1 &
+  echo $! >> "$rundir/pids"
+done
+
+# Wait until every replica answers a status poll (0 ops = no workload,
+# just dial + quiesce), so callers can pipeline a workload immediately.
+"$rundir/prcc-client" -config "$config" -ops 0 -dial-timeout 10s
+echo "cluster up: $replicas replicas ($topology/$protocol) — config $config, logs and pids in $rundir"

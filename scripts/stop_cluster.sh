@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# stop_cluster.sh — orderly shutdown of a cluster started by
+# run_cluster.sh: quiesce, then send every replica a Shutdown frame and
+# wait for the processes to exit. Falls back to SIGTERM for processes
+# that outlive the grace period.
+#
+# Usage: scripts/stop_cluster.sh [rundir]
+#   default rundir: .prcc-cluster (the run_cluster.sh default)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+rundir="${1:-.prcc-cluster}"
+config="$rundir/cluster.json"
+
+if [ ! -f "$rundir/pids" ]; then
+  echo "stop_cluster.sh: no pid file in $rundir — nothing to stop" >&2
+  exit 1
+fi
+
+# Orderly path: quiesce and broadcast Shutdown frames. A cluster that is
+# already gone makes the client fail to dial; the kill fallback below
+# still reaps any survivors.
+if [ -f "$config" ]; then
+  "$rundir/prcc-client" -config "$config" -ops 0 -dial-timeout 5s -shutdown \
+    || echo "stop_cluster.sh: orderly shutdown failed; falling back to signals" >&2
+fi
+
+deadline=$(( $(date +%s) + 10 ))
+while read -r pid; do
+  while kill -0 "$pid" 2>/dev/null; do
+    if [ "$(date +%s)" -ge "$deadline" ]; then
+      echo "stop_cluster.sh: pid $pid outlived the grace period; sending SIGTERM" >&2
+      kill "$pid" 2>/dev/null || true
+      break
+    fi
+    sleep 0.2
+  done
+done < "$rundir/pids"
+rm -f "$rundir/pids"
+echo "cluster stopped"
