@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lowerbound"
 	"repro/internal/optimize"
+	"repro/internal/shard"
 	"repro/internal/sharegraph"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -557,6 +558,89 @@ func BenchmarkClientServerLive(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(n*opsPerClient)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkShardedThroughput measures the sharded multi-space runtime:
+// thousands of independent Ring(8) spaces multiplexed over one shared
+// worker pool, driven by a zipf-skewed multi-tenant workload with
+// per-shard envelope batching. The /seq1k row is the architectural
+// baseline the shard layer is gated against: the same 1k per-space
+// scripts run on 1k sequentially created single-space clusters (the
+// repo's pre-shard way to host a space, oracle included) with the same
+// worker budget — paying per-space pool spin-up/teardown and unbatched
+// delivery, exactly the costs sharding amortizes. The shard package's
+// TestShardedBeatsSequentialClusters pins the ratio at ≥5×.
+func BenchmarkShardedThroughput(b *testing.B) {
+	g := sharegraph.Ring(8)
+	p, err := core.NewEdgeIndexed(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const workers = 8
+	const opsPerSpace = 16
+	shardedRow := func(spaces int) func(b *testing.B) {
+		ops := spaces * opsPerSpace
+		ms, err := workload.GenerateMulti(g, workload.MultiOptions{Spaces: spaces, Ops: ops, Zipf: 1.2, Seed: 5})
+		return func(b *testing.B) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The runtime is the long-lived multi-tenant service under
+			// measurement: its spaces stay resident across workload waves,
+			// which is exactly what the sequential baseline cannot do on
+			// the same worker budget.
+			r, err := shard.New(g, p, shard.Options{Spaces: spaces, Workers: workers, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				r.RunMulti(ms, 0)
+			}
+			b.StopTimer()
+			st := r.Stats()
+			if st.Messages == 0 {
+				b.Fatal("no envelopes delivered")
+			}
+			b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			b.ReportMetric(st.AvgBatch(), "env/batch")
+		}
+	}
+	b.Run("spaces1k", shardedRow(1000))
+	b.Run("spaces8k", shardedRow(8000))
+	b.Run("seq1k", func(b *testing.B) {
+		const spaces = 1000
+		ms, err := workload.GenerateMulti(g, workload.MultiOptions{Spaces: spaces, Ops: spaces * opsPerSpace, Zipf: 1.2, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scripts := make([]workload.Script, spaces)
+		for s := range scripts {
+			scripts[s] = ms.PerSpace(s)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			for s := 0; s < spaces; s++ {
+				if len(scripts[s]) == 0 {
+					continue
+				}
+				c, err := sim.NewCluster(g, p,
+					sim.WithWorkers(workers),
+					sim.WithSeed(workload.SpaceSeed(int64(n+1), s)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v := c.RunScript(scripts[s]); len(v) != 0 {
+					b.Fatalf("space %d: %d oracle violations", s, len(v))
+				}
+				c.Close()
+			}
+		}
+		b.ReportMetric(float64(spaces*opsPerSpace)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	})
 }
 
 // BenchmarkLiveCluster measures the worker-pool runtime end to end on the

@@ -130,7 +130,10 @@ func run(args []string, out io.Writer) error {
 	// row and older captures' slash-less BenchmarkClusterThroughput rows
 	// are intentionally outside the filter (chaos cost is informational,
 	// and pre-split baselines must not trip the coverage-shrink check).
-	filter := fs.String("filter", "^BenchmarkScaleDelivery/|^BenchmarkClusterThroughput/base", "regexp selecting the gated benchmarks")
+	// BenchmarkShardedThroughput's sharded rows gate the multi-space
+	// runtime; its /seq1k row matches the filter too, keeping the
+	// architectural baseline itself from silently regressing.
+	filter := fs.String("filter", "^BenchmarkScaleDelivery/|^BenchmarkClusterThroughput/base|^BenchmarkShardedThroughput/", "regexp selecting the gated benchmarks")
 	nsThreshold := fs.Float64("ns-threshold", 1.25, "fail when candidate ns/op exceeds baseline by this factor")
 	bThreshold := fs.Float64("b-threshold", 1.25, "fail when candidate B/op exceeds baseline by this factor")
 	text := fs.Bool("text", false, "convert one JSON file to go-bench text on stdout (for benchstat)")

@@ -46,6 +46,8 @@ func run(args []string, out io.Writer) error {
 	config := fs.String("config", "", "cluster config JSON file")
 	ops := fs.Int("ops", 0, "owner-writes operations to run (0 = none)")
 	seed := fs.Int64("seed", 1, "workload seed")
+	from := fs.Int("from", 0, "run only script operations [from,to): first index")
+	to := fs.Int("to", -1, "run only script operations [from,to): limit index (-1 = end)")
 	quiesce := fs.Duration("quiesce", 30*time.Second, "quiesce timeout after the workload")
 	dialTimeout := fs.Duration("dial-timeout", 10*time.Second, "per-cluster dial timeout")
 	snapshot := fs.Bool("snapshot", false, "print canonical per-replica snapshots after quiescing")
@@ -112,8 +114,19 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// The script is always generated whole from (ops, seed) and then
+		// sliced: [from,to) of the same deterministic sequence, so a run
+		// split across client invocations (e.g. around a node crash) is
+		// op-for-op identical to one uninterrupted run.
 		script := workload.OwnerWrites(g, *ops, *seed)
-		if err := client.RunScript(script); err != nil {
+		lo, hi := *from, *to
+		if hi < 0 || hi > len(script) {
+			hi = len(script)
+		}
+		if lo < 0 || lo > hi {
+			return fmt.Errorf("-from %d -to %d: need 0 <= from <= to <= %d", *from, *to, len(script))
+		}
+		if err := client.RunScript(script[lo:hi]); err != nil {
 			return err
 		}
 	}

@@ -37,6 +37,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("prcc-node", flag.ContinueOnError)
 	config := fs.String("config", "", "cluster config JSON file (required)")
 	id := fs.Int("id", -1, "replica ID: index into the config's replicas array (required)")
+	logPath := fs.String("log", "", "durable mutation log path: replayed on start, appended while serving (crash recovery)")
 	quiet := fs.Bool("quiet", false, "suppress per-connection diagnostics")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,7 +67,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := wire.NodeOptions{Logf: log.Printf}
+	opts := wire.NodeOptions{Logf: log.Printf, LogPath: *logPath}
 	if *quiet {
 		opts.Logf = func(string, ...any) {}
 	}

@@ -140,3 +140,152 @@ func TestMultiProcessDifferentialRing(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiProcessKillNineRestart is the crash-recovery acceptance test
+// at the process boundary: run half the script, quiesce, kill -9 one
+// node mid-deployment, restart it against its durable mutation log, run
+// the second half, and require the final states byte-equal to one
+// uninterrupted in-process run of the whole script. The log replay must
+// restore not just register state but the sent/recv counters — the
+// phase-2 quiesce sums them cluster-wide and would time out (failing the
+// client) if replay under- or over-counted.
+func TestMultiProcessKillNineRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a multi-process cluster")
+	}
+	dir := t.TempDir()
+	nodeBin := filepath.Join(dir, "prcc-node")
+	clientBin := filepath.Join(dir, "prcc-client")
+	for bin, pkg := range map[string]string{nodeBin: "repro/cmd/prcc-node", clientBin: "repro/cmd/prcc-client"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.." // repo root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	const replicas, ops, seed, cut, victim = 6, 400, 13, 200, 2
+	cfg := wire.ClusterConfig{Protocol: "edge-indexed", Replicas: make([]wire.NodeAddr, replicas)}
+	ring := sharegraph.Ring(replicas)
+	lns := make([]net.Listener, replicas)
+	for i := range cfg.Replicas {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		cfg.Replicas[i] = wire.NodeAddr{
+			Addr:      ln.Addr().String(),
+			Registers: ring.Stores(sharegraph.ReplicaID(i)).Sorted(),
+		}
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	data, err := cfg.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "cluster.json")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted in-process reference over the full script, audited.
+	g, err := cfg.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := cli.Protocol(cfg.Protocol, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.NewCluster(g, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ref.RunScript(workload.OwnerWrites(g, ops, seed)); len(v) > 0 {
+		t.Fatalf("reference run: %d oracle violations", len(v))
+	}
+	want := wire.FormatSnapshots(ref.StateSnapshot())
+	ref.Close()
+
+	// Every node keeps a durable log so the victim can be resurrected.
+	startNode := func(i int) (*exec.Cmd, *bytes.Buffer) {
+		log := new(bytes.Buffer)
+		cmd := exec.Command(nodeBin, "-config", cfgPath, "-id", fmt.Sprint(i),
+			"-log", filepath.Join(dir, fmt.Sprintf("node%d.log", i)))
+		cmd.Stdout = log
+		cmd.Stderr = log
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start replica %d: %v", i, err)
+		}
+		return cmd, log
+	}
+	nodes := make([]*exec.Cmd, replicas)
+	logs := make([]*bytes.Buffer, replicas)
+	for i := range nodes {
+		nodes[i], logs[i] = startNode(i)
+	}
+	defer func() {
+		for i, n := range nodes {
+			if n.ProcessState == nil {
+				n.Process.Kill()
+				n.Wait()
+			}
+			if t.Failed() {
+				t.Logf("replica %d output:\n%s", i, logs[i])
+			}
+		}
+	}()
+
+	runClient := func(extra ...string) {
+		t.Helper()
+		args := append([]string{
+			"-config", cfgPath, "-ops", fmt.Sprint(ops), "-seed", fmt.Sprint(seed),
+		}, extra...)
+		client := exec.Command(clientBin, args...)
+		var stdout, stderr bytes.Buffer
+		client.Stdout = &stdout
+		client.Stderr = &stderr
+		if err := client.Run(); err != nil {
+			t.Fatalf("client %v: %v\n%s", extra, err, &stderr)
+		}
+		if stdout.Len() > 0 {
+			if got := stdout.String(); got != want {
+				t.Errorf("final states diverge after kill -9 + restart:\nprocesses:\n%s\nin-process:\n%s", got, want)
+			}
+		}
+	}
+
+	// Phase 1: first half of the script, then quiesce (the client's
+	// default) so nothing is in flight when the victim dies — SIGKILL
+	// discards its transport queues and sockets, not its log.
+	runClient("-to", fmt.Sprint(cut))
+
+	if err := nodes[victim].Process.Kill(); err != nil {
+		t.Fatalf("kill -9 replica %d: %v", victim, err)
+	}
+	nodes[victim].Wait() // reap; exit error is the point here
+
+	// Resurrect the victim on the same address with the same log.
+	nodes[victim], logs[victim] = startNode(victim)
+
+	// Phase 2: the rest of the same script, then snapshot + shutdown.
+	// runClient checks the snapshot against the uninterrupted reference.
+	runClient("-from", fmt.Sprint(cut), "-snapshot", "-shutdown")
+
+	for i, n := range nodes {
+		exited := make(chan error, 1)
+		go func() { exited <- n.Wait() }()
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Errorf("replica %d exit: %v\n%s", i, err, logs[i])
+			}
+		case <-time.After(10 * time.Second):
+			t.Errorf("replica %d did not exit on shutdown", i)
+			n.Process.Kill()
+		}
+	}
+}

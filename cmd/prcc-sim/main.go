@@ -14,6 +14,14 @@
 // detector — and the oracle audits the healed, quiesced result:
 //
 //	prcc-sim -chaos -topology ring -n 8 -loss 0.02 -dup 0.01 -partition 0:4 -heal 2ms -crash 5 -heartbeat 500us
+//
+// With -spaces the workload runs on the sharded multi-space runtime:
+// many independent instances of the topology multiplexed over one
+// shared worker pool, driven by a (optionally zipf-skewed) multi-tenant
+// owner-writes workload, with batching efficiency reported alongside
+// the aggregated per-space verdict:
+//
+//	prcc-sim -topology ring -n 8 -spaces 1000 -shards 32 -zipf 1.2 -ops 50000
 package main
 
 import (
@@ -24,8 +32,10 @@ import (
 	"strings"
 
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/membership"
 	rt "repro/internal/runtime"
+	"repro/internal/shard"
 	"repro/internal/sharegraph"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -58,6 +68,9 @@ func run(args []string) error {
 	healAfter := fs.Duration("heal", 0, "chaos: heal the partition after this delay (0 = heal at end of run)")
 	crash := fs.Int("crash", -1, "chaos: crash this replica mid-run and restart it by state transfer (-1 = none)")
 	heartbeat := fs.Duration("heartbeat", 0, "chaos: run the failure detector with this probe interval (0 = off)")
+	spaces := fs.Int("spaces", 0, "run the sharded multi-space runtime with this many independent spaces (0 = off)")
+	shards := fs.Int("shards", 0, "sharded: engine inboxes the spaces multiplex onto (0 = min(spaces, 4×workers))")
+	zipf := fs.Float64("zipf", 0, "sharded: zipf skew of the multi-tenant space distribution (0 = uniform, else > 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +114,38 @@ func run(args []string) error {
 			return fmt.Errorf("-heal only applies with -partition")
 		}
 	}
+	if *spaces <= 0 {
+		// Like the chaos knobs: sharded knobs do nothing without -spaces;
+		// reject instead of silently running a different mode.
+		shardedOnly := map[string]bool{"shards": true, "zipf": true}
+		var set []string
+		spacesSet := false
+		fs.Visit(func(fl *flag.Flag) {
+			if shardedOnly[fl.Name] {
+				set = append(set, "-"+fl.Name)
+			}
+			spacesSet = spacesSet || fl.Name == "spaces"
+		})
+		if spacesSet {
+			fs.Usage()
+			return fmt.Errorf("-spaces %d: need at least one space", *spaces)
+		}
+		if len(set) > 0 {
+			fs.Usage()
+			return fmt.Errorf("%s: sharded knobs require -spaces", strings.Join(set, ", "))
+		}
+	} else {
+		if *chaos || *adversarial {
+			fs.Usage()
+			return fmt.Errorf("-spaces selects the sharded runtime; it cannot be combined with -chaos or -adversarial")
+		}
+		readsSet := false
+		fs.Visit(func(fl *flag.Flag) { readsSet = readsSet || fl.Name == "reads" })
+		if readsSet {
+			fs.Usage()
+			return fmt.Errorf("-reads does not apply to the sharded owner-writes workload")
+		}
+	}
 
 	g, _, err := cli.Load(*config, *topology, *n, *seed)
 	if err != nil {
@@ -109,6 +154,9 @@ func run(args []string) error {
 	p, err := cli.Protocol(*protoName, g)
 	if err != nil {
 		return err
+	}
+	if *spaces > 0 {
+		return runSharded(g, p, *topology, *spaces, *shards, *zipf, *ops, *seed, *noAudit)
 	}
 	script, err := workload.Generate(g, workload.Options{Ops: *ops, ReadFraction: *readFrac, Seed: *seed})
 	if err != nil {
@@ -188,6 +236,50 @@ func run(args []string) error {
 	}
 	// A failing run is the expected outcome for the broken baselines; the
 	// tool still exits 0 because the simulation itself succeeded.
+	return nil
+}
+
+// runSharded multiplexes many independent spaces of the topology over
+// one shared worker pool and reports routing geometry, batching
+// efficiency, and the aggregated per-space oracle verdict.
+func runSharded(g *sharegraph.Graph, p core.Protocol, topology string, spaces, shards int, zipf float64, ops int, seed int64, noAudit bool) error {
+	ms, err := workload.GenerateMulti(g, workload.MultiOptions{
+		Spaces: spaces, Ops: ops, Zipf: zipf, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	r, err := shard.New(g, p, shard.Options{
+		Spaces: spaces, Shards: shards, Seed: seed, Audit: !noAudit,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	violations := r.RunMulti(ms, 0)
+
+	dist := "uniform"
+	if zipf > 0 {
+		dist = fmt.Sprintf("zipf(%g)", zipf)
+	}
+	fmt.Printf("topology=%s R=%d protocol=%s runtime=sharded\n", topology, g.NumReplicas(), p.Name())
+	fmt.Printf("spaces=%d shards=%d workers=%d distribution=%s\n", r.Spaces(), r.Shards(), r.Workers(), dist)
+	st := r.Stats()
+	fmt.Printf("ops=%d envelopes=%d batches=%d (%.1f per batch) metadata=%d bytes\n",
+		len(ms.Ops), st.Messages, st.Batches, st.AvgBatch(), st.MetaBytes)
+
+	if noAudit {
+		fmt.Println("verdict: audit skipped (-noaudit)")
+		return nil
+	}
+	if len(violations) == 0 {
+		fmt.Printf("verdict: causally consistent across all %d spaces ✓\n", spaces)
+		return nil
+	}
+	fmt.Printf("verdict: %d violations\n", len(violations))
+	for _, v := range violations {
+		fmt.Println("  ", v)
+	}
 	return nil
 }
 

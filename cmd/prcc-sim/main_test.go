@@ -17,6 +17,19 @@ func TestRunProtocols(t *testing.T) {
 	}
 }
 
+func TestRunSharded(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "ring", "-n", "4", "-spaces", "8", "-ops", "200"},
+		{"-topology", "fig3", "-spaces", "5", "-shards", "2", "-zipf", "1.3", "-ops", "150"},
+		{"-topology", "ring", "-n", "4", "-spaces", "3", "-ops", "100", "-noaudit"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -38,6 +51,13 @@ func TestRunErrors(t *testing.T) {
 		{"malformed partition", []string{"-chaos", "-partition", "0-2", "-ops", "20"}},
 		{"partition replica out of range", []string{"-chaos", "-partition", "0:99", "-ops", "20"}},
 		{"crash replica out of range", []string{"-chaos", "-crash", "99", "-ops", "20"}},
+		{"shards without spaces", []string{"-shards", "4"}},
+		{"zipf without spaces", []string{"-zipf", "1.2"}},
+		{"spaces with chaos", []string{"-spaces", "2", "-chaos", "-ops", "20"}},
+		{"spaces with adversarial", []string{"-spaces", "2", "-adversarial", "-ops", "20"}},
+		{"reads with spaces", []string{"-spaces", "2", "-reads", "0.5", "-ops", "20"}},
+		{"negative spaces", []string{"-spaces", "-3"}},
+		{"bad zipf", []string{"-spaces", "2", "-zipf", "0.5", "-ops", "20"}},
 	}
 	for _, tc := range cases {
 		if err := run(tc.args); err == nil {

@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sharegraph"
+)
+
+// Route is the placement of one multi-tenant key: the register space it
+// belongs to, the shard (engine inbox) that space's traffic multiplexes
+// onto, and the in-space register name.
+type Route struct {
+	Space int
+	Shard int
+	Reg   sharegraph.Register
+}
+
+// Router maps flat multi-tenant keys onto (space, shard, register)
+// routes. A key is "s<space>/<register>" — the register namespace of
+// every space is the shared placement graph's, so the space prefix is
+// the only additional coordinate a client needs.
+//
+// Space→shard placement is static modulo hashing: space s lands on
+// shard s mod Shards. Every message of one space therefore serializes
+// through one inbox, which is what lets thousands of spaces share a
+// fixed worker pool without per-space goroutines.
+type Router struct {
+	Spaces int
+	Shards int
+}
+
+// Place returns the shard hosting space s.
+func (ro Router) Place(s int) int { return s % ro.Shards }
+
+// Key formats the flat key for register reg of space s.
+func (ro Router) Key(s int, reg sharegraph.Register) string {
+	return "s" + strconv.Itoa(s) + "/" + string(reg)
+}
+
+// Resolve parses a flat key into its route, validating the space index
+// against the router's bounds.
+func (ro Router) Resolve(key string) (Route, error) {
+	rest, ok := strings.CutPrefix(key, "s")
+	if !ok {
+		return Route{}, fmt.Errorf("shard: key %q: want s<space>/<register>", key)
+	}
+	spaceStr, reg, ok := strings.Cut(rest, "/")
+	if !ok {
+		return Route{}, fmt.Errorf("shard: key %q: missing register separator", key)
+	}
+	space, err := strconv.Atoi(spaceStr)
+	if err != nil {
+		return Route{}, fmt.Errorf("shard: key %q: bad space index: %v", key, err)
+	}
+	if space < 0 || space >= ro.Spaces {
+		return Route{}, fmt.Errorf("shard: key %q: space %d outside [0,%d)", key, space, ro.Spaces)
+	}
+	return Route{Space: space, Shard: ro.Place(space), Reg: sharegraph.Register(reg)}, nil
+}

@@ -22,15 +22,24 @@ func TestPoolOrderPreserved(t *testing.T) {
 	}
 }
 
-// TestPoolMatchesReference differentially tests the head-indexed pool
-// against the obvious append-copy implementation under a random mix of
-// adds and takes at arbitrary indexes: every Take must return the same
-// message and leave the same relative order, across compactions.
+// TestPoolMatchesReference differentially tests the hybrid pool against
+// the obvious append-copy implementation under a random mix of adds and
+// takes at arbitrary indexes: every Take must return the same message
+// and leave the same relative order. A seed burst pushes the pool past
+// the Fenwick threshold first, so the mixed phase drains down through
+// the index-drop conversion and continues in shifting mode — both
+// representations, both conversions, and both compactions are crossed
+// while being checked step by step.
 func TestPoolMatchesReference(t *testing.T) {
 	var p Pool
 	var ref []core.Envelope
 	rng := rand.New(rand.NewSource(42))
 	next := int64(0)
+	for ; next < 3000; next++ {
+		env := core.Envelope{Val: core.Value(next)}
+		p.Add(env)
+		ref = append(ref, env)
+	}
 	for op := 0; op < 20000; op++ {
 		if p.Len() != len(ref) {
 			t.Fatalf("op %d: Len = %d, reference %d", op, p.Len(), len(ref))
@@ -75,7 +84,7 @@ func TestPoolMatchesReference(t *testing.T) {
 // dead prefix and verifies draining to empty across compactions.
 func TestPoolFIFODrainCompacts(t *testing.T) {
 	var p Pool
-	const total = 500
+	const total = 2000 // crosses into indexed mode and back out
 	for i := 0; i < total; i++ {
 		p.Add(core.Envelope{Val: core.Value(i)})
 	}
@@ -91,6 +100,97 @@ func TestPoolFIFODrainCompacts(t *testing.T) {
 	p.Add(core.Envelope{Val: 999})
 	if p.Len() != 1 || p.Take(0).Val != 999 {
 		t.Fatal("pool unusable after drain")
+	}
+}
+
+// TestPoolLIFODrainTrims drives the pure-LIFO pattern: every take hits
+// the trailing-trim O(1) path and must keep the newest-live invariant.
+func TestPoolLIFODrainTrims(t *testing.T) {
+	var p Pool
+	const total = 2000 // crosses into indexed mode and back out
+	for i := 0; i < total; i++ {
+		p.Add(core.Envelope{Val: core.Value(i)})
+	}
+	for i := total - 1; i >= 0; i-- {
+		if got := p.Take(p.Len() - 1); got.Val != core.Value(i) {
+			t.Fatalf("LIFO take = %v, want %v", got.Val, i)
+		}
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d after drain", p.Len())
+	}
+}
+
+// TestPoolInteriorSelection forces the Fenwick rank-selection path: take
+// the exact middle until empty, checking the returned message and the
+// surviving order every step. Middle takes never touch the O(1) head and
+// tail fast paths, so while the pool is indexed every removal exercises
+// the tree walk, the tombstone bookkeeping, and compaction with a tree
+// rebuild; the drain then crosses back into shifting mode and finishes
+// on the memmove path.
+func TestPoolInteriorSelection(t *testing.T) {
+	var p Pool
+	var ref []core.Envelope
+	const total = 5000 // crosses several tree doublings on the way up
+	for i := 0; i < total; i++ {
+		env := core.Envelope{Val: core.Value(i)}
+		p.Add(env)
+		ref = append(ref, env)
+	}
+	for len(ref) > 0 {
+		idx := len(ref) / 2
+		got, want := p.Take(idx), ref[idx]
+		ref = append(ref[:idx], ref[idx+1:]...)
+		if got.Val != want.Val {
+			t.Fatalf("Take(%d) = %v, want %v", idx, got.Val, want.Val)
+		}
+		if len(ref) > 0 {
+			for _, spot := range []int{0, len(ref) / 4, len(ref) - 1} {
+				if p.Peek(spot).Val != ref[spot].Val {
+					t.Fatalf("Peek(%d) = %v, want %v", spot, p.Peek(spot).Val, ref[spot].Val)
+				}
+			}
+		}
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d after drain", p.Len())
+	}
+}
+
+// TestPoolShrinksAfterHighWater checks that a pool that once held many
+// messages compacts its index down once the population collapses, then
+// keeps behaving correctly at the small size.
+func TestPoolShrinksAfterHighWater(t *testing.T) {
+	var p Pool
+	var ref []core.Envelope
+	for i := 0; i < 4096; i++ {
+		env := core.Envelope{Val: core.Value(i)}
+		p.Add(env)
+		ref = append(ref, env)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for p.Len() > 8 {
+		idx := rng.Intn(len(ref))
+		got, want := p.Take(idx), ref[idx]
+		ref = append(ref[:idx], ref[idx+1:]...)
+		if got.Val != want.Val {
+			t.Fatalf("Take(%d) = %v, want %v", idx, got.Val, want.Val)
+		}
+	}
+	if p.indexed || p.treeN != 0 {
+		t.Errorf("indexed=%v treeN=%d after collapse to %d live, want index dropped", p.indexed, p.treeN, p.Len())
+	}
+	for i := 0; i < 100; i++ { // stays usable at the small size
+		p.Add(core.Envelope{Val: core.Value(10000 + i)})
+		ref = append(ref, core.Envelope{Val: core.Value(10000 + i)})
+	}
+	for len(ref) > 0 {
+		idx := rng.Intn(len(ref))
+		got, want := p.Take(idx), ref[idx]
+		ref = append(ref[:idx], ref[idx+1:]...)
+		if got.Val != want.Val {
+			t.Fatalf("post-shrink Take(%d) = %v, want %v", idx, got.Val, want.Val)
+		}
 	}
 }
 

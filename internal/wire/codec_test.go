@@ -281,6 +281,10 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(AppendSnapshotReq(nil))
 	f.Add(AppendSnapshot(nil, []sharegraph.Register{"a"}, []core.Value{3}))
 	f.Add(AppendShutdown(nil))
+	f.Add(AppendBatch(nil, []int32{0, 9}, []core.Envelope{
+		{From: 1, To: 2, Reg: "ab", Val: 4, Meta: []byte{0x08}},
+		{From: 2, To: 1, Reg: "cd", Val: -1, MetaOnly: true},
+	}))
 	// Adversarial seeds: truncated mid-payload, oversized declared body,
 	// oversized inner length, wrong magic.
 	f.Add(AppendUpdate(nil, core.Envelope{Reg: "abc", Meta: []byte{1, 2, 3}})[:9])
@@ -312,6 +316,8 @@ func FuzzWireDecode(f *testing.F) {
 				DecodeStatus(payload)
 			case KindSnapshot:
 				DecodeSnapshot(payload)
+			case KindBatch:
+				DecodeBatch(payload, intern, func(int32, core.Envelope) error { return nil })
 			}
 		}
 	})

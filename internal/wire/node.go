@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +43,7 @@ type Node struct {
 
 	nodeMu sync.Mutex
 	sinks  sync.Pool // *frameSink
+	logF   *os.File  // durable mutation log, nil when disabled
 
 	conns   sync.WaitGroup
 	connMu  sync.Mutex
@@ -64,6 +66,17 @@ type NodeOptions struct {
 	Transport TransportOptions
 	// Logf sinks diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
+	// LogPath, when non-empty, enables the durable mutation log: every
+	// accepted mutation (client Write, delivered Update) is appended to
+	// this file as its wire frame before it is applied, and an existing
+	// log is replayed on startup to rebuild the replica's state and
+	// counters after a crash. Replay restores SentUpd/RecvUpd exactly,
+	// so the client-side quiesce protocol stays sound across a kill -9
+	// and restart of a quiescent node. Updates the transport accepted
+	// but had not yet delivered when the process died are not replayed
+	// (the transport's queue is volatile); recovery is exact when the
+	// cluster was quiescent at crash time.
+	LogPath string
 }
 
 // NewNode builds replica self of the configured cluster and starts
@@ -106,9 +119,17 @@ func NewNode(cfg ClusterConfig, self int, protocol core.Protocol, opts NodeOptio
 		n.stock[string(x)] = x
 	}
 	n.sinks.New = func() any { return &frameSink{n: n} }
+	if opts.LogPath != "" {
+		if err := n.openLog(opts.LogPath); err != nil {
+			return nil, fmt.Errorf("wire: replica %d log: %w", self, err)
+		}
+	}
 	n.tr = NewTransport(self, cfg.Addrs(), &n.pool, opts.Transport)
 	ln, err := net.Listen("tcp", cfg.Replicas[self].Addr)
 	if err != nil {
+		if n.logF != nil {
+			n.logF.Close()
+		}
 		return nil, fmt.Errorf("wire: replica %d listen: %w", self, err)
 	}
 	n.ln = ln
@@ -172,6 +193,126 @@ func (n *Node) Close() {
 	}
 	n.connMu.Unlock()
 	n.conns.Wait()
+	if n.logF != nil {
+		n.nodeMu.Lock()
+		n.logF.Close()
+		n.logF = nil
+		n.nodeMu.Unlock()
+	}
+}
+
+// openLog opens (creating if missing) the durable mutation log, replays
+// whatever it already holds into the freshly built protocol state, and
+// positions the file for appends. The log is a sequence of ordinary wire
+// frames in apply order. A torn tail — a frame cut short by a crash
+// mid-append — is truncated away: log-before-apply means a torn frame
+// was never applied and its emissions never left the process, so
+// dropping it is the consistent choice.
+func (n *Node) openLog(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	good, err := n.replayLog(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	n.logF = f
+	return nil
+}
+
+// replaySink counts the envelopes a replayed mutation re-emits without
+// sending them anywhere: the original run already handed them to the
+// transport (counting each as sent), so replay only needs the count to
+// restore SentUpd. Protocol emission is deterministic given the same
+// mutation sequence, so the count is exact. Self-addressed emissions are
+// counted too but not re-delivered — their deliveries were logged as
+// their own Update frames and replay in order.
+type replaySink struct{ emitted uint64 }
+
+func (s *replaySink) Emit(core.Envelope) { s.emitted++ }
+
+// replayLog applies every complete frame in the log and returns the
+// offset just past the last complete frame. Counters are restored to
+// exactly their pre-crash values: recvUpd = replayed updates, idSeq =
+// replayed writes, applied accumulates from the protocol, sentUpd from
+// the deterministic re-emission count.
+func (n *Node) replayLog(f *os.File) (int64, error) {
+	br := bufio.NewReaderSize(f, 64<<10)
+	var buf []byte
+	var good int64
+	for {
+		body, err := ReadFrame(br, &buf)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return good, nil
+			}
+			// Torn or corrupt tail: stop at the last complete frame. Any
+			// other read error (bad magic mid-log, oversized length) also
+			// lands here — replaying a prefix is always safe, and the
+			// truncate that follows discards the junk.
+			n.logf("wire: replica %d: log replay stops at offset %d: %v", n.self, good, err)
+			return good, nil
+		}
+		kind, payload, err := DecodeBody(body)
+		if err != nil {
+			n.logf("wire: replica %d: log replay stops at offset %d: %v", n.self, good, err)
+			return good, nil
+		}
+		s := &replaySink{}
+		switch kind {
+		case KindUpdate:
+			env, err := DecodeUpdate(payload, n.stock)
+			if err != nil {
+				n.logf("wire: replica %d: log replay stops at offset %d: %v", n.self, good, err)
+				return good, nil
+			}
+			applied := n.node.HandleMessage(env, s)
+			n.applied.Add(uint64(len(applied)))
+			n.recvUpd.Add(1)
+		case KindWrite:
+			reg, val, err := DecodeWrite(payload)
+			if err != nil {
+				n.logf("wire: replica %d: log replay stops at offset %d: %v", n.self, good, err)
+				return good, nil
+			}
+			if x, ok := n.stock[string(reg)]; ok {
+				reg = x
+			}
+			id := causality.UpdateID(n.idSeq.Add(1) - 1)
+			// A write that failed validation originally fails identically
+			// here; it still consumed an ID, which is why the bump precedes
+			// the call on both paths.
+			_ = n.node.HandleWrite(reg, val, id, s)
+		default:
+			n.logf("wire: replica %d: log replay stops at offset %d: unexpected %v frame", n.self, good, kind)
+			return good, nil
+		}
+		n.sentUpd.Add(s.emitted)
+		good += int64(4 + len(body))
+	}
+}
+
+// logAppend writes one frame to the durable log. Called with nodeMu held
+// so the log order is exactly the apply order. The write lands in the
+// kernel page cache, which survives a SIGKILL of this process (crash
+// recovery targets process death, not host death — no fsync).
+func (n *Node) logAppend(frame []byte) {
+	if n.logF == nil {
+		return
+	}
+	if _, err := n.logF.Write(frame); err != nil {
+		n.logf("wire: replica %d: log append: %v", n.self, err)
+	}
 }
 
 func (n *Node) dropConn(conn net.Conn) {
@@ -343,6 +484,13 @@ func (n *Node) flush(s *frameSink, backpressure bool) {
 func (n *Node) deliver(env core.Envelope) {
 	s := n.getSink()
 	n.nodeMu.Lock()
+	if n.logF != nil {
+		// Log before apply, inside the lock: env.Meta is still valid
+		// scratch here, and the log order must be the apply order.
+		frame := AppendUpdate(n.pool.Get(), env)
+		n.logAppend(frame)
+		n.pool.Put(frame)
+	}
 	applied := n.node.HandleMessage(env, s)
 	n.applied.Add(uint64(len(applied)))
 	n.nodeMu.Unlock()
@@ -354,6 +502,11 @@ func (n *Node) deliver(env core.Envelope) {
 func (n *Node) clientWrite(reg sharegraph.Register, val core.Value) error {
 	s := n.getSink()
 	n.nodeMu.Lock()
+	if n.logF != nil {
+		frame := AppendWrite(n.pool.Get(), reg, val)
+		n.logAppend(frame)
+		n.pool.Put(frame)
+	}
 	// Oracle IDs are process-local: the causality oracle does not cross
 	// process boundaries, so these only need to be distinct within the
 	// node (the emit contract requires an ID, not a globally audited one).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	rt "repro/internal/runtime"
@@ -190,7 +191,7 @@ func (p *peer) queued() int { return len(p.queue) - p.head }
 // frame from this path.
 func (p *peer) writer() {
 	defer p.t.wg.Done()
-	var conn net.Conn
+	var conn *outConn
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -243,19 +244,51 @@ func (p *peer) writer() {
 	}
 }
 
+// outConn is one established outgoing link plus its death watch. The
+// receiving node never sends on update links, so a read returning on
+// this conn means only one thing: the peer closed or died (FIN/RST).
+// Without the watch, the first write after a quiescent peer death would
+// succeed into the local socket buffer and be silently RST'd — lost
+// with no error to trigger the redial-and-resend path. The watch turns
+// that one-frame loss window into an immediate pre-write redial
+// whenever the death was detectable before the next frame (true for any
+// idle gap longer than the FIN's flight time, e.g. a crash between
+// workload phases).
+type outConn struct {
+	net.Conn
+	dead atomic.Bool
+}
+
+func (c *outConn) watch() {
+	var buf [256]byte
+	for {
+		if _, err := c.Read(buf[:]); err != nil {
+			c.dead.Store(true)
+			return
+		}
+		// Data on an update link is unexpected but not fatal; keep
+		// draining so a chatty peer cannot stall the watch.
+	}
+}
+
 // write delivers one frame over the peer's connection, (re)dialing as
 // needed. During a drain (closing), dial attempts are bounded so an
 // unreachable peer cannot wedge shutdown; it reports whether the frame
 // was written.
-func (p *peer) write(conn *net.Conn, frame []byte, closing bool) bool {
+func (p *peer) write(conn **outConn, frame []byte, closing bool) bool {
 	attempts := 0
 	for {
+		if *conn != nil && (*conn).dead.Load() {
+			(*conn).Close()
+			*conn = nil
+		}
 		if *conn == nil {
 			c, err := p.dial(&attempts, closing)
 			if err != nil {
 				return false // drain attempts exhausted
 			}
-			*conn = c
+			*conn = &outConn{Conn: c}
+			go (*conn).watch()
 		}
 		if _, err := (*conn).Write(frame); err == nil {
 			return true

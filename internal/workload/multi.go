@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sharegraph"
+)
+
+// MultiOp is one operation of a multi-tenant workload: a register
+// operation addressed to one of many independent register spaces.
+type MultiOp struct {
+	Space int
+	Op    Op
+}
+
+// MultiScript is an interleaved multi-tenant workload over Spaces
+// independent register spaces that all share one placement graph. The
+// interleaving carries the tenant skew; each space's own subsequence is
+// exactly the single-space script OwnerWrites would generate for that
+// space's derived seed, so a sharded run can be differentially
+// compared, space by space, against independent single-space runs of
+// PerSpace(s).
+type MultiScript struct {
+	Spaces int
+	Ops    []MultiOp
+
+	perSpace []Script
+}
+
+// PerSpace returns space s's operation subsequence — identical to
+// OwnerWrites(g, n_s, SpaceSeed(seed, s)) where n_s is the number of
+// operations the skew assigned to s. The slice is shared with Ops;
+// callers must not mutate it.
+func (m *MultiScript) PerSpace(s int) Script { return m.perSpace[s] }
+
+// MultiOptions configures multi-tenant generation.
+type MultiOptions struct {
+	// Spaces is the number of independent register spaces.
+	Spaces int
+	// Ops is the total operation count across all spaces.
+	Ops int
+	// Zipf skews space popularity: each operation's space is drawn from
+	// a zipf distribution with this s parameter (must be > 1; heavier
+	// skew as s grows). Zero selects the uniform distribution.
+	Zipf float64
+	// Seed makes generation deterministic; per-space scripts derive
+	// their own seeds from it via SpaceSeed.
+	Seed int64
+}
+
+// SpaceSeed derives space s's workload seed from the run seed. The
+// multiplier decorrelates neighbouring spaces (same constant family as
+// the engine's per-inbox shuffle streams).
+func SpaceSeed(seed int64, s int) int64 {
+	return seed ^ (int64(s+1) * 0x4f1bdcdcbfa53e0b)
+}
+
+// GenerateMulti produces a multi-tenant owner-writes workload: every
+// operation picks a space (zipf-skewed or uniform), and within each
+// space the operations are the single-writer pinned-value writes of
+// OwnerWrites, so each space's final state is schedule-independent and
+// byte-comparable across runtimes.
+//
+// Generation is two-pass: the space sequence is drawn first, then each
+// space's subsequence is generated independently from its derived seed
+// and spliced back into the interleaving. That structure is what makes
+// PerSpace(s) exactly reproducible without the other spaces.
+func GenerateMulti(g *sharegraph.Graph, opts MultiOptions) (*MultiScript, error) {
+	if opts.Spaces <= 0 {
+		return nil, fmt.Errorf("workload: space count %d, need at least one", opts.Spaces)
+	}
+	if opts.Ops < 0 {
+		return nil, fmt.Errorf("workload: negative op count %d", opts.Ops)
+	}
+	if opts.Zipf != 0 && opts.Zipf <= 1 {
+		return nil, fmt.Errorf("workload: zipf parameter %v must be > 1 (or 0 for uniform)", opts.Zipf)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var draw func() int
+	if opts.Zipf > 1 {
+		z := rand.NewZipf(rng, opts.Zipf, 1, uint64(opts.Spaces-1))
+		draw = func() int { return int(z.Uint64()) }
+	} else {
+		draw = func() int { return rng.Intn(opts.Spaces) }
+	}
+	seq := make([]int, opts.Ops)
+	counts := make([]int, opts.Spaces)
+	for i := range seq {
+		s := draw()
+		seq[i] = s
+		counts[s]++
+	}
+	m := &MultiScript{
+		Spaces:   opts.Spaces,
+		Ops:      make([]MultiOp, opts.Ops),
+		perSpace: make([]Script, opts.Spaces),
+	}
+	for s := 0; s < opts.Spaces; s++ {
+		m.perSpace[s] = OwnerWrites(g, counts[s], SpaceSeed(opts.Seed, s))
+	}
+	next := make([]int, opts.Spaces)
+	for i, s := range seq {
+		m.Ops[i] = MultiOp{Space: s, Op: m.perSpace[s][next[s]]}
+		next[s]++
+	}
+	return m, nil
+}

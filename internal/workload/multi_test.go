@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sharegraph"
+)
+
+func TestGenerateMultiDeterministicAndDecomposable(t *testing.T) {
+	g := sharegraph.Ring(6)
+	opts := MultiOptions{Spaces: 16, Ops: 2000, Zipf: 1.2, Seed: 9}
+	m1, err := GenerateMulti(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := GenerateMulti(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1.Ops, m2.Ops) {
+		t.Fatal("same options, different scripts")
+	}
+
+	// The interleaving must decompose exactly into the per-space scripts,
+	// and each per-space script must be reproducible from the derived
+	// seed alone — the property the sharded differential test rests on.
+	counts := make([]int, opts.Spaces)
+	next := make([]int, opts.Spaces)
+	for i, mo := range m1.Ops {
+		if mo.Space < 0 || mo.Space >= opts.Spaces {
+			t.Fatalf("op %d: space %d out of range", i, mo.Space)
+		}
+		if mo.Op != m1.PerSpace(mo.Space)[next[mo.Space]] {
+			t.Fatalf("op %d: interleaving diverges from PerSpace(%d)[%d]", i, mo.Space, next[mo.Space])
+		}
+		next[mo.Space]++
+		counts[mo.Space]++
+	}
+	for s := 0; s < opts.Spaces; s++ {
+		want := OwnerWrites(g, counts[s], SpaceSeed(opts.Seed, s))
+		if !reflect.DeepEqual([]Op(m1.PerSpace(s)), []Op(want)) {
+			t.Fatalf("space %d: PerSpace != OwnerWrites(%d ops, derived seed)", s, counts[s])
+		}
+		if got := len(m1.PerSpace(s)); got != counts[s] {
+			t.Fatalf("space %d: %d ops in PerSpace, %d in interleaving", s, got, counts[s])
+		}
+	}
+}
+
+func TestGenerateMultiZipfSkews(t *testing.T) {
+	g := sharegraph.Ring(4)
+	m, err := GenerateMulti(g, MultiOptions{Spaces: 64, Ops: 8000, Zipf: 1.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, m.Spaces)
+	for _, mo := range m.Ops {
+		counts[mo.Space]++
+	}
+	// Space 0 is the zipf head; it must dominate the tail half combined.
+	tail := 0
+	for s := m.Spaces / 2; s < m.Spaces; s++ {
+		tail += counts[s]
+	}
+	if counts[0] <= tail {
+		t.Errorf("zipf head got %d ops, tail half got %d — no skew", counts[0], tail)
+	}
+
+	u, err := GenerateMulti(g, MultiOptions{Spaces: 64, Ops: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uCounts := make([]int, u.Spaces)
+	for _, mo := range u.Ops {
+		uCounts[mo.Space]++
+	}
+	if uCounts[0] > 8000/4 {
+		t.Errorf("uniform head got %d of 8000 ops — unexpectedly skewed", uCounts[0])
+	}
+}
+
+func TestGenerateMultiValidation(t *testing.T) {
+	g := sharegraph.Ring(3)
+	for _, tc := range []MultiOptions{
+		{Spaces: 0, Ops: 10},
+		{Spaces: 4, Ops: -1},
+		{Spaces: 4, Ops: 10, Zipf: 0.5},
+		{Spaces: 4, Ops: 10, Zipf: 1},
+	} {
+		if _, err := GenerateMulti(g, tc); err == nil {
+			t.Errorf("options %+v: expected error", tc)
+		}
+	}
+	// Zero ops is a valid empty workload.
+	m, err := GenerateMulti(g, MultiOptions{Spaces: 4})
+	if err != nil || len(m.Ops) != 0 {
+		t.Fatalf("empty workload: %v, %d ops", err, len(m.Ops))
+	}
+}

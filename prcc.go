@@ -119,6 +119,41 @@
 // the same owner-writes workload through real sockets must reach final
 // states byte-identical to sim.Cluster's.
 //
+// # Sharding and batching
+//
+// One placement can be hosted thousands of times over: a ShardedSystem
+// (System.Sharded / ShardedWith) runs ShardOptions.Spaces independent
+// instances of the system — each its own protocol node set and
+// optional oracle — multiplexed over a single shared worker pool
+// instead of one runtime per space. Registers are addressed by (space,
+// replica, register) and rendered as routing keys "s<space>/<register>"
+// (ShardedSystem.Key / Resolve); space s routes to engine shard
+// s mod Shards, each shard being one bounded engine inbox, so
+// goroutines scale with ShardOptions.Workers while spaces scale with
+// memory only.
+//
+// Crossing the engine boundary is batched per shard: an update fanout
+// stages envelopes into its shard's outbox, and one engine message
+// carries up to FlushSize of them (metadata copied through the same
+// recycling pool as the cluster transport, so the staged-write →
+// flush → deliver cycle is allocation-free in steady state, asserted
+// by the shard package's zero-alloc test). A partial batch never
+// waits longer than FlushInterval — an idle flusher sweeps outboxes —
+// and Sync flushes everything before draining, so batching changes
+// throughput, never visibility at quiescence. The wire codec carries
+// the same aggregation across process boundaries as a Batch frame
+// (wire.AppendBatch / DecodeBatch): many space-tagged envelopes in one
+// length-prefixed frame, one future network write.
+//
+// Batching loses when it cannot fill: a latency-sensitive workload
+// writing sparsely across many idle spaces pays up to FlushInterval of
+// staging delay per update for no aggregation win, and FlushSize 1
+// (which disables batching) is the better setting there. It wins when
+// load concentrates — many writes per shard per interval, as in the
+// zipf-skewed multi-tenant workloads workload.GenerateMulti produces —
+// where it amortizes the engine's per-message handoff across dozens of
+// envelopes (Stats reports the achieved batch sizes).
+//
 // Beyond the protocol itself the package exposes the paper's analyses:
 // metadata sizing and compression (Section 5), conflict-graph lower bounds
 // on timestamp size (Section 4), baseline protocols for comparison, the
