@@ -480,6 +480,61 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	b.Run("chaos", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkMetricsOverhead measures what the observability registry
+// costs, mirroring BenchmarkClusterThroughput's base/chaos split: the
+// /disarmed row is the gated number — without ClusterOptions.Metrics
+// every instrumentation site must reduce to one nil check, so this row
+// regressing means the hooks leak cost into the common case. The
+// /armed row runs the identical workload with the registry collecting
+// per-replica, per-edge and queue-depth counters and measures the
+// documented price of turning it on.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	g := sharegraph.Ring(32)
+	p, err := core.NewEdgeIndexed(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ops = 10000
+	const workers = 8
+	script := workload.Uniform(g, ops, 7)
+
+	run := func(b *testing.B, armed bool) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			opts := []sim.ClusterOption{sim.WithWorkers(workers), sim.WithSeed(int64(n + 1))}
+			if armed {
+				opts = append(opts, sim.WithMetrics())
+			}
+			c, err := sim.NewCluster(g, p, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			violations := c.RunScript(script)
+			if len(violations) != 0 {
+				b.Fatalf("live run not clean: %d violations", len(violations))
+			}
+			if armed {
+				// The registry must agree with the authoritative transport
+				// counter — per-edge attribution sums to the total.
+				m := c.Metrics()
+				var sent int64
+				for _, e := range m.Edges {
+					sent += e.Sent
+				}
+				if sent != c.MessagesSent() {
+					b.Fatalf("edge sent sum %d != messages sent %d", sent, c.MessagesSent())
+				}
+			}
+			c.Close()
+		}
+		b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	}
+
+	b.Run("disarmed", func(b *testing.B) { run(b, false) })
+	b.Run("armed", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkClientServerLive measures the Appendix E architecture on the
 // shared worker-pool engine at Ring(32) scale: 32 concurrent clients
 // (one per adjacent replica pair) issuing synchronous writes and
@@ -549,8 +604,8 @@ func BenchmarkClientServerLive(b *testing.B) {
 		if err := live.Check(); err != nil {
 			b.Fatal(err)
 		}
-		if updates, bytes := live.Stats(); updates == 0 || bytes == 0 {
-			b.Fatalf("empty transport stats (%d updates, %d bytes)", updates, bytes)
+		if m := live.Metrics(); m.Updates == 0 || m.MetaBytes == 0 {
+			b.Fatalf("empty transport stats (%d updates, %d bytes)", m.Updates, m.MetaBytes)
 		}
 		live.Close()
 		if bound := int64(base + workers + n + 8); peak.Load() > bound {

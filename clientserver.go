@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/clientserver"
+	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
 	"repro/internal/transport"
@@ -66,12 +67,17 @@ func (c *ClientServerSystem) Live() *LiveClientServer {
 // clauses the tests rely on. A zero MaxDelay means no artificial delivery
 // jitter.
 func (c *ClientServerSystem) LiveWith(opts ClusterOptions) *LiveClientServer {
-	return &LiveClientServer{inner: clientserver.NewLiveWith(c.sys, rt.Options{
+	ro := rt.Options{
 		Workers:       opts.Workers,
 		InboxCapacity: opts.InboxCapacity,
 		MaxDelay:      opts.MaxDelay,
 		Seed:          opts.Seed,
-	})}
+	}
+	if opts.Metrics || opts.LoadAware {
+		n := len(c.sys.ReplicaGraphs)
+		ro.Obs = obs.New(n, n)
+	}
+	return &LiveClientServer{inner: clientserver.NewLiveWith(c.sys, ro)}
 }
 
 // LiveClientServer is a running client-server deployment.
@@ -100,10 +106,19 @@ func (lc *LiveClient) Read(x Register) (Value, error) { return lc.inner.Read(x) 
 // Sync blocks until all inter-replica updates have been applied.
 func (l *LiveClientServer) Sync() { l.inner.Quiesce() }
 
+// Metrics returns the deployment's unified metrics snapshot: legacy
+// totals always, per-replica and per-edge breakdowns when
+// ClusterOptions.Metrics armed the registry at LiveWith.
+func (l *LiveClientServer) Metrics() Metrics { return l.inner.Metrics() }
+
 // Stats reports transport-level counters: inter-replica updates
 // dispatched and their total metadata bytes.
+//
+// Deprecated: use Metrics, whose Updates and MetaBytes fields carry the
+// same totals in the unified cross-runtime snapshot schema.
 func (l *LiveClientServer) Stats() (updates int64, metaBytes int64) {
-	return l.inner.UpdatesSent(), l.inner.MetaBytes()
+	m := l.Metrics()
+	return m.Updates, m.MetaBytes
 }
 
 // Workers returns the delivery worker-pool size.

@@ -21,14 +21,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
-	"sort"
 	"strings"
+
+	"repro/internal/bench"
 )
 
 func main() {
@@ -38,90 +38,9 @@ func main() {
 	}
 }
 
-// entry is one benchmark result: the name plus every numeric metric the
-// bench.sh awk conversion captured (ns/op, B/op, allocs/op, ops/s, ...).
-type entry struct {
-	name       string
-	iterations int
-	metrics    map[string]float64
-	order      []string // metric emission order, as captured
-}
-
-// gomaxprocsSuffix matches the -GOMAXPROCS suffix go test appends to
-// benchmark names on multi-core machines; captures from different
-// machines must share names.
-var gomaxprocsSuffix = regexp.MustCompile(`-[0-9]+$`)
-
-// load reads a scripts/bench.sh JSON file, returning its benchmark
-// entries and the capture CPU recorded in the "_env" entry ("" for
-// captures predating that field).
-func load(path string) ([]entry, string, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, "", err
-	}
-	var raw []map[string]any
-	if err := json.Unmarshal(data, &raw); err != nil {
-		return nil, "", fmt.Errorf("%s: %w", path, err)
-	}
-	cpu := ""
-	out := make([]entry, 0, len(raw))
-	for _, m := range raw {
-		e := entry{metrics: map[string]float64{}}
-		name, ok := m["name"].(string)
-		if !ok {
-			return nil, "", fmt.Errorf("%s: entry without a name", path)
-		}
-		if name == "_env" {
-			cpu, _ = m["cpu"].(string)
-			continue
-		}
-		e.name = gomaxprocsSuffix.ReplaceAllString(name, "")
-		if it, ok := m["iterations"].(float64); ok {
-			e.iterations = int(it)
-		}
-		keys := make([]string, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		// JSON objects are unordered; canonicalize so -text output is
-		// stable: ns/op first, then the standard -benchmem pair, then
-		// custom metrics alphabetically.
-		sort.Slice(keys, func(i, j int) bool {
-			return metricRank(keys[i]) < metricRank(keys[j]) || (metricRank(keys[i]) == metricRank(keys[j]) && keys[i] < keys[j])
-		})
-		for _, k := range keys {
-			if k == "name" || k == "iterations" {
-				continue
-			}
-			v, ok := m[k].(float64)
-			if !ok {
-				continue
-			}
-			e.metrics[k] = v
-			e.order = append(e.order, k)
-		}
-		out = append(out, e)
-	}
-	return out, cpu, nil
-}
-
-func metricRank(k string) int {
-	switch k {
-	case "name":
-		return 0
-	case "iterations":
-		return 1
-	case "ns/op":
-		return 2
-	case "B/op":
-		return 3
-	case "allocs/op":
-		return 4
-	default:
-		return 5
-	}
-}
+// The capture loader is shared with cmd/prcc-trend via internal/bench;
+// an entry carries every numeric metric the bench.sh awk conversion
+// captured (ns/op, B/op, allocs/op, ops/s, ...).
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("prcc-benchgate", flag.ContinueOnError)
@@ -133,7 +52,12 @@ func run(args []string, out io.Writer) error {
 	// BenchmarkShardedThroughput's sharded rows gate the multi-space
 	// runtime; its /seq1k row matches the filter too, keeping the
 	// architectural baseline itself from silently regressing.
-	filter := fs.String("filter", "^BenchmarkScaleDelivery/|^BenchmarkClusterThroughput/base|^BenchmarkShardedThroughput/", "regexp selecting the gated benchmarks")
+	// BenchmarkMetricsOverhead/disarmed gates the observability hooks the
+	// same way the /base row gates the chaos hooks: a disarmed registry
+	// must stay one nil check, so its B/op must never grow. The /armed
+	// row is informational — armed cost is a documented trade, not a
+	// regression.
+	filter := fs.String("filter", "^BenchmarkScaleDelivery/|^BenchmarkClusterThroughput/base|^BenchmarkShardedThroughput/|^BenchmarkMetricsOverhead/disarmed", "regexp selecting the gated benchmarks")
 	nsThreshold := fs.Float64("ns-threshold", 1.25, "fail when candidate ns/op exceeds baseline by this factor")
 	bThreshold := fs.Float64("b-threshold", 1.25, "fail when candidate B/op exceeds baseline by this factor")
 	text := fs.Bool("text", false, "convert one JSON file to go-bench text on stdout (for benchstat)")
@@ -144,7 +68,7 @@ func run(args []string, out io.Writer) error {
 		if fs.NArg() != 1 {
 			return fmt.Errorf("-text expects exactly one JSON file")
 		}
-		entries, _, err := load(fs.Arg(0))
+		entries, _, err := bench.Load(fs.Arg(0))
 		if err != nil {
 			return err
 		}
@@ -157,11 +81,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bad -filter: %w", err)
 	}
-	baseline, baseCPU, err := load(fs.Arg(0))
+	baseline, baseCPU, err := bench.Load(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	candidate, candCPU, err := load(fs.Arg(1))
+	candidate, candCPU, err := bench.Load(fs.Arg(1))
 	if err != nil {
 		return err
 	}
@@ -177,25 +101,25 @@ func run(args []string, out io.Writer) error {
 
 // emitText renders entries as `go test -bench` lines so benchstat can
 // consume them.
-func emitText(out io.Writer, entries []entry) error {
+func emitText(out io.Writer, entries []bench.Entry) error {
 	for _, e := range entries {
-		iters := e.iterations
+		iters := e.Iterations
 		if iters == 0 {
 			iters = 1
 		}
-		fmt.Fprintf(out, "%s \t%8d", e.name, iters)
-		for _, k := range e.order {
-			fmt.Fprintf(out, "\t%12g %s", e.metrics[k], k)
+		fmt.Fprintf(out, "%s \t%8d", e.Name, iters)
+		for _, k := range e.Order {
+			fmt.Fprintf(out, "\t%12g %s", e.Metrics[k], k)
 		}
 		fmt.Fprintln(out)
 	}
 	return nil
 }
 
-func compare(out io.Writer, baseline, candidate []entry, re *regexp.Regexp, nsThreshold, bThreshold float64, gateNs bool) error {
-	base := make(map[string]entry, len(baseline))
+func compare(out io.Writer, baseline, candidate []bench.Entry, re *regexp.Regexp, nsThreshold, bThreshold float64, gateNs bool) error {
+	base := make(map[string]bench.Entry, len(baseline))
 	for _, e := range baseline {
-		base[e.name] = e
+		base[e.Name] = e
 	}
 	gated := map[string]float64{"ns/op": nsThreshold, "B/op": bThreshold}
 	metrics := []string{"ns/op", "B/op"}
@@ -205,47 +129,47 @@ func compare(out io.Writer, baseline, candidate []entry, re *regexp.Regexp, nsTh
 	var regressions []string
 	compared := 0
 	for _, c := range candidate {
-		if !re.MatchString(c.name) {
+		if !re.MatchString(c.Name) {
 			continue
 		}
-		b, ok := base[c.name]
+		b, ok := base[c.Name]
 		if !ok {
-			fmt.Fprintf(out, "new       %-55s (no baseline entry; not gated)\n", c.name)
+			fmt.Fprintf(out, "new       %-55s (no baseline entry; not gated)\n", c.Name)
 			continue
 		}
 		compared++
 		for _, metric := range metrics {
-			bv := b.metrics[metric]
+			bv := b.Metrics[metric]
 			if bv <= 0 {
 				continue
 			}
-			cv, ok := c.metrics[metric]
+			cv, ok := c.Metrics[metric]
 			if !ok {
 				// A gated metric recorded in the baseline but absent from
 				// the candidate would otherwise read as 0 and pass as
 				// "improved" — a capture without -benchmem must not slip
 				// an arbitrary regression through the gate.
-				return fmt.Errorf("%s: baseline has %s but candidate capture lacks it", c.name, metric)
+				return fmt.Errorf("%s: baseline has %s but candidate capture lacks it", c.Name, metric)
 			}
 			ratio := cv / bv
 			status := "ok        "
 			if ratio > gated[metric] {
 				status = "REGRESSED "
 				regressions = append(regressions,
-					fmt.Sprintf("%s %s: %.0f -> %.0f (%.2fx > %.2fx allowed)", c.name, metric, bv, cv, ratio, gated[metric]))
+					fmt.Sprintf("%s %s: %.0f -> %.0f (%.2fx > %.2fx allowed)", c.Name, metric, bv, cv, ratio, gated[metric]))
 			} else if ratio < 1/gated[metric] {
 				status = "improved  "
 			}
-			fmt.Fprintf(out, "%s%-55s %-9s %14.0f -> %14.0f  (%.2fx)\n", status, c.name, metric, bv, cv, ratio)
+			fmt.Fprintf(out, "%s%-55s %-9s %14.0f -> %14.0f  (%.2fx)\n", status, c.Name, metric, bv, cv, ratio)
 		}
 	}
 	cand := make(map[string]bool, len(candidate))
 	for _, c := range candidate {
-		cand[c.name] = true
+		cand[c.Name] = true
 	}
 	for _, b := range baseline {
-		if re.MatchString(b.name) && !cand[b.name] {
-			return fmt.Errorf("baseline benchmark %s missing from candidate — scale coverage must not shrink", b.name)
+		if re.MatchString(b.Name) && !cand[b.Name] {
+			return fmt.Errorf("baseline benchmark %s missing from candidate — scale coverage must not shrink", b.Name)
 		}
 	}
 	if compared == 0 {

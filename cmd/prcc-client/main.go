@@ -16,12 +16,18 @@
 //
 //	prcc-client -config cluster.json -shutdown
 //
+// Poll every replica's counters into the unified metrics snapshot
+// (the same schema a node's -status endpoint serves on /statusz):
+//
+//	prcc-client status -config cluster.json
+//
 // The snapshot output is the canonical byte-comparable form
 // (wire.FormatSnapshots); two runs of the same single-writer script on
 // any runtime must print identical bytes.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,6 +48,11 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	// Subcommands come before flags; everything else is the legacy
+	// flag-driven surface.
+	if len(args) > 0 && args[0] == "status" {
+		return runStatus(args[1:], out)
+	}
 	fs := flag.NewFlagSet("prcc-client", flag.ContinueOnError)
 	config := fs.String("config", "", "cluster config JSON file")
 	ops := fs.Int("ops", 0, "owner-writes operations to run (0 = none)")
@@ -143,5 +154,44 @@ func run(args []string, out io.Writer) error {
 	if *shutdown {
 		return client.Shutdown()
 	}
+	return nil
+}
+
+// runStatus implements "prcc-client status": poll every replica's
+// counters and print the unified metrics snapshot as indented JSON —
+// the same schema a node's /statusz endpoint serves.
+func runStatus(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prcc-client status", flag.ContinueOnError)
+	config := fs.String("config", "", "cluster config JSON file (required)")
+	dialTimeout := fs.Duration("dial-timeout", 10*time.Second, "per-cluster dial timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *config == "" {
+		fs.Usage()
+		return errors.New("-config is required")
+	}
+	cfg, err := wire.LoadClusterConfig(*config)
+	if err != nil {
+		return err
+	}
+	client, err := wire.Dial(cfg, *dialTimeout)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	m, err := client.Metrics()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\n", data)
 	return nil
 }

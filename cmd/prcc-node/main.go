@@ -38,6 +38,7 @@ func run(args []string) error {
 	config := fs.String("config", "", "cluster config JSON file (required)")
 	id := fs.Int("id", -1, "replica ID: index into the config's replicas array (required)")
 	logPath := fs.String("log", "", "durable mutation log path: replayed on start, appended while serving (crash recovery)")
+	statusAddr := fs.String("status", "", "serve /statusz and /metricsz on this address (arms per-edge metrics)")
 	quiet := fs.Bool("quiet", false, "suppress per-connection diagnostics")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +68,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := wire.NodeOptions{Logf: log.Printf, LogPath: *logPath}
+	opts := wire.NodeOptions{Logf: log.Printf, LogPath: *logPath, StatusAddr: *statusAddr}
 	if *quiet {
 		opts.Logf = func(string, ...any) {}
 	}
@@ -76,6 +77,9 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "prcc-node: replica %d (%s) listening on %s\n", *id, p.Name(), node.Addr())
+	if sa := node.StatusAddrServing(); sa != "" {
+		fmt.Fprintf(os.Stderr, "prcc-node: replica %d status on http://%s/statusz\n", *id, sa)
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- node.Serve() }()

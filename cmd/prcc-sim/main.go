@@ -34,6 +34,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/membership"
+	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/shard"
 	"repro/internal/sharegraph"
@@ -68,6 +69,7 @@ func run(args []string) error {
 	healAfter := fs.Duration("heal", 0, "chaos: heal the partition after this delay (0 = heal at end of run)")
 	crash := fs.Int("crash", -1, "chaos: crash this replica mid-run and restart it by state transfer (-1 = none)")
 	heartbeat := fs.Duration("heartbeat", 0, "chaos: run the failure detector with this probe interval (0 = off)")
+	statusAddr := fs.String("status", "", "serve /statusz and /metricsz on this address during a live run (requires -chaos or -spaces)")
 	spaces := fs.Int("spaces", 0, "run the sharded multi-space runtime with this many independent spaces (0 = off)")
 	shards := fs.Int("shards", 0, "sharded: engine inboxes the spaces multiplex onto (0 = min(spaces, 4×workers))")
 	zipf := fs.Float64("zipf", 0, "sharded: zipf skew of the multi-tenant space distribution (0 = uniform, else > 1)")
@@ -81,6 +83,12 @@ func run(args []string) error {
 	if *ops < 0 {
 		fs.Usage()
 		return fmt.Errorf("-ops %d: must be non-negative", *ops)
+	}
+	if *statusAddr != "" && !*chaos && *spaces <= 0 {
+		// The deterministic simulator has no live runtime to scrape; the
+		// status endpoint only makes sense while a cluster is running.
+		fs.Usage()
+		return fmt.Errorf("-status requires a live runtime (-chaos or -spaces)")
 	}
 	if *config == "" && *n <= 0 {
 		fs.Usage()
@@ -156,7 +164,7 @@ func run(args []string) error {
 		return err
 	}
 	if *spaces > 0 {
-		return runSharded(g, p, *topology, *spaces, *shards, *zipf, *ops, *seed, *noAudit)
+		return runSharded(g, p, *topology, *spaces, *shards, *zipf, *ops, *seed, *noAudit, *statusAddr)
 	}
 	script, err := workload.Generate(g, workload.Options{Ops: *ops, ReadFraction: *readFrac, Seed: *seed})
 	if err != nil {
@@ -197,7 +205,7 @@ func run(args []string) error {
 		if *heartbeat > 0 {
 			cfg.Heartbeat = &membership.Options{Interval: *heartbeat}
 		}
-		return runChaos(g, *topology, cfg)
+		return runChaos(g, *topology, cfg, *statusAddr)
 	}
 	var sched transport.Scheduler = transport.NewRandom(*seed)
 	if *adversarial {
@@ -242,7 +250,7 @@ func run(args []string) error {
 // runSharded multiplexes many independent spaces of the topology over
 // one shared worker pool and reports routing geometry, batching
 // efficiency, and the aggregated per-space oracle verdict.
-func runSharded(g *sharegraph.Graph, p core.Protocol, topology string, spaces, shards int, zipf float64, ops int, seed int64, noAudit bool) error {
+func runSharded(g *sharegraph.Graph, p core.Protocol, topology string, spaces, shards int, zipf float64, ops int, seed int64, noAudit bool, statusAddr string) error {
 	ms, err := workload.GenerateMulti(g, workload.MultiOptions{
 		Spaces: spaces, Ops: ops, Zipf: zipf, Seed: seed,
 	})
@@ -251,11 +259,20 @@ func runSharded(g *sharegraph.Graph, p core.Protocol, topology string, spaces, s
 	}
 	r, err := shard.New(g, p, shard.Options{
 		Spaces: spaces, Shards: shards, Seed: seed, Audit: !noAudit,
+		Metrics: statusAddr != "",
 	})
 	if err != nil {
 		return err
 	}
 	defer r.Close()
+	if statusAddr != "" {
+		srv, err := obs.Serve(statusAddr, r.Metrics)
+		if err != nil {
+			return fmt.Errorf("-status %s: %w", statusAddr, err)
+		}
+		defer srv.Close()
+		fmt.Printf("status: serving /statusz and /metricsz on %s\n", srv.Addr())
+	}
 	violations := r.RunMulti(ms, 0)
 
 	dist := "uniform"
@@ -286,7 +303,29 @@ func runSharded(g *sharegraph.Graph, p core.Protocol, topology string, spaces, s
 // runChaos executes the three-phase chaos orchestration and reports the
 // fault layer's counters, the detector's transitions, and the oracle's
 // post-heal verdict.
-func runChaos(g *sharegraph.Graph, topology string, cfg sim.ChaosConfig) error {
+func runChaos(g *sharegraph.Graph, topology string, cfg sim.ChaosConfig, statusAddr string) error {
+	var srv *obs.StatusServer
+	if statusAddr != "" {
+		cfg.Opts = append(cfg.Opts, sim.WithMetrics())
+		var serveErr error
+		cfg.OnCluster = func(c *sim.Cluster) {
+			srv, serveErr = obs.Serve(statusAddr, c.Metrics)
+			if serveErr == nil {
+				fmt.Printf("status: serving /statusz and /metricsz on %s\n", srv.Addr())
+			}
+		}
+		// The cluster dies with RunChaos; the endpoint must not outlive it.
+		defer func() {
+			if srv != nil {
+				srv.Close()
+			}
+		}()
+		defer func() {
+			if serveErr != nil {
+				fmt.Fprintf(os.Stderr, "prcc-sim: -status %s: %v\n", statusAddr, serveErr)
+			}
+		}()
+	}
 	res, err := sim.RunChaos(cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,240 @@
+// Command prcc-trend renders the benchmark trajectory across the
+// repository's checked-in capture history: every BENCH_PR<n>.json in a
+// directory becomes one column, every selected benchmark one row, and
+// the table shows how ns/op and B/op moved PR by PR.
+//
+// Usage:
+//
+//	prcc-trend                       # captures in the current directory
+//	prcc-trend -filter 'ring64' .    # only matching benchmark rows
+//	prcc-trend -metric B/op ~/repo   # a single metric table
+//
+// Capture numbering may have gaps (a PR that changed no benchmarks
+// captures nothing); missing files are simply absent columns, and a
+// benchmark absent from one capture renders as "-" in that cell.
+// Wall-clock numbers are only comparable between captures taken on the
+// same hardware: when the capture CPUs differ the tool prints each
+// column's CPU so a ns/op step can be told apart from a machine change
+// (B/op is deterministic for the seeded runs and always comparable).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prcc-trend:", err)
+		os.Exit(1)
+	}
+}
+
+// capture is one BENCH_PR<n>.json file: its PR number, capture CPU, and
+// benchmark rows keyed by name.
+type capture struct {
+	pr   int
+	cpu  string
+	rows map[string]map[string]float64
+}
+
+var prFile = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// discover lists the capture files under dir in PR order.
+func discover(dir string) ([]string, []int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type hit struct {
+		pr   int
+		path string
+	}
+	var hits []hit
+	for _, e := range entries {
+		m := prFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		pr, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		hits = append(hits, hit{pr: pr, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pr < hits[j].pr })
+	paths := make([]string, len(hits))
+	prs := make([]int, len(hits))
+	for i, h := range hits {
+		paths[i] = h.path
+		prs[i] = h.pr
+	}
+	return paths, prs, nil
+}
+
+// loadCapture reads one capture file into row form.
+func loadCapture(path string, pr int) (capture, error) {
+	entries, cpu, err := bench.Load(path)
+	if err != nil {
+		return capture{}, err
+	}
+	c := capture{pr: pr, cpu: cpu, rows: make(map[string]map[string]float64, len(entries))}
+	for _, e := range entries {
+		c.rows[e.Name] = e.Metrics
+	}
+	return c, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prcc-trend", flag.ContinueOnError)
+	filter := fs.String("filter", "", "regexp selecting benchmark rows (default: all)")
+	metrics := fs.String("metric", "ns/op,B/op", "comma-separated metrics to tabulate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		dir = fs.Arg(0)
+	default:
+		fs.Usage()
+		return fmt.Errorf("expected at most one directory argument, got %v", fs.Args())
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			return fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+
+	paths, prs, err := discover(dir)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_PR<n>.json captures in %s", dir)
+	}
+	captures := make([]capture, len(paths))
+	for i, p := range paths {
+		if captures[i], err = loadCapture(p, prs[i]); err != nil {
+			return err
+		}
+	}
+
+	// Row universe: union of benchmark names across every capture, so a
+	// benchmark added or retired mid-history still shows its partial
+	// trajectory.
+	seen := map[string]bool{}
+	var names []string
+	for _, c := range captures {
+		for name := range c.rows {
+			if seen[name] || (re != nil && !re.MatchString(name)) {
+				continue
+			}
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmarks match -filter %q", *filter)
+	}
+
+	for i, metric := range strings.Split(*metrics, ",") {
+		metric = strings.TrimSpace(metric)
+		if metric == "" {
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		renderTable(out, metric, names, captures)
+	}
+
+	// ns/op comparisons across machines are noise; surface the capture
+	// CPUs whenever the history spans more than one.
+	cpus := map[string]bool{}
+	for _, c := range captures {
+		cpus[c.cpu] = true
+	}
+	if len(cpus) > 1 {
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "note: captures span multiple CPUs; ns/op is only comparable within one machine:")
+		for _, c := range captures {
+			cpu := c.cpu
+			if cpu == "" {
+				cpu = "(unrecorded)"
+			}
+			fmt.Fprintf(out, "  PR%-3d %s\n", c.pr, cpu)
+		}
+	}
+	return nil
+}
+
+// renderTable prints one metric's trajectory: benchmarks down, capture
+// PRs across.
+func renderTable(out io.Writer, metric string, names []string, captures []capture) {
+	header := make([]string, 0, len(captures)+1)
+	header = append(header, metric)
+	for _, c := range captures {
+		header = append(header, fmt.Sprintf("PR%d", c.pr))
+	}
+	grid := [][]string{header}
+	for _, name := range names {
+		row := []string{name}
+		for _, c := range captures {
+			cell := "-"
+			if m, ok := c.rows[name]; ok {
+				if v, ok := m[metric]; ok {
+					cell = formatValue(v)
+				}
+			}
+			row = append(row, cell)
+		}
+		grid = append(grid, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range grid {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range grid {
+		var sb strings.Builder
+		for i, cell := range row {
+			if i == 0 {
+				sb.WriteString(fmt.Sprintf("%-*s", widths[i], cell))
+			} else {
+				sb.WriteString(fmt.Sprintf("  %*s", widths[i], cell))
+			}
+		}
+		fmt.Fprintln(out, strings.TrimRight(sb.String(), " "))
+	}
+}
+
+// formatValue renders a metric value compactly: integers plain, large
+// values without spurious precision, small ones with enough.
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	case v >= 100:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTrendAgainstCheckedInCaptures runs the tool over the repository's
+// real capture history: PR numbering has a gap (no BENCH_PR7.json — that
+// PR changed no benchmarks), captures span machines, and early captures
+// lack rows that exist today. The trajectory table must absorb all of
+// that.
+func TestTrendAgainstCheckedInCaptures(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-filter", "^BenchmarkScaleDelivery/", "../.."}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"PR1", "PR8", "BenchmarkScaleDelivery/ring64_50k/random"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "PR7") {
+		t.Errorf("PR7 column rendered despite no BENCH_PR7.json capture:\n%s", out)
+	}
+	// Both default metric tables render.
+	if !strings.Contains(out, "ns/op") || !strings.Contains(out, "B/op") {
+		t.Errorf("expected ns/op and B/op tables:\n%s", out)
+	}
+}
+
+// TestTrendSyntheticHistory pins cell-level behavior on a controlled
+// two-capture history: a benchmark missing from one capture renders "-",
+// values land in PR order, and differing capture CPUs produce the
+// comparability note.
+func TestTrendSyntheticHistory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_PR2.json", `[{"name":"_env","cpu":"cpuA"},
+{"name":"BenchmarkOld","iterations":10,"ns/op":100,"B/op":64}]`)
+	write("BENCH_PR5.json", `[{"name":"_env","cpu":"cpuB"},
+{"name":"BenchmarkOld","iterations":10,"ns/op":90,"B/op":64},
+{"name":"BenchmarkNew","iterations":10,"ns/op":42.5,"B/op":0}]`)
+	write("not_a_capture.json", `[]`)
+
+	var sb strings.Builder
+	if err := run([]string{dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"PR2", "PR5",
+		"BenchmarkOld", "BenchmarkNew",
+		"42.5", // float survives formatting
+		"-",    // BenchmarkNew has no PR2 cell
+		"note: captures span multiple CPUs",
+		"cpuA", "cpuB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A single-metric request renders only that table.
+	sb.Reset()
+	if err := run([]string{"-metric", "B/op", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(sb.String(), "ns/op") {
+		t.Errorf("-metric B/op still rendered the ns/op table:\n%s", sb.String())
+	}
+
+	// An unmatched filter is an explicit error, not an empty table.
+	if err := run([]string{"-filter", "NoSuchBenchmark", dir}, &strings.Builder{}); err == nil {
+		t.Error("unmatched -filter did not error")
+	}
+
+	// A directory without captures is an explicit error too.
+	if err := run([]string{t.TempDir()}, &strings.Builder{}); err == nil {
+		t.Error("captureless directory did not error")
+	}
+}

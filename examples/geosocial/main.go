@@ -117,8 +117,8 @@ func run() error {
 	if err := live.Check(); err != nil {
 		return err
 	}
-	updates, metaBytes := live.Stats()
+	m := live.Metrics()
 	fmt.Printf("live: workers=%d updates=%d metadata bytes=%d — consistent ✓\n",
-		live.Workers(), updates, metaBytes)
+		live.Workers(), m.Updates, m.MetaBytes)
 	return nil
 }

@@ -71,7 +71,7 @@ func run() error {
 	if err := cluster.Check(); err != nil {
 		return err
 	}
-	msgs, bytes := cluster.Stats()
-	fmt.Printf("causally consistent ✓ (%d update messages, %d metadata bytes)\n", msgs, bytes)
+	m := cluster.Metrics()
+	fmt.Printf("causally consistent ✓ (%d update messages, %d metadata bytes)\n", m.Messages, m.MetaBytes)
 	return nil
 }

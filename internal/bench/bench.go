@@ -1,0 +1,100 @@
+// Package bench parses the repository's benchmark capture files: the
+// JSON arrays scripts/bench.sh produces and the checked-in
+// BENCH_PR<n>.json history. It is the shared loader behind
+// cmd/prcc-benchgate (the regression gate) and cmd/prcc-trend (the
+// trajectory table), so both tools agree on name canonicalization and
+// metric handling.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Entry is one benchmark result: the name plus every numeric metric the
+// bench.sh awk conversion captured (ns/op, B/op, allocs/op, ops/s, ...).
+type Entry struct {
+	Name       string
+	Iterations int
+	Metrics    map[string]float64
+	Order      []string // metric emission order, canonicalized
+}
+
+// gomaxprocsSuffix matches the -GOMAXPROCS suffix go test appends to
+// benchmark names on multi-core machines; captures from different
+// machines must share names.
+var gomaxprocsSuffix = regexp.MustCompile(`-[0-9]+$`)
+
+// Load reads a scripts/bench.sh JSON file, returning its benchmark
+// entries and the capture CPU recorded in the "_env" entry ("" for
+// captures predating that field).
+func Load(path string) ([]Entry, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	cpu := ""
+	out := make([]Entry, 0, len(raw))
+	for _, m := range raw {
+		e := Entry{Metrics: map[string]float64{}}
+		name, ok := m["name"].(string)
+		if !ok {
+			return nil, "", fmt.Errorf("%s: entry without a name", path)
+		}
+		if name == "_env" {
+			cpu, _ = m["cpu"].(string)
+			continue
+		}
+		e.Name = gomaxprocsSuffix.ReplaceAllString(name, "")
+		if it, ok := m["iterations"].(float64); ok {
+			e.Iterations = int(it)
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		// JSON objects are unordered; canonicalize so text output is
+		// stable: ns/op first, then the standard -benchmem pair, then
+		// custom metrics alphabetically.
+		sort.Slice(keys, func(i, j int) bool {
+			return metricRank(keys[i]) < metricRank(keys[j]) || (metricRank(keys[i]) == metricRank(keys[j]) && keys[i] < keys[j])
+		})
+		for _, k := range keys {
+			if k == "name" || k == "iterations" {
+				continue
+			}
+			v, ok := m[k].(float64)
+			if !ok {
+				continue
+			}
+			e.Metrics[k] = v
+			e.Order = append(e.Order, k)
+		}
+		out = append(out, e)
+	}
+	return out, cpu, nil
+}
+
+func metricRank(k string) int {
+	switch k {
+	case "name":
+		return 0
+	case "iterations":
+		return 1
+	case "ns/op":
+		return 2
+	case "B/op":
+		return 3
+	case "allocs/op":
+		return 4
+	default:
+		return 5
+	}
+}

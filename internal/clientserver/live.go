@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/causality"
 	"repro/internal/core"
+	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
 )
@@ -26,6 +27,9 @@ type LiveSystem struct {
 	tracker *causality.Tracker
 	servers []*liveServer
 	eng     *rt.Engine[UpdateMsg]
+	// reg mirrors Options.Obs: nil is the disarmed state, every
+	// recording call is nil-safe (the engine-wide metrics discipline).
+	reg *obs.Registry
 
 	closed    atomic.Bool
 	updates   atomic.Int64
@@ -52,8 +56,10 @@ func NewLive(sys *System) *LiveSystem {
 }
 
 // NewLiveWith starts a live deployment with explicit engine options.
+// Setting Options.Obs arms metrics collection (see Metrics).
 func NewLiveWith(sys *System, opts rt.Options) *LiveSystem {
 	ls := newLiveBase(sys)
+	ls.reg = opts.Obs
 	ls.eng = rt.New(len(ls.servers), opts, ls.deliver)
 	return ls
 }
@@ -65,6 +71,7 @@ func NewLiveWith(sys *System, opts rt.Options) *LiveSystem {
 // chaotic system that heals still converges and must pass CheckLiveness.
 func NewLiveChaotic(sys *System, opts rt.Options, plan rt.FaultPlan) *LiveSystem {
 	ls := newLiveBase(sys)
+	ls.reg = opts.Obs
 	clone := func(u UpdateMsg) UpdateMsg {
 		// The duplicate needs its own timestamp: the original's TS is
 		// consumed (recycled) by whichever server ingests it first.
@@ -125,6 +132,33 @@ func (ls *LiveSystem) UpdatesSent() int64 { return ls.updates.Load() }
 
 // MetaBytes returns total update-metadata bytes dispatched.
 func (ls *LiveSystem) MetaBytes() int64 { return ls.metaBytes.Load() }
+
+// Metrics snapshots the live system in the unified observability
+// schema. The legacy totals are always present; the per-replica and
+// per-edge breakdowns require an armed registry (Options.Obs).
+func (ls *LiveSystem) Metrics() obs.Snapshot {
+	s := ls.reg.Snapshot()
+	s.Runtime = "clientserver"
+	s.Updates = ls.updates.Load()
+	s.Messages = ls.updates.Load()
+	s.MetaBytes = ls.metaBytes.Load()
+	s.Outstanding = int64(ls.eng.Outstanding())
+	if f := ls.eng.Faults(); f != nil {
+		s.Dropped = int64(f.Dropped())
+		s.Duped = int64(f.Duped())
+		s.Parked += int64(f.ParkedMessages())
+	}
+	for i, srv := range ls.servers {
+		srv.mu.Lock()
+		p := int64(srv.s.PendingUpdates() + srv.s.PendingRequests())
+		srv.mu.Unlock()
+		if i < len(s.Replicas) {
+			s.Replicas[i].Parked = p
+		}
+		s.Parked += p
+	}
+	return s
+}
 
 // Client returns a handle for client c. A handle issues one operation at
 // a time (matching the Appendix E client prototype, which awaits each
@@ -240,6 +274,12 @@ func (ls *LiveSystem) dispatch(out *Outcome, backpressure bool) {
 		for i := 0; i < accepted; i++ {
 			ls.metaBytes.Add(int64(out.Updates[i].MetaBytes()))
 		}
+		if ls.reg != nil {
+			for i := 0; i < accepted; i++ {
+				u := &out.Updates[i]
+				ls.reg.Sent(int(u.From), int(u.To), u.MetaBytes())
+			}
+		}
 	}
 	for _, resp := range out.Responses {
 		ls.respMu.Lock()
@@ -260,6 +300,15 @@ func (ls *LiveSystem) deliver(u UpdateMsg) {
 	srv.s.HandleUpdate(u, out)
 	ls.recordOutcome(srv.s, out)
 	srv.mu.Unlock()
+	if ls.reg != nil {
+		applied := 0
+		for i := range out.Events {
+			if out.Events[i].IsApply {
+				applied++
+			}
+		}
+		ls.reg.Deliver(int(u.From), int(u.To), applied)
+	}
 	ls.dispatch(out, false)
 	putOutcome(out)
 }

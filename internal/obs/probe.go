@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// ProbeFunc measures one round-trip on edge from→to, returning the
+// observed latency and whether the probe succeeded. A probe may fail
+// because the edge is partitioned (the fault layer refuses it) or the
+// peer is down; failed probes leave the EWMA untouched.
+type ProbeFunc func(from, to int) (time.Duration, bool)
+
+// ProberOptions tunes the health prober. Zero values select defaults.
+type ProberOptions struct {
+	// Interval is the per-edge probe spacing (and the real-time tick
+	// period for Start). Default 50ms.
+	Interval time.Duration
+	// Burst is how many back-to-back probes each due edge gets per tick;
+	// the minimum successful round-trip of the burst feeds the EWMA,
+	// filtering scheduler noise the way Xray's observatory burst-pings a
+	// path before trusting one sample. Default 3.
+	Burst int
+	// Alpha is the EWMA smoothing factor in (0, 1]. Default 0.2.
+	Alpha float64
+}
+
+func (o ProberOptions) withDefaults() ProberOptions {
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.Burst <= 0 {
+		o.Burst = 3
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.2
+	}
+	return o
+}
+
+// Prober burst-pings a fixed set of relay edges and folds the measured
+// round-trips into the registry's per-edge latency EWMAs. Like
+// internal/membership's detector it has two drive modes: deterministic
+// Tick(now) for tests and simulations, and a real-time Start/Stop loop
+// for live runtimes.
+type Prober struct {
+	reg   *Registry
+	probe ProbeFunc
+	edges [][2]int
+	opts  ProberOptions
+
+	mu     sync.Mutex
+	due    []time.Time // next probe time per edge; zero = immediately
+	probes int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewProber builds a prober over the given directed edges. The edge set
+// should be the share graph's actual relay paths (pairs of replicas
+// that exchange updates), not all n² pairs — probing a pair that never
+// carries traffic measures nothing actionable.
+func NewProber(reg *Registry, edges [][2]int, probe ProbeFunc, opts ProberOptions) *Prober {
+	es := make([][2]int, len(edges))
+	copy(es, edges)
+	return &Prober{
+		reg:   reg,
+		probe: probe,
+		edges: es,
+		opts:  opts.withDefaults(),
+		due:   make([]time.Time, len(es)),
+	}
+}
+
+// Tick probes every edge whose interval has elapsed at `now`: Burst
+// back-to-back probes, minimum successful round-trip into the EWMA.
+// Deterministic drivers call it directly with simulated clocks; the
+// Start loop calls it with wall time.
+func (p *Prober) Tick(now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, e := range p.edges {
+		if now.Before(p.due[i]) {
+			continue
+		}
+		p.due[i] = now.Add(p.opts.Interval)
+		best := time.Duration(-1)
+		for b := 0; b < p.opts.Burst; b++ {
+			p.probes++
+			rtt, ok := p.probe(e[0], e[1])
+			if !ok {
+				continue
+			}
+			if best < 0 || rtt < best {
+				best = rtt
+			}
+		}
+		if best >= 0 {
+			p.reg.ObserveLatency(e[0], e[1], best, p.opts.Alpha)
+		}
+	}
+}
+
+// Probes returns the total number of individual probe calls issued.
+func (p *Prober) Probes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.probes
+}
+
+// Start launches the real-time probe loop. Stop terminates it; Start
+// after Stop restarts it. Calling Start twice without Stop is a no-op
+// the second time.
+func (p *Prober) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stop, p.done)
+}
+
+// Stop halts the real-time loop and waits for it to exit. Safe to call
+// when the loop is not running.
+func (p *Prober) Stop() {
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (p *Prober) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.opts.Interval)
+	defer t.Stop()
+	p.Tick(time.Now())
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			p.Tick(now)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestProberTickDeterministic drives the prober with a simulated clock:
+// each due edge gets Burst back-to-back probes per tick, the minimum
+// successful round-trip feeds the EWMA, and an edge stays quiet until its
+// interval elapses again.
+func TestProberTickDeterministic(t *testing.T) {
+	reg := New(3, 0)
+	// Per-burst round-trips for edge 0->1; edge 1->2 always fails (a
+	// partitioned path leaves the EWMA untouched).
+	rtts := [][3]time.Duration{
+		{5 * time.Millisecond, 3 * time.Millisecond, 9 * time.Millisecond},
+		{8 * time.Millisecond, 7 * time.Millisecond, 7 * time.Millisecond},
+	}
+	var round int
+	probe := func(from, to int) (time.Duration, bool) {
+		if from == 1 {
+			return 0, false
+		}
+		burst := rtts[round]
+		r := burst[0]
+		rtts[round] = [3]time.Duration{burst[1], burst[2], burst[0]}
+		return r, true
+	}
+	p := NewProber(reg, [][2]int{{0, 1}, {1, 2}}, probe, ProberOptions{
+		Interval: 50 * time.Millisecond,
+		Burst:    3,
+		Alpha:    0.5,
+	})
+
+	base := time.Unix(0, 0)
+	p.Tick(base)
+	if got := reg.EdgeLatencyNs(0, 1); got != int64(3*time.Millisecond) {
+		t.Errorf("EWMA after first burst = %d, want min-of-burst 3ms", got)
+	}
+	if got := reg.EdgeLatencyNs(1, 2); got != 0 {
+		t.Errorf("failed edge EWMA = %d, want untouched 0", got)
+	}
+	if got := p.Probes(); got != 6 {
+		t.Errorf("probes after tick 1 = %d, want 6 (2 edges x burst 3)", got)
+	}
+
+	// Before the interval elapses nothing is due.
+	round = 1
+	p.Tick(base.Add(20 * time.Millisecond))
+	if got := p.Probes(); got != 6 {
+		t.Errorf("early tick probed anyway: %d probes", got)
+	}
+
+	// At the interval both edges re-probe; EWMA moves halfway toward the
+	// new burst minimum (7ms): 3 + 0.5*(7-3) = 5ms.
+	p.Tick(base.Add(50 * time.Millisecond))
+	if got := reg.EdgeLatencyNs(0, 1); got != int64(5*time.Millisecond) {
+		t.Errorf("EWMA after second burst = %d, want 5ms", got)
+	}
+	if got := p.Probes(); got != 12 {
+		t.Errorf("probes after tick 3 = %d, want 12", got)
+	}
+	if e := reg.Snapshot().Edges[EdgeKey(0, 1)]; e.Probes != 2 {
+		t.Errorf("registry edge probes = %d, want 2 successful-burst observations", e.Probes)
+	}
+}
+
+// TestProberStartStop exercises the real-time mode: Start probes, double
+// Start is a no-op, Stop waits the loop out, and Start after Stop
+// restarts.
+func TestProberStartStop(t *testing.T) {
+	reg := New(2, 0)
+	var calls atomic.Int64
+	probe := func(from, to int) (time.Duration, bool) {
+		calls.Add(1)
+		return time.Millisecond, true
+	}
+	p := NewProber(reg, [][2]int{{0, 1}}, probe, ProberOptions{Interval: 5 * time.Millisecond, Burst: 1})
+	p.Start()
+	p.Start() // second Start must not spawn a second loop
+	deadline := time.Now().Add(2 * time.Second)
+	for calls.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	if calls.Load() < 2 {
+		t.Fatalf("probe loop made %d calls, want >= 2", calls.Load())
+	}
+	after := calls.Load()
+	time.Sleep(20 * time.Millisecond)
+	if calls.Load() != after {
+		t.Error("probe loop still running after Stop")
+	}
+	if reg.EdgeLatencyNs(0, 1) == 0 {
+		t.Error("real-time probing never fed the EWMA")
+	}
+
+	p.Start() // restart after Stop
+	deadline = time.Now().Add(2 * time.Second)
+	for calls.Load() == after && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	if calls.Load() == after {
+		t.Error("Start after Stop did not resume probing")
+	}
+}

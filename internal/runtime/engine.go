@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Message is anything the engine can route: it names its destination
@@ -51,6 +53,12 @@ type Options struct {
 	MaxDelay time.Duration
 	// Seed drives the per-inbox delivery shuffles (default 1).
 	Seed int64
+	// Obs, when non-nil, arms metrics collection at the engine boundary:
+	// the engine keeps the registry's per-destination inbox-depth gauges
+	// current, and the fault layer attributes its drop/dup/retransmit
+	// lotteries per edge. Disarmed (nil, the default) the hooks cost one
+	// nil check — the same discipline as the fault-injection layer.
+	Obs *obs.Registry
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -101,6 +109,9 @@ type Engine[M Message] struct {
 	// (NewWithFaults) and never mutated, so the disabled path costs one
 	// nil check.
 	faults *FaultInjector[M]
+	// obs, when non-nil, receives inbox-depth gauge updates (see
+	// Options.Obs). Set once at construction and never mutated.
+	obs *obs.Registry
 }
 
 // inbox buffers in-flight messages destined for one inbox index. Guarded
@@ -123,6 +134,7 @@ func New[M Message](destinations int, opts Options, deliver func(M)) *Engine[M] 
 		capacity: opts.InboxCapacity,
 		maxDelay: opts.MaxDelay,
 		seed:     opts.Seed,
+		obs:      opts.Obs,
 	}
 	e.workAvail = sync.NewCond(&e.mu)
 	e.spaceCond = sync.NewCond(&e.mu)
@@ -198,6 +210,9 @@ func (e *Engine[M]) enqueue(ms []M, backpressure bool) int {
 		}
 		ib := &e.inboxes[to]
 		ib.buf = append(ib.buf, m)
+		if e.obs != nil {
+			e.obs.QueueDepth(to, len(ib.buf))
+		}
 		e.outstanding++
 		accepted++
 		if !ib.queued {
@@ -228,6 +243,9 @@ func (e *Engine[M]) enqueueOne(m M, backpressure bool) int {
 	}
 	ib := &e.inboxes[to]
 	ib.buf = append(ib.buf, m)
+	if e.obs != nil {
+		e.obs.QueueDepth(to, len(ib.buf))
+	}
 	e.outstanding++
 	if !ib.queued {
 		ib.queued = true
@@ -278,6 +296,9 @@ func (e *Engine[M]) worker() {
 		ib.buf[i] = ib.buf[last]
 		ib.buf[last] = zero
 		ib.buf = ib.buf[:last]
+		if e.obs != nil {
+			e.obs.QueueDepth(r, len(ib.buf))
+		}
 		if len(ib.buf) == e.capacity-1 {
 			// Crossed back below the bound: wake blocked senders. Inboxes
 			// can sit above capacity transiently (forward overshoot), in

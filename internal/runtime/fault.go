@@ -221,6 +221,7 @@ func (f *FaultInjector[M]) admit(m M, backpressure bool) bool {
 	ef := f.plan.edgeFault(from, to)
 	if ef.Drop > 0 && f.roll(from, to, streamDrop) < ef.Drop {
 		f.dropped++
+		f.eng.obs.Dropped(from, to)
 		f.retrans = append(f.retrans, retransEntry[M]{
 			m: m, from: from, to: to, attempts: 1,
 			due: time.Now().Add(f.plan.RetransmitBase),
@@ -237,6 +238,7 @@ func (f *FaultInjector[M]) admit(m M, backpressure bool) bool {
 	var d M
 	if dup {
 		f.duped++
+		f.eng.obs.Duped(from, to)
 		d = f.clone(m)
 	}
 	f.mu.Unlock()
@@ -443,6 +445,7 @@ func (f *FaultInjector[M]) step(now time.Time) {
 			kept = append(kept, re)
 			continue
 		}
+		f.eng.obs.Retransmitted(re.from, re.to)
 		f.eng.enqueueOne(re.m, false)
 	}
 	// Zero the tail so dropped entries do not pin message payloads.
@@ -483,6 +486,7 @@ func (f *FaultInjector[M]) settle() bool {
 			f.parked[key] = append(f.parked[key], re.m)
 			continue
 		}
+		f.eng.obs.Retransmitted(re.from, re.to)
 		f.eng.enqueueOne(re.m, false)
 		flushed = true
 	}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/causality"
 	"repro/internal/core"
+	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
 	"repro/internal/transport"
@@ -72,6 +73,11 @@ type Options struct {
 	// differential test pins correctness against audited single-space
 	// runs instead.
 	Audit bool
+	// Metrics arms the observability registry: per-replica delivery
+	// counters (aggregated across spaces), per-edge traffic, per-shard
+	// inbox-depth gauges and batch-size stats, snapshotted by Metrics.
+	// Disarmed (default) the hooks cost one nil check.
+	Metrics bool
 }
 
 func (o Options) withDefaults(workers int) Options {
@@ -142,6 +148,11 @@ type Runtime struct {
 	msgs     atomic.Int64
 	nbatches atomic.Int64
 	metaB    atomic.Int64
+
+	// reg is nil unless Options.Metrics armed it; all recording calls
+	// below are nil-safe. Replica counters aggregate across spaces
+	// (space s, replica j → replica j); queue gauges are per shard.
+	reg *obs.Registry
 }
 
 // New builds and starts a sharded runtime: protocol.NewNodes() is
@@ -187,6 +198,10 @@ func New(g *sharegraph.Graph, protocol core.Protocol, opts Options) (*Runtime, e
 	}
 	r.opts = opts.withDefaults(workers)
 	r.out = make([]outbox, r.opts.Shards)
+	if r.opts.Metrics {
+		r.reg = obs.New(r.replicas, r.opts.Shards)
+		engOpts.Obs = r.reg
+	}
 	r.eng = rt.New(r.opts.Shards, engOpts, r.deliver)
 	r.flushWG.Add(1)
 	go r.flusher()
@@ -298,6 +313,18 @@ func (r *Runtime) push(s *spaceSink, b *batch, backpressure bool) {
 	for i := range b.items {
 		bytes += int64(len(b.items[i].env.Meta))
 	}
+	// Per-edge attribution must happen before the engine sees the batch:
+	// once accepted, a worker may deliver and recycle it concurrently.
+	// The one batch a shutdown race rejects is therefore over-counted in
+	// the registry (not in the authoritative Stats totals below) —
+	// harmless for monitoring, unsafe to fix by reading b.items later.
+	if r.reg != nil {
+		r.reg.Batch(n)
+		for i := range b.items {
+			env := &b.items[i].env
+			r.reg.Sent(int(env.From), int(env.To), len(env.Meta))
+		}
+	}
 	s.one[0] = b
 	var accepted int
 	if backpressure {
@@ -337,6 +364,13 @@ func (r *Runtime) deliver(b *batch) {
 			}
 		}
 		mu.Unlock()
+		if r.reg != nil {
+			na := len(applied)
+			if env.MetaOnly {
+				na = obs.MetaOnly
+			}
+			r.reg.Deliver(int(env.From), int(env.To), na)
+		}
 		// The node has decoded (or rejected) the metadata; recycle it.
 		r.meta.Put(env.Meta)
 		r.stage(s, space, false)
@@ -525,6 +559,23 @@ func (r *Runtime) Stats() Stats {
 		Batches:   r.nbatches.Load(),
 		MetaBytes: r.metaB.Load(),
 	}
+}
+
+// Metrics snapshots the runtime in the unified observability schema.
+// Legacy totals (batches, envelopes, metadata bytes) are always
+// present; per-replica and per-edge breakdowns require Options.Metrics.
+// Replica counters aggregate across all spaces; engine inbox gauges
+// appear under Snapshot.Queues, indexed by shard (the runtime's queue
+// index space is shards, not replicas).
+func (r *Runtime) Metrics() obs.Snapshot {
+	s := r.reg.Snapshot()
+	s.Runtime = "sharded"
+	s.Envelopes = r.msgs.Load()
+	s.Messages = r.msgs.Load()
+	s.Batches = r.nbatches.Load()
+	s.MetaBytes = r.metaB.Load()
+	s.Outstanding = int64(r.eng.Outstanding())
+	return s
 }
 
 // RunMulti executes a multi-tenant workload over a bounded driver pool:

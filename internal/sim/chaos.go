@@ -40,6 +40,12 @@ type ChaosConfig struct {
 	CrashReplica sharegraph.ReplicaID
 	// Opts are extra cluster options (workers, seed, inbox capacity, …).
 	Opts []ClusterOption
+	// OnCluster, when non-nil, is called with the live cluster after
+	// construction and before the workload starts — a hook for observers
+	// (e.g. a status endpoint scraping Cluster.Metrics during the run).
+	// The cluster is closed when RunChaos returns; the hook must not
+	// retain it past that.
+	OnCluster func(*Cluster)
 }
 
 // ChaosResult reports what a chaos run did and what the oracle thought
@@ -55,6 +61,7 @@ type ChaosResult struct {
 	// FinalState is the per-replica register contents after quiescence.
 	FinalState   []map[sharegraph.Register]core.Value
 	MessagesSent int64
+	MetaBytes    int64
 	Dropped      uint64
 	Duped        uint64
 	PendingTotal int
@@ -76,6 +83,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		return nil, err
 	}
 	defer c.Close()
+	if cfg.OnCluster != nil {
+		cfg.OnCluster(c)
+	}
 
 	if cfg.Crash {
 		if err := c.Checkpoint(cfg.CrashReplica); err != nil {
@@ -155,6 +165,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res := &ChaosResult{
 		FinalState:   c.StateSnapshot(),
 		MessagesSent: c.MessagesSent(),
+		MetaBytes:    c.MetaBytes(),
 		PendingTotal: c.PendingTotal(),
 	}
 	if f := c.Faults(); f != nil {

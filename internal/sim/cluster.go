@@ -9,6 +9,7 @@ import (
 	"repro/internal/causality"
 	"repro/internal/core"
 	"repro/internal/membership"
+	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
 	"repro/internal/transport"
@@ -53,6 +54,22 @@ type Cluster struct {
 	chaosPlan *rt.FaultPlan
 	hbOpts    *membership.Options
 	det       *membership.Detector
+
+	// Observability: reg is nil (disarmed) unless WithMetrics or
+	// WithLoadAware were given; every recording call below is nil-safe so
+	// the fault-free, metrics-free hot path pays a nil check, nothing
+	// more. prober burst-pings the share graph's directed edges; it is
+	// constructed armed but only started automatically in LoadAware mode
+	// (deterministic drivers call Tick themselves).
+	metrics   bool
+	reg       *obs.Registry
+	prober    *obs.Prober
+	loadAware bool
+	// rankCache/scorers implement the load-aware route choice: writer r's
+	// fanout destinations re-ranked least-loaded-first. rankCache[r] is
+	// guarded by nodeMu[r], like the node's own recipient cache.
+	rankCache []sharegraph.RecipientCache
+	scorers   []func(sharegraph.ReplicaID) int64
 	// rec[r] is replica r's recovery state, guarded by nodeMu[r]; the
 	// slice itself is nil when chaos is disabled, so the fault-free
 	// delivery path pays one nil check.
@@ -75,6 +92,7 @@ type Cluster struct {
 type envBatch struct {
 	c    *Cluster
 	envs []core.Envelope
+	rank []sharegraph.ReplicaID // load-aware scratch: ranked fanout order
 }
 
 // Emit implements core.Sink.
@@ -93,6 +111,11 @@ func (c *Cluster) recordSent(envs []core.Envelope) {
 		total += int64(len(envs[i].Meta))
 	}
 	c.metaBytes.Add(total)
+	if c.reg != nil {
+		for i := range envs {
+			c.reg.Sent(int(envs[i].From), int(envs[i].To), len(envs[i].Meta))
+		}
+	}
 }
 
 func (c *Cluster) getBatch() *envBatch {
@@ -103,6 +126,7 @@ func (c *Cluster) getBatch() *envBatch {
 
 func (c *Cluster) putBatch(b *envBatch) {
 	b.envs = b.envs[:0]
+	b.rank = b.rank[:0]
 	c.batches.Put(b)
 }
 
@@ -183,6 +207,31 @@ func WithHeartbeats(opts membership.Options) ClusterOption {
 	return func(c *Cluster) { c.hbOpts = &opts }
 }
 
+// WithMetrics arms the observability registry: per-replica delivery /
+// stall / recheck counters, per-edge traffic counters, and engine
+// inbox-depth gauges, snapshotted by Metrics. Disarmed (the default)
+// the collection hooks cost one nil check on the hot path — the same
+// discipline as the fault-injection layer, pinned by an alloc test and
+// a gated benchmark row.
+func WithMetrics() ClusterOption {
+	return func(c *Cluster) { c.metrics = true }
+}
+
+// WithLoadAware arms metrics and enables load-aware relay choice: each
+// write's fanout (the recipient set the share graph dictates) is
+// emitted least-loaded-first, ordered by destination inbox depth with
+// probed edge-latency EWMAs breaking ties. The recipient SET never
+// changes — only the emission order, which the engine's delivery
+// shuffle already permutes arbitrarily — so causal consistency and
+// final state are untouched (pinned by a differential test). The
+// health prober starts automatically and stops with the cluster.
+func WithLoadAware() ClusterOption {
+	return func(c *Cluster) {
+		c.metrics = true
+		c.loadAware = true
+	}
+}
+
 // NewCluster builds and starts a live cluster for the protocol. The
 // worker pool runs until Close.
 func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOption) (*Cluster, error) {
@@ -208,17 +257,72 @@ func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOpti
 		}
 	}
 	c.batches.New = func() any { return &envBatch{} }
+	if c.metrics {
+		c.reg = obs.New(len(nodes), len(nodes))
+		c.opts.Obs = c.reg
+	}
 	if c.chaosPlan != nil {
 		c.rec = make([]replicaRec, len(nodes))
 		c.eng = rt.NewWithFaults(len(nodes), c.opts, *c.chaosPlan, c.cloneEnv, c.deliver)
 	} else {
 		c.eng = rt.New(len(nodes), c.opts, c.deliver)
 	}
+	if c.metrics {
+		edges := g.Edges()
+		pairs := make([][2]int, len(edges))
+		for i, e := range edges {
+			pairs[i] = [2]int{int(e.From), int(e.To)}
+		}
+		c.prober = obs.NewProber(c.reg, pairs, c.probeRTT, obs.ProberOptions{})
+	}
+	if c.loadAware {
+		c.rankCache = make([]sharegraph.RecipientCache, len(nodes))
+		c.scorers = make([]func(sharegraph.ReplicaID) int64, len(nodes))
+		for r := range nodes {
+			c.rankCache[r] = sharegraph.NewRecipientCache(g, sharegraph.ReplicaID(r))
+			c.scorers[r] = c.loadScorer(sharegraph.ReplicaID(r))
+		}
+		c.prober.Start()
+	}
 	if c.hbOpts != nil {
 		c.det = membership.New(len(nodes), c.probe, *c.hbOpts)
 		c.det.Start()
 	}
 	return c, nil
+}
+
+// loadScorer builds writer from's destination scorer: inbox depth
+// dominates (in 1ms units), with the probed from→to latency EWMA
+// (clamped below 1ms — in-process round-trips are microseconds)
+// breaking ties between equally deep inboxes. Unprobed edges score
+// latency 0, so before the prober has measured anything the ranking
+// degrades to plain depth order, and with idle inboxes to the default
+// recipient order.
+func (c *Cluster) loadScorer(from sharegraph.ReplicaID) func(sharegraph.ReplicaID) int64 {
+	const tie = int64(time.Millisecond)
+	return func(to sharegraph.ReplicaID) int64 {
+		lat := c.reg.EdgeLatencyNs(int(from), int(to))
+		if lat >= tie {
+			lat = tie - 1
+		}
+		return c.reg.Depth(int(to))*tie + lat
+	}
+}
+
+// probeRTT measures one relay-path round trip for the health prober: the
+// time to acquire the destination node's lock — the cluster-internal
+// analogue of pinging the peer, dominated by how contended the
+// destination currently is. Under chaos the fault layer gates the probe
+// exactly as it gates heartbeats (cut edges and down replicas fail).
+func (c *Cluster) probeRTT(from, to int) (time.Duration, bool) {
+	if f := c.eng.Faults(); f != nil && !f.Probe(from, to) {
+		return 0, false
+	}
+	start := time.Now()
+	c.nodeMu[to].Lock()
+	rtt := time.Since(start)
+	c.nodeMu[to].Unlock()
+	return rtt, true
 }
 
 // cloneEnv deep-copies an envelope for the fault layer's duplication
@@ -282,15 +386,43 @@ func (c *Cluster) Write(r sharegraph.ReplicaID, x sharegraph.Register, v core.Va
 	if err == nil && c.rec != nil && c.rec[r].logging {
 		c.rec[r].log = append(c.rec[r].log, logEntry{write: true, reg: x, val: v, id: id})
 	}
+	if err == nil && c.loadAware {
+		// Rank while still holding the writer's lock: rankCache[r] is
+		// single-writer state like the node's own recipient cache. The
+		// envelope permutation itself happens outside the lock.
+		b.rank = c.rankCache[r].RankedRecipients(x, b.rank[:0], c.scorers[r])
+	}
 	c.nodeMu[r].Unlock()
 	if err != nil {
 		c.putBatch(b)
 		return fmt.Errorf("cluster: write at %d: %w", r, err)
 	}
+	if c.loadAware {
+		reorderFanout(b.envs, b.rank)
+	}
 	accepted := c.eng.Send(b.envs...)
 	c.recordSent(b.envs[:accepted])
 	c.putBatch(b)
 	return nil
+}
+
+// reorderFanout permutes one write's staged envelopes to match the
+// ranked destination order. Envelopes whose destination is not in the
+// ranking (there are none today — the fanout and the recipient cache
+// derive from the same share graph) keep their relative order after the
+// ranked prefix. Quadratic in the fanout size, which is at most R-1 and
+// typically the share-graph degree.
+func reorderFanout(envs []core.Envelope, rank []sharegraph.ReplicaID) {
+	i := 0
+	for _, dest := range rank {
+		for j := i; j < len(envs); j++ {
+			if envs[j].To == dest {
+				envs[i], envs[j] = envs[j], envs[i]
+				i++
+				break
+			}
+		}
+	}
 }
 
 // Read returns replica r's local copy of x. A crashed replica serves no
@@ -336,6 +468,13 @@ func (c *Cluster) deliver(env core.Envelope) {
 		}
 	}
 	c.nodeMu[to].Unlock()
+	if c.reg != nil {
+		n := len(applied)
+		if env.MetaOnly {
+			n = obs.MetaOnly // applies nothing by design: not a stall
+		}
+		c.reg.Deliver(int(env.From), int(to), n)
+	}
 	// The node has decoded (or rejected) the metadata; recycle the buffer
 	// for a future emit.
 	c.meta.Put(env.Meta)
@@ -356,6 +495,9 @@ func (c *Cluster) Close() {
 	c.closed.Store(true)
 	if c.det != nil {
 		c.det.Stop()
+	}
+	if c.prober != nil {
+		c.prober.Stop()
 	}
 	c.eng.Close()
 }
@@ -393,6 +535,40 @@ func (c *Cluster) MessagesSent() int64 { return c.msgs.Load() }
 
 // MetaBytes returns total metadata bytes dispatched so far.
 func (c *Cluster) MetaBytes() int64 { return c.metaBytes.Load() }
+
+// Prober exposes the health prober; nil unless metrics are armed
+// (WithMetrics / WithLoadAware). In LoadAware mode it is already
+// running; otherwise drive it with Tick or Start as needed.
+func (c *Cluster) Prober() *obs.Prober { return c.prober }
+
+// Metrics snapshots the cluster in the unified observability schema.
+// The legacy totals (messages, metadata bytes) are always present; the
+// per-replica and per-edge breakdowns require WithMetrics or
+// WithLoadAware. Safe to call concurrently with a running workload.
+func (c *Cluster) Metrics() obs.Snapshot {
+	s := c.reg.Snapshot()
+	s.Runtime = "cluster"
+	s.Messages = c.msgs.Load()
+	s.MetaBytes = c.metaBytes.Load()
+	s.Outstanding = int64(c.eng.Outstanding())
+	if f := c.eng.Faults(); f != nil {
+		s.Dropped = int64(f.Dropped())
+		s.Duped = int64(f.Duped())
+		s.Parked += int64(f.ParkedMessages())
+	}
+	if len(s.Replicas) == len(c.nodes) {
+		for r := range c.nodes {
+			c.nodeMu[r].Lock()
+			p := int64(c.nodes[r].PendingCount())
+			c.nodeMu[r].Unlock()
+			s.Replicas[r].Parked = p
+			s.Parked += p
+		}
+	} else {
+		s.Parked += int64(c.PendingTotal())
+	}
+	return s
+}
 
 // RunScript executes a workload concurrently: one driver goroutine per
 // replica issues that replica's operations in script order (blocking

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	rt "repro/internal/runtime"
+	"repro/internal/sharegraph"
+	"repro/internal/workload"
+)
+
+// TestClusterMetricsArmed checks the armed registry against the
+// cluster's own ground truth after a quiesced workload: every message
+// sent was delivered somewhere, edge attribution sums to the totals, and
+// the meta-byte accounting matches the legacy counter.
+func TestClusterMetricsArmed(t *testing.T) {
+	g := sharegraph.Ring(6)
+	c, err := NewCluster(g, edgeIndexed(t, g), WithMetrics(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if violations := c.RunScript(workload.Uniform(g, 400, 11)); len(violations) != 0 {
+		t.Fatalf("armed run violations: %v", violations)
+	}
+	m := c.Metrics()
+	if m.Runtime != "cluster" {
+		t.Errorf("runtime = %q, want cluster", m.Runtime)
+	}
+	if m.Messages != c.MessagesSent() || m.MetaBytes != c.MetaBytes() {
+		t.Errorf("legacy totals diverge: %d/%d vs %d/%d",
+			m.Messages, m.MetaBytes, c.MessagesSent(), c.MetaBytes())
+	}
+	if len(m.Replicas) != g.NumReplicas() {
+		t.Fatalf("replica breakdown has %d rows, want %d", len(m.Replicas), g.NumReplicas())
+	}
+	var sent, bytes, delivered, edgeDelivered int64
+	for _, e := range m.Edges {
+		sent += e.Sent
+		bytes += e.Bytes
+		edgeDelivered += e.Delivered
+	}
+	for _, r := range m.Replicas {
+		delivered += r.Delivered
+	}
+	if sent != m.Messages {
+		t.Errorf("edge sent sum = %d, want messages %d", sent, m.Messages)
+	}
+	if bytes != m.MetaBytes {
+		t.Errorf("edge byte sum = %d, want meta bytes %d", bytes, m.MetaBytes)
+	}
+	// Quiesced: everything sent was delivered, and edge attribution
+	// agrees with the per-replica counters.
+	if delivered != m.Messages || edgeDelivered != m.Messages {
+		t.Errorf("delivered sums = %d (replica) / %d (edge), want %d",
+			delivered, edgeDelivered, m.Messages)
+	}
+	if m.Outstanding != 0 || m.Parked != 0 {
+		t.Errorf("quiesced cluster reports outstanding=%d parked=%d", m.Outstanding, m.Parked)
+	}
+
+	// The prober is constructed but not started in plain metrics mode;
+	// deterministic drivers tick it explicitly.
+	p := c.Prober()
+	if p == nil {
+		t.Fatal("armed cluster has no prober")
+	}
+	p.Tick(time.Now())
+	if p.Probes() == 0 {
+		t.Error("prober tick issued no probes")
+	}
+	probed := false
+	for _, e := range c.Metrics().Edges {
+		if e.Probes > 0 && e.LatencyNs > 0 {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Error("no edge carries a probed latency EWMA after a tick")
+	}
+}
+
+// TestClusterMetricsDisarmed pins the disarmed contract at the public
+// surface: Metrics still reports the legacy totals, but no breakdowns
+// exist and no prober runs.
+func TestClusterMetricsDisarmed(t *testing.T) {
+	g := sharegraph.Ring(4)
+	c, err := NewCluster(g, edgeIndexed(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if violations := c.RunScript(workload.Uniform(g, 100, 5)); len(violations) != 0 {
+		t.Fatalf("violations: %v", violations)
+	}
+	m := c.Metrics()
+	if m.Messages == 0 || m.MetaBytes == 0 {
+		t.Error("disarmed Metrics lost the legacy totals")
+	}
+	if m.Replicas != nil || m.Edges != nil || m.Queues != nil {
+		t.Errorf("disarmed Metrics carries breakdowns: %+v", m)
+	}
+	if c.Prober() != nil {
+		t.Error("disarmed cluster built a prober")
+	}
+}
+
+// TestClusterMetricsDisarmedZeroAlloc asserts the acceptance criterion
+// from the chaos-hook precedent: with the registry disarmed, the
+// write-and-deliver hot path allocates exactly as much as before the
+// observability layer existed — nothing in steady state.
+func TestClusterMetricsDisarmedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode: sync.Pool sheds items, so alloc accounting is meaningless")
+	}
+	g := sharegraph.Ring(4)
+	c, err := NewCluster(g, edgeIndexed(t, g), WithoutAudit(), WithWorkers(1), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	regs := g.Registers()
+	reg := regs[0]
+	owner := g.Holders(reg)[0]
+	cycle := func() {
+		for i := 0; i < 64; i++ {
+			if err := c.Write(owner, reg, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Quiesce()
+	}
+	for i := 0; i < 16; i++ { // warm pools, slice capacities and inboxes
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Errorf("disarmed metrics hot path allocates: %.2f allocs per 64-write cycle", avg)
+	}
+}
+
+// TestLoadAwareDifferential is the acceptance test for the load-aware
+// relay choice: on the same single-writer workload, a load-aware cluster
+// must produce zero causal violations and the exact final state of a
+// plain cluster — the fanout SET is untouched, only its emission order
+// changes, and the engine's delivery shuffle already absorbs arbitrary
+// orders.
+func TestLoadAwareDifferential(t *testing.T) {
+	g := sharegraph.Ring(6)
+	script := workload.OwnerWrites(g, 400, 21)
+
+	plain, err := NewCluster(g, edgeIndexed(t, g), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := plain.RunScript(script); len(violations) != 0 {
+		t.Fatalf("plain run violations: %v", violations)
+	}
+	want := plain.StateSnapshot()
+	wantMsgs := plain.MessagesSent()
+	plain.Close()
+
+	la, err := NewCluster(g, edgeIndexed(t, g), WithSeed(5), WithLoadAware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := la.RunScript(script); len(violations) != 0 {
+		t.Fatalf("load-aware run violations: %v", violations)
+	}
+	if p := la.PendingTotal(); p != 0 {
+		t.Errorf("%d updates stuck pending under load-aware dispatch", p)
+	}
+	got := la.StateSnapshot()
+	m := la.Metrics()
+	la.Close()
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("load-aware final state diverges:\nplain:      %v\nload-aware: %v", want, got)
+	}
+	// Same protocol, same workload: the message count is identical — the
+	// route choice reorders, it never reroutes.
+	if m.Messages != wantMsgs {
+		t.Errorf("load-aware sent %d messages, plain sent %d", m.Messages, wantMsgs)
+	}
+	// WithLoadAware implies an armed registry and a running prober.
+	if len(m.Replicas) != g.NumReplicas() {
+		t.Errorf("load-aware cluster has no replica breakdown")
+	}
+}
+
+// TestLoadAwareUnderChaos combines the load-aware route choice with the
+// fault layer: loss, duplication and a transient partition must not
+// break safety or liveness when the fanout is re-ranked by load.
+func TestLoadAwareUnderChaos(t *testing.T) {
+	g := sharegraph.Ring(5)
+	c, err := NewCluster(g, edgeIndexed(t, g), WithSeed(7), WithLoadAware(),
+		WithChaos(rt.FaultPlan{Seed: 31, Default: rt.EdgeFault{Drop: 0.05, Dup: 0.05}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if violations := c.RunScript(workload.Uniform(g, 300, 23)); len(violations) != 0 {
+		t.Errorf("load-aware chaos violations: %v", violations)
+	}
+	// PendingTotal is not asserted zero: duplicated envelopes dead-park in
+	// the per-sender ingest queues by design (see TestChaosSoak). The
+	// oracle's liveness audit above is the authoritative check.
+	m := c.Metrics()
+	if m.Dropped == 0 && m.Duped == 0 {
+		t.Log("chaos plan injected no faults this run (acceptable, seeded lottery)")
+	}
+}
+
+// TestReorderFanout pins the permutation helper: ranked destinations
+// move to the front in rank order, unranked envelopes keep their
+// relative order behind them.
+func TestReorderFanout(t *testing.T) {
+	mkEnvs := func(tos ...sharegraph.ReplicaID) []core.Envelope {
+		envs := make([]core.Envelope, len(tos))
+		for i, to := range tos {
+			envs[i].To = to
+		}
+		return envs
+	}
+	envTos := func(envs []core.Envelope) []sharegraph.ReplicaID {
+		tos := make([]sharegraph.ReplicaID, len(envs))
+		for i := range envs {
+			tos[i] = envs[i].To
+		}
+		return tos
+	}
+	envs := mkEnvs(1, 2, 3, 4)
+	reorderFanout(envs, []sharegraph.ReplicaID{3, 1})
+	if got := envTos(envs); !reflect.DeepEqual(got, []sharegraph.ReplicaID{3, 1, 2, 4}) {
+		t.Errorf("reorderFanout = %v, want [3 1 2 4]", got)
+	}
+	// Rank mentioning absent destinations is harmless.
+	envs = mkEnvs(2, 0)
+	reorderFanout(envs, []sharegraph.ReplicaID{9, 0, 2})
+	if got := envTos(envs); !reflect.DeepEqual(got, []sharegraph.ReplicaID{0, 2}) {
+		t.Errorf("reorderFanout with absent rank = %v, want [0 2]", got)
+	}
+	// Empty rank leaves the batch untouched.
+	envs = mkEnvs(1, 0)
+	reorderFanout(envs, nil)
+	if got := envTos(envs); !reflect.DeepEqual(got, []sharegraph.ReplicaID{1, 0}) {
+		t.Errorf("reorderFanout with nil rank = %v", got)
+	}
+}
+
+// TestClusterMetricsSnapshotRace hammers Metrics from a scraper
+// goroutine while a workload runs — the /statusz pattern. Run under
+// -race this pins that live snapshots are safe.
+func TestClusterMetricsSnapshotRace(t *testing.T) {
+	g := sharegraph.Ring(5)
+	c, err := NewCluster(g, edgeIndexed(t, g), WithMetrics(), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := c.Metrics()
+				_ = obs.EdgeKey(0, 1)
+				if s.Messages < 0 {
+					panic("negative message count")
+				}
+			}
+		}
+	}()
+	if violations := c.RunScript(workload.Uniform(g, 300, 13)); len(violations) != 0 {
+		t.Errorf("violations under concurrent scraping: %v", violations)
+	}
+	close(stop)
+	<-done
+}

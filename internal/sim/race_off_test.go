@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately sheds items to widen interleavings, so
+// allocation accounting over pooled paths is meaningless there.
+const raceEnabled = false

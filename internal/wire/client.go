@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
 	"repro/internal/workload"
@@ -128,6 +129,34 @@ func (c *Client) Status(r sharegraph.ReplicaID) (Status, error) {
 	s, isResp, err := DecodeStatus(payload)
 	if err != nil || !isResp {
 		return Status{}, fmt.Errorf("wire: status of replica %d: bad response (%v)", r, err)
+	}
+	return s, nil
+}
+
+// Metrics polls every replica's Status and folds the counters into the
+// unified cross-runtime snapshot schema: per-replica applied/parked
+// breakdowns plus cluster-wide totals. The client sees only the wire
+// protocol's transport counters, so edge breakdowns are absent — scrape
+// a node's /statusz (NodeOptions.StatusAddr) for those.
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	s := obs.Snapshot{
+		Runtime:  "wire",
+		Replicas: make([]obs.ReplicaMetrics, len(c.conns)),
+	}
+	for r := range c.conns {
+		st, err := c.Status(sharegraph.ReplicaID(r))
+		if err != nil {
+			return obs.Snapshot{}, err
+		}
+		s.Replicas[r] = obs.ReplicaMetrics{
+			Delivered: int64(st.RecvUpd),
+			Applied:   int64(st.Applied),
+			Parked:    int64(st.Pending),
+		}
+		s.Messages += int64(st.SentUpd)
+		s.Updates += int64(st.Applied)
+		s.Outstanding += int64(st.QueuedOut)
+		s.Parked += int64(st.Pending)
 	}
 	return s, nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/causality"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sharegraph"
 	"repro/internal/transport"
 )
@@ -57,6 +58,9 @@ type Node struct {
 	sentUpd atomic.Uint64
 	idSeq   atomic.Int64
 
+	reg    *obs.Registry     // nil unless StatusAddr armed metrics
+	status *obs.StatusServer // nil unless StatusAddr set
+
 	logf func(format string, args ...any)
 }
 
@@ -77,6 +81,11 @@ type NodeOptions struct {
 	// (the transport's queue is volatile); recovery is exact when the
 	// cluster was quiescent at crash time.
 	LogPath string
+	// StatusAddr, when non-empty, arms the metrics registry and serves
+	// /statusz and /metricsz on this address (host:port; port 0 picks a
+	// free port — read it back via StatusAddrServing). When empty, no
+	// registry is allocated and the per-frame cost is a single nil check.
+	StatusAddr string
 }
 
 // NewNode builds replica self of the configured cluster and starts
@@ -133,7 +142,29 @@ func NewNode(cfg ClusterConfig, self int, protocol core.Protocol, opts NodeOptio
 		return nil, fmt.Errorf("wire: replica %d listen: %w", self, err)
 	}
 	n.ln = ln
+	if opts.StatusAddr != "" {
+		n.reg = obs.New(len(cfg.Replicas), 0)
+		st, err := obs.Serve(opts.StatusAddr, n.Metrics)
+		if err != nil {
+			ln.Close()
+			n.tr.Close()
+			if n.logF != nil {
+				n.logF.Close()
+			}
+			return nil, fmt.Errorf("wire: replica %d status: %w", self, err)
+		}
+		n.status = st
+	}
 	return n, nil
+}
+
+// StatusAddrServing returns the bound status endpoint address, or "" when
+// NodeOptions.StatusAddr was unset.
+func (n *Node) StatusAddrServing() string {
+	if n.status == nil {
+		return ""
+	}
+	return n.status.Addr()
 }
 
 // Addr returns the listener's actual address (useful when the configured
@@ -186,6 +217,9 @@ func (n *Node) Close() {
 		return
 	}
 	n.ln.Close()
+	if n.status != nil {
+		n.status.Close()
+	}
 	n.tr.Close()
 	n.connMu.Lock()
 	for c := range n.open {
@@ -460,6 +494,9 @@ func (n *Node) flush(s *frameSink, backpressure bool) {
 					// Send counts before the delivery, receipt after — the
 					// same sent-leads-recv discipline as the network path.
 					n.sentUpd.Add(1)
+					if n.reg != nil {
+						n.reg.Sent(int(n.self), sf.to, len(sf.frame))
+					}
 					n.deliver(env)
 					n.recvUpd.Add(1)
 				}
@@ -475,6 +512,12 @@ func (n *Node) flush(s *frameSink, backpressure bool) {
 		}
 		if ok {
 			n.sentUpd.Add(1)
+			if n.reg != nil {
+				// Bytes here are whole wire frames (header included) — the
+				// wire runtime measures what actually crosses the network,
+				// not just metadata.
+				n.reg.Sent(int(n.self), sf.to, len(sf.frame))
+			}
 		}
 	}
 	n.putSink(s)
@@ -494,6 +537,13 @@ func (n *Node) deliver(env core.Envelope) {
 	applied := n.node.HandleMessage(env, s)
 	n.applied.Add(uint64(len(applied)))
 	n.nodeMu.Unlock()
+	if n.reg != nil {
+		na := len(applied)
+		if env.MetaOnly {
+			na = obs.MetaOnly
+		}
+		n.reg.Deliver(int(env.From), int(n.self), na)
+	}
 	n.flush(s, false)
 }
 
@@ -533,6 +583,30 @@ func (n *Node) Status() Status {
 		RecvUpd:   n.recvUpd.Load(),
 		QueuedOut: uint64(n.tr.QueuedOut()),
 	}
+}
+
+// Metrics returns the node's counters in the unified cross-runtime
+// snapshot schema. Per-edge breakdowns are present only when
+// NodeOptions.StatusAddr armed the registry; the legacy totals are
+// always filled from the transport counters. This is the same snapshot
+// /statusz serves.
+func (n *Node) Metrics() obs.Snapshot {
+	s := n.reg.Snapshot()
+	s.Runtime = "wire"
+	s.Messages = int64(n.sentUpd.Load())
+	s.Updates = int64(n.applied.Load())
+	s.Outstanding = int64(n.tr.QueuedOut())
+	n.nodeMu.Lock()
+	parked := int64(n.node.PendingCount())
+	n.nodeMu.Unlock()
+	s.Parked = parked
+	if int(n.self) < len(s.Replicas) {
+		s.Replicas[n.self].Parked = parked
+	}
+	for _, e := range s.Edges {
+		s.MetaBytes += e.Bytes
+	}
+	return s
 }
 
 // snapshot returns the replica's register contents, sorted by register

@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/sharegraph"
+	"repro/internal/workload"
+)
+
+// TestNodeStatusEndpoint boots a loopback cluster with status serving
+// armed on every node, drives a workload, and scrapes /statusz and
+// /metricsz over real HTTP: the wire runtime must expose the same
+// unified schema as the in-process runtimes, with live per-edge
+// counters.
+func TestNodeStatusEndpoint(t *testing.T) {
+	g := sharegraph.Ring(3)
+	cfg := loopbackConfig(t, g, "edge-indexed")
+
+	nodes := make([]*Node, len(cfg.Replicas))
+	for i := range nodes {
+		proto, err := cli.Protocol(cfg.Protocol, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := NewNode(cfg, i, proto, NodeOptions{Logf: t.Logf, StatusAddr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		go func() {
+			if err := n.Serve(); err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		}()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	for i, n := range nodes {
+		if n.StatusAddrServing() == "" {
+			t.Fatalf("replica %d has no bound status address", i)
+		}
+	}
+
+	client, err := Dial(cfg, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.RunScript(workload.OwnerWrites(g, 200, 19)); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Quiesce(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape node 0 over real HTTP.
+	resp, err := http.Get("http://" + nodes[0].StatusAddrServing() + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s obs.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&s)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Runtime != "wire" {
+		t.Errorf("runtime = %q, want wire", s.Runtime)
+	}
+	if s.Messages == 0 || s.Updates == 0 || s.MetaBytes == 0 {
+		t.Errorf("quiet totals after workload: %+v", s)
+	}
+	if len(s.Replicas) != g.NumReplicas() {
+		t.Fatalf("replica breakdown has %d rows, want %d", len(s.Replicas), g.NumReplicas())
+	}
+	if s.Replicas[0].Delivered == 0 {
+		t.Error("node 0 delivered nothing according to its own breakdown")
+	}
+	// Node 0's outbound ring edges carried traffic; counters and frame
+	// bytes must both be live.
+	sawEdge := false
+	for key, e := range s.Edges {
+		if e.Sent > 0 && e.Bytes == 0 {
+			t.Errorf("edge %s sent %d frames but zero bytes", key, e.Sent)
+		}
+		if e.Sent > 0 {
+			sawEdge = true
+		}
+	}
+	if !sawEdge {
+		t.Error("no edge shows outbound traffic on node 0")
+	}
+
+	// The flat scraper view serves the same counters.
+	resp, err = http.Get("http://" + nodes[0].StatusAddrServing() + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]int64
+	err = json.NewDecoder(resp.Body).Decode(&flat)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat["messages"] != s.Messages {
+		t.Errorf("flat messages = %d, statusz messages = %d", flat["messages"], s.Messages)
+	}
+
+	// The client-side aggregate polls every node's Status and returns the
+	// same schema.
+	cm, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Runtime != "wire" {
+		t.Errorf("client metrics runtime = %q, want wire", cm.Runtime)
+	}
+	if cm.Updates == 0 || cm.Messages == 0 {
+		t.Errorf("client aggregate empty after workload: %+v", cm)
+	}
+	if len(cm.Replicas) != g.NumReplicas() {
+		t.Errorf("client aggregate has %d replica rows, want %d", len(cm.Replicas), g.NumReplicas())
+	}
+	// Per-replica applies depend on which holders the workload picked as
+	// owners; the aggregate must agree with the total.
+	var applied int64
+	for _, rm := range cm.Replicas {
+		applied += rm.Applied
+	}
+	if applied != cm.Updates {
+		t.Errorf("replica applied sum = %d, want total updates %d", applied, cm.Updates)
+	}
+}
+
+// TestNodeStatusDisarmed pins that a node built without StatusAddr
+// serves nothing and arms no registry, and that Metrics still reports
+// the legacy totals.
+func TestNodeStatusDisarmed(t *testing.T) {
+	g := sharegraph.Ring(3)
+	cfg := loopbackConfig(t, g, "edge-indexed")
+	nodes := startCluster(t, cfg)
+	if got := nodes[0].StatusAddrServing(); got != "" {
+		t.Errorf("disarmed node serves status at %q", got)
+	}
+	client, err := Dial(cfg, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.RunScript(workload.OwnerWrites(g, 60, 23)); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Quiesce(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := nodes[0].Metrics()
+	if m.Runtime != "wire" || m.Messages == 0 {
+		t.Errorf("disarmed node Metrics lost legacy totals: %+v", m)
+	}
+	if m.Edges != nil {
+		t.Errorf("disarmed node carries edge breakdowns: %+v", m.Edges)
+	}
+}

@@ -154,6 +154,43 @@
 // where it amortizes the engine's per-message handoff across dozens of
 // envelopes (Stats reports the achieved batch sizes).
 //
+// # Observability
+//
+// Every runtime answers "what is the protocol doing" through one
+// schema: Metrics (Cluster.Metrics, LiveClientServer.Metrics,
+// ShardedSystem.Metrics, and wire.Client.Metrics across process
+// boundaries) is a point-in-time snapshot of legacy totals plus — when
+// the registry is armed — per-replica delivery/stall/recheck counters,
+// per-directed-edge traffic attribution ("0->1": sent, bytes,
+// delivered, dropped, duped, retransmitted, probed latency), and
+// inbox-depth gauges with high-water marks. The stall and recheck
+// counters are the observable texture of the paper's false-dependency
+// analysis: a delivery that applies nothing buffered waiting for its
+// causal past, and a delivery that releases previously parked updates
+// on recheck.
+//
+// Arming is explicit (ClusterOptions.Metrics, ShardOptions.Metrics, a
+// wire node's StatusAddr) because the default must cost nothing: with
+// the registry disarmed every instrumentation site reduces to one nil
+// check, held to zero allocations by the same gated-benchmark
+// discipline as the chaos hooks. Armed, counters are lock-free atomics
+// on the hot path and Snapshot is safe under concurrent scrape.
+//
+// The same snapshot is servable over HTTP: a wire node with
+// NodeOptions.StatusAddr (or prcc-node -status) exposes /statusz (full
+// snapshot, indented JSON) and /metricsz (flat "replica.0.delivered"
+// -> number pairs for scrapers); prcc-sim -status serves the live
+// cluster mid-run and prcc-client status polls a deployed cluster into
+// the same schema.
+//
+// Metrics also close the loop back into routing: ClusterOptions.
+// LoadAware ranks each write's fanout emission by destination inbox
+// depth and probed edge latency (a background prober EWMAs per-edge
+// RTTs), deferring the most loaded relays. Only emission order changes
+// — never the recipient set — and the engine's seeded shuffle already
+// permutes delivery order, so causal consistency and final state are
+// unaffected; a differential test pins both.
+//
 // Beyond the protocol itself the package exposes the paper's analyses:
 // metadata sizing and compression (Section 5), conflict-graph lower bounds
 // on timestamp size (Section 4), baseline protocols for comparison, the
@@ -276,6 +313,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lowerbound"
 	"repro/internal/membership"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	rt "repro/internal/runtime"
 	"repro/internal/sharegraph"
@@ -295,6 +333,27 @@ type Value = core.Value
 
 // Violation is a detected causal-consistency violation.
 type Violation = causality.Violation
+
+// Metrics is the unified metrics snapshot every runtime returns —
+// Cluster.Metrics, LiveClientServer.Metrics, ShardedSystem.Metrics and
+// wire.Client.Metrics all produce this one schema, and it is exactly
+// the JSON served on /statusz. Legacy totals (messages, meta bytes,
+// outstanding) are always present; per-replica and per-edge breakdowns
+// appear only on runtimes that armed the registry
+// (ClusterOptions.Metrics / ShardOptions.Metrics / a node's
+// StatusAddr). See the Observability package section.
+type Metrics = obs.Snapshot
+
+// ReplicaMetrics is the per-replica slice of a Metrics snapshot.
+type ReplicaMetrics = obs.ReplicaMetrics
+
+// EdgeMetrics is the per-directed-edge entry of a Metrics snapshot,
+// keyed "from->to".
+type EdgeMetrics = obs.EdgeMetrics
+
+// QueueMetrics is the per-engine-queue entry of a Metrics snapshot,
+// present when queues are not 1:1 with replicas (the sharded runtime).
+type QueueMetrics = obs.QueueMetrics
 
 // FaultPlan seeds the runtime's deterministic fault lottery: per-edge
 // drop/duplication probabilities, the retransmit policy, and the
@@ -418,6 +477,21 @@ type ClusterOptions struct {
 	// alongside the cluster. Its probes ride the fault layer's links, so
 	// without Chaos every probe succeeds and nothing is ever suspected.
 	Heartbeat *HeartbeatOptions
+	// Metrics arms the observability registry: per-replica delivery and
+	// stall counters, per-edge traffic attribution, and inbox-depth
+	// gauges, all readable via Cluster.Metrics. Disarmed (the default)
+	// the instrumentation is a nil check on the delivery path — zero
+	// allocations, held there by a gated benchmark.
+	Metrics bool
+	// LoadAware enables load-aware relay choice: each write's fanout is
+	// emitted in an order ranked by destination inbox depth and probed
+	// edge latency (deepest-queued, slowest links last) instead of the
+	// cached recipient order. The recipient set itself never changes —
+	// only emission order, which the engine's seeded shuffle already
+	// permutes — so causal consistency and final state are unaffected
+	// (pinned by a differential test). Implies Metrics and starts the
+	// background edge prober.
+	LoadAware bool
 }
 
 func (o ClusterOptions) simOptions() []sim.ClusterOption {
@@ -442,6 +516,11 @@ func (o ClusterOptions) simOptions() []sim.ClusterOption {
 	}
 	if o.Heartbeat != nil {
 		opts = append(opts, sim.WithHeartbeats(*o.Heartbeat))
+	}
+	if o.LoadAware {
+		opts = append(opts, sim.WithLoadAware())
+	} else if o.Metrics {
+		opts = append(opts, sim.WithMetrics())
 	}
 	return opts
 }
@@ -512,9 +591,18 @@ func (c *Cluster) Check() error {
 	return fmt.Errorf("prcc: %d violations: %s", len(vs), strings.Join(msgs, "; "))
 }
 
+// Metrics returns the cluster's unified metrics snapshot: legacy totals
+// always, per-replica and per-edge breakdowns when
+// ClusterOptions.Metrics (or LoadAware) armed the registry.
+func (c *Cluster) Metrics() Metrics { return c.inner.Metrics() }
+
 // Stats reports transport-level counters.
+//
+// Deprecated: use Metrics, whose Messages and MetaBytes fields carry
+// the same totals in the unified cross-runtime snapshot schema.
 func (c *Cluster) Stats() (messages int64, metaBytes int64) {
-	return c.inner.MessagesSent(), c.inner.MetaBytes()
+	m := c.Metrics()
+	return m.Messages, m.MetaBytes
 }
 
 // Workers returns the delivery worker-pool size.
@@ -685,23 +773,38 @@ type SimOptions struct {
 	SkipAudit bool
 }
 
+// ReportCore is the verdict shared by every run report — SimReport,
+// ClusterReport and ChaosReport embed it, so the oracle's violations,
+// the liveness debt at quiescence and the metadata cost always live in
+// the same fields with the same Ok predicate, regardless of which
+// runtime produced the run.
+type ReportCore struct {
+	// Violations is the happened-before oracle's verdict: safety
+	// violations plus liveness failures. Empty on unaudited runs.
+	Violations []Violation
+	// StuckUpdates is the buffered-update count at quiescence that the
+	// run treats as liveness debt (chaos runs report injected-duplicate
+	// residue separately, as ChaosReport.PendingBuffered).
+	StuckUpdates int
+	// MetaBytes is the total timestamp metadata shipped.
+	MetaBytes int64
+}
+
+// Ok reports a clean run: no violations and no stuck updates.
+func (r ReportCore) Ok() bool { return len(r.Violations) == 0 && r.StuckUpdates == 0 }
+
 // SimReport is the outcome of a deterministic simulation.
 type SimReport struct {
+	ReportCore
 	Protocol         string
 	Writes           int
 	Applies          int
 	Messages         int
 	MetaOnlyMessages int
-	MetaBytes        int
 	AvgMetaBytes     float64
 	FalseDeps        int
-	StuckUpdates     int
-	Violations       []Violation
 	EntriesPerNode   []int
 }
-
-// Ok reports a clean run.
-func (r SimReport) Ok() bool { return len(r.Violations) == 0 && r.StuckUpdates == 0 }
 
 // protocolFor builds the protocol instance a ProtocolKind selects.
 func (s *System) protocolFor(k ProtocolKind) (core.Protocol, error) {
@@ -755,16 +858,18 @@ func (s *System) Simulate(opts SimOptions) (SimReport, error) {
 		return SimReport{}, fmt.Errorf("prcc: %w", err)
 	}
 	return SimReport{
+		ReportCore: ReportCore{
+			Violations:   res.Violations,
+			StuckUpdates: res.StuckPending,
+			MetaBytes:    int64(res.MetaBytes),
+		},
 		Protocol:         res.Protocol,
 		Writes:           res.Writes,
 		Applies:          res.Applies,
 		Messages:         res.MessagesSent,
 		MetaOnlyMessages: res.MetaOnlyMessages,
-		MetaBytes:        res.MetaBytes,
 		AvgMetaBytes:     res.AvgMetaBytes(),
 		FalseDeps:        res.FalseDepUpdates,
-		StuckUpdates:     res.StuckPending,
-		Violations:       res.Violations,
 		EntriesPerNode:   res.MetadataEntriesPerReplica,
 	}, nil
 }
@@ -785,17 +890,12 @@ type RunClusterOptions struct {
 
 // ClusterReport is the outcome of a live cluster run.
 type ClusterReport struct {
-	Protocol     string
-	Workers      int
-	Writes       int
-	Messages     int64
-	MetaBytes    int64
-	StuckUpdates int
-	Violations   []Violation
+	ReportCore
+	Protocol string
+	Workers  int
+	Writes   int
+	Messages int64
 }
-
-// Ok reports a clean run: no violations and no stuck updates.
-func (r ClusterReport) Ok() bool { return len(r.Violations) == 0 && r.StuckUpdates == 0 }
 
 // RunCluster drives a seeded workload through a live worker-pool cluster
 // — concurrent per-replica drivers under real goroutine interleaving and
@@ -828,13 +928,15 @@ func (s *System) RunCluster(opts RunClusterOptions) (ClusterReport, error) {
 	}
 	violations := c.RunScript(script)
 	report := ClusterReport{
-		Protocol:     p.Name(),
-		Workers:      c.Workers(),
-		Writes:       script.Writes(),
-		Messages:     c.MessagesSent(),
-		MetaBytes:    c.MetaBytes(),
-		StuckUpdates: c.PendingTotal(),
-		Violations:   violations,
+		ReportCore: ReportCore{
+			Violations:   violations,
+			StuckUpdates: c.PendingTotal(),
+			MetaBytes:    c.MetaBytes(),
+		},
+		Protocol: p.Name(),
+		Workers:  c.Workers(),
+		Writes:   script.Writes(),
+		Messages: c.MessagesSent(),
 	}
 	c.Close()
 	return report, nil
@@ -879,12 +981,13 @@ type ChaosOptions struct {
 	Cluster ClusterOptions
 }
 
-// ChaosReport is the outcome of a chaos run.
+// ChaosReport is the outcome of a chaos run. Its embedded
+// ReportCore.StuckUpdates is always zero: buffered residue under
+// injected duplication is not liveness debt (the oracle's liveness
+// audit in Violations is the judge), so it is reported separately as
+// PendingBuffered and Ok reduces to the oracle's verdict.
 type ChaosReport struct {
-	// Violations is the oracle's verdict after heal, restart and
-	// quiescence — safety violations plus liveness failures. A correct
-	// protocol under transient faults returns none.
-	Violations []Violation
+	ReportCore
 	// Events is the failure detector's transition history (empty without
 	// ChaosOptions.Heartbeat).
 	Events   []MembershipEvent
@@ -900,10 +1003,6 @@ type ChaosReport struct {
 	// expected, not a failure.
 	PendingBuffered int
 }
-
-// Ok reports a clean run: the oracle found no safety or liveness
-// violations.
-func (r ChaosReport) Ok() bool { return len(r.Violations) == 0 }
 
 // RunChaos drives a seeded workload through a live cluster under the
 // configured faults: phase one runs under the ambient loss/duplication
@@ -963,7 +1062,10 @@ func (s *System) RunChaos(opts ChaosOptions) (ChaosReport, error) {
 		return ChaosReport{}, fmt.Errorf("prcc: %w", err)
 	}
 	return ChaosReport{
-		Violations:      res.Violations,
+		ReportCore: ReportCore{
+			Violations: res.Violations,
+			MetaBytes:  res.MetaBytes,
+		},
 		Events:          res.Events,
 		Messages:        res.MessagesSent,
 		Dropped:         res.Dropped,

@@ -53,9 +53,8 @@ func TestQuickstartFlow(t *testing.T) {
 	if err := cluster.Check(); err != nil {
 		t.Errorf("Check: %v", err)
 	}
-	msgs, bytes := cluster.Stats()
-	if msgs == 0 || bytes == 0 {
-		t.Errorf("Stats = (%d,%d)", msgs, bytes)
+	if m := cluster.Metrics(); m.Messages == 0 || m.MetaBytes == 0 {
+		t.Errorf("Metrics = (%d,%d)", m.Messages, m.MetaBytes)
 	}
 	if err := cluster.Write(0, "zzz", 1); err == nil {
 		t.Error("write to unstored register accepted")
@@ -221,9 +220,8 @@ func TestLiveClientServerWithOptions(t *testing.T) {
 	if n := live.Outstanding(); n != 0 {
 		t.Errorf("Outstanding after Sync = %d", n)
 	}
-	updates, bytes := live.Stats()
-	if updates == 0 || bytes == 0 {
-		t.Errorf("Stats = (%d, %d)", updates, bytes)
+	if m := live.Metrics(); m.Updates == 0 || m.MetaBytes == 0 {
+		t.Errorf("Metrics = (%d, %d)", m.Updates, m.MetaBytes)
 	}
 	if err := live.Check(); err != nil {
 		t.Error(err)

@@ -9,6 +9,8 @@
 # Environment knobs:
 #   TOPOLOGY (ring)  N (3)  PROTOCOL (edge-indexed)  BASEPORT (42100)
 #   HOST (127.0.0.1)  SEED (1)
+#   STATUSBASE (unset) — when set, replica $id additionally serves
+#     /statusz and /metricsz on $HOST:$((STATUSBASE+id))
 #
 # The cluster serves until scripts/stop_cluster.sh performs the orderly
 # quiesce-then-shutdown (or the pids are killed). Drive workloads with:
@@ -25,6 +27,7 @@ protocol="${PROTOCOL:-edge-indexed}"
 baseport="${BASEPORT:-42100}"
 host="${HOST:-127.0.0.1}"
 seed="${SEED:-1}"
+statusbase="${STATUSBASE:-}"
 
 mkdir -p "$rundir"
 go build -o "$rundir/prcc-node" ./cmd/prcc-node
@@ -38,7 +41,11 @@ config="$rundir/cluster.json"
 replicas=$(grep -c '"addr"' "$config")
 : > "$rundir/pids"
 for (( id=0; id<replicas; id++ )); do
-  "$rundir/prcc-node" -config "$config" -id "$id" \
+  status_args=()
+  if [[ -n "$statusbase" ]]; then
+    status_args=(-status "$host:$((statusbase+id))")
+  fi
+  "$rundir/prcc-node" -config "$config" -id "$id" "${status_args[@]}" \
     > "$rundir/node$id.log" 2>&1 &
   echo $! >> "$rundir/pids"
 done

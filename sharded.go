@@ -39,6 +39,12 @@ type ShardOptions struct {
 	// memory, and the sharded↔independent differential test pins the
 	// runtime against audited single-space runs instead.
 	Audit bool
+	// Metrics arms the observability registry: per-replica delivery and
+	// stall counters, per-edge traffic attribution (aggregated across
+	// spaces), and per-shard queue gauges, readable via
+	// ShardedSystem.Metrics. Disarmed (the default) the instrumentation
+	// is a nil check on the batch path.
+	Metrics bool
 }
 
 // Sharded starts a sharded runtime hosting the given number of
@@ -58,6 +64,7 @@ func (s *System) ShardedWith(opts ShardOptions) (*ShardedSystem, error) {
 		FlushInterval: opts.FlushInterval,
 		Seed:          opts.Seed,
 		Audit:         opts.Audit,
+		Metrics:       opts.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("prcc: %w", err)
@@ -140,11 +147,22 @@ func (s *ShardedSystem) Snapshot(space int) []map[Register]Value {
 	return s.inner.StateSnapshot(space)
 }
 
+// Metrics returns the runtime's unified metrics snapshot: batching
+// totals always, per-replica and per-shard breakdowns when
+// ShardOptions.Metrics armed the registry. Replica counters aggregate
+// across spaces (all spaces share one placement, so replica i means
+// "replica i of every space"); queue gauges are per engine shard.
+func (s *ShardedSystem) Metrics() Metrics { return s.inner.Metrics() }
+
 // Stats reports the batching efficiency counters: engine messages
 // (batches pushed), envelopes carried, and metadata bytes copied.
+//
+// Deprecated: use Metrics, whose Batches, Envelopes and MetaBytes
+// fields carry the same totals in the unified cross-runtime snapshot
+// schema.
 func (s *ShardedSystem) Stats() (batches, envelopes, metaBytes int64) {
-	st := s.inner.Stats()
-	return st.Batches, st.Messages, st.MetaBytes
+	m := s.Metrics()
+	return m.Batches, m.Envelopes, m.MetaBytes
 }
 
 // Close flushes staged batches, drains the engine and stops the shared

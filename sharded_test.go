@@ -66,9 +66,8 @@ func TestShardedFacade(t *testing.T) {
 		t.Error("Resolve accepted garbage")
 	}
 
-	batches, envelopes, metaBytes := sh.Stats()
-	if batches <= 0 || envelopes < batches || metaBytes <= 0 {
-		t.Errorf("Stats = (%d,%d,%d)", batches, envelopes, metaBytes)
+	if m := sh.Metrics(); m.Batches <= 0 || m.Envelopes < m.Batches || m.MetaBytes <= 0 {
+		t.Errorf("Metrics = (%d,%d,%d)", m.Batches, m.Envelopes, m.MetaBytes)
 	}
 
 	// Validation surface.
