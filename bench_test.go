@@ -724,3 +724,37 @@ func BenchmarkLiveCluster(b *testing.B) {
 		c.Close()
 	}
 }
+
+// BenchmarkPlacementSearch measures the seeded placement search end to
+// end. Every candidate evaluation rebuilds the effective graph's
+// timestamp graphs — the search's dominant cost — so with a fixed
+// deterministic budget (same seed, same moves, same evaluation count)
+// ns/op growth here means candidate evaluation itself got slower. Gated
+// by prcc-benchgate. The entries_saved metric pins the search's result
+// quality alongside its cost: ring cases must rediscover the line
+// (2n² → 4n−4).
+func BenchmarkPlacementSearch(b *testing.B) {
+	cases := []struct {
+		name string
+		g    *sharegraph.Graph
+		opts optimize.SearchOptions
+	}{
+		{"ring8", sharegraph.Ring(8), optimize.SearchOptions{Seed: 1}},
+		{"ring16", sharegraph.Ring(16), optimize.SearchOptions{Seed: 1}},
+		{"randomk16", sharegraph.RandomK(16, 40, 3, 7), optimize.SearchOptions{Seed: 1, Restarts: 1, MaxEvals: 12}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *optimize.SearchResult
+			for n := 0; n < b.N; n++ {
+				var err error
+				res, err = optimize.Search(tc.g, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.BaseEntries-res.Entries), "entries_saved")
+		})
+	}
+}

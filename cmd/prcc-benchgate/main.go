@@ -57,7 +57,12 @@ func run(args []string, out io.Writer) error {
 	// must stay one nil check, so its B/op must never grow. The /armed
 	// row is informational — armed cost is a documented trade, not a
 	// regression.
-	filter := fs.String("filter", "^BenchmarkScaleDelivery/|^BenchmarkClusterThroughput/base|^BenchmarkShardedThroughput/|^BenchmarkMetricsOverhead/disarmed", "regexp selecting the gated benchmarks")
+	// BenchmarkPlacementSearch gates the placement optimizer: its seeded
+	// budget is deterministic (same moves, same evaluation count every
+	// run), so ns/op growth means candidate evaluation — the effective-
+	// graph timestamp rebuild — got slower, not that the search explored
+	// more.
+	filter := fs.String("filter", "^BenchmarkScaleDelivery/|^BenchmarkClusterThroughput/base|^BenchmarkShardedThroughput/|^BenchmarkMetricsOverhead/disarmed|^BenchmarkPlacementSearch/", "regexp selecting the gated benchmarks")
 	nsThreshold := fs.Float64("ns-threshold", 1.25, "fail when candidate ns/op exceeds baseline by this factor")
 	bThreshold := fs.Float64("b-threshold", 1.25, "fail when candidate B/op exceeds baseline by this factor")
 	text := fs.Bool("text", false, "convert one JSON file to go-bench text on stdout (for benchstat)")

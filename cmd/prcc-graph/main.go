@@ -41,6 +41,9 @@ func run(args []string) error {
 	maxlen := fs.Int("maxlen", 0, "truncate the loop search to this many vertices (Appendix D; 0 = exact)")
 	hoops := fs.Bool("hoops", false, "compare Definition 5 tracking with Hélary–Milani minimal hoops")
 	emit := fs.Bool("emit-config", false, "print the placement as a JSON config and exit")
+	optimizeF := fs.Bool("optimize", false, "search for a placement tracking fewer timestamp entries (seeded by -seed; -bounds checks the result)")
+	optEvals := fs.Int("opt-evals", 0, "candidate-evaluation budget for -optimize (0 = default 64, negative = unlimited)")
+	optBroken := fs.Int("opt-broken", 0, "max registers -optimize may break (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,10 +60,18 @@ func run(args []string) error {
 		return fmt.Errorf("-n %d: parametric families need at least one replica", *n)
 	}
 	mSet := false
-	fs.Visit(func(fl *flag.Flag) { mSet = mSet || fl.Name == "m" })
+	optSet := false
+	fs.Visit(func(fl *flag.Flag) {
+		mSet = mSet || fl.Name == "m"
+		optSet = optSet || fl.Name == "opt-evals" || fl.Name == "opt-broken"
+	})
 	if mSet && !*bounds {
 		fs.Usage()
 		return fmt.Errorf("-m only applies with -bounds")
+	}
+	if optSet && !*optimizeF {
+		fs.Usage()
+		return fmt.Errorf("-opt-evals/-opt-broken only apply with -optimize")
 	}
 	if *bounds && *m < 1 {
 		fs.Usage()
@@ -113,6 +124,35 @@ func run(args []string) error {
 		for i := 0; i < g.NumReplicas(); i++ {
 			b := lowerbound.ComputeBound(g, sharegraph.ReplicaID(i), *m)
 			fmt.Println(" ", b.String())
+		}
+	}
+
+	if *optimizeF {
+		res, err := optimize.Search(g, optimize.SearchOptions{
+			Seed:       *seed,
+			MaxEvals:   *optEvals,
+			MaxBroken:  *optBroken,
+			CheckBound: *bounds,
+			BoundM:     *m,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Printf("placement search (seed %d): %d -> %d tracked entries in %d evaluations\n",
+			*seed, res.BaseEntries, res.Entries, res.Evals)
+		broken := res.Placement.BrokenRegisters()
+		if len(broken) == 0 {
+			fmt.Println("  identity placement already optimal under the budget")
+		}
+		for _, x := range broken {
+			fmt.Printf("  break %q, relay route %v\n", x, res.Placement.Broken[x])
+		}
+		if *bounds {
+			fmt.Printf("  lower bounds on the optimized graph (m = %d, tight = %v):\n", *m, res.Tight())
+			for _, b := range res.Bounds {
+				fmt.Println("   ", b.String())
+			}
 		}
 	}
 

@@ -9,6 +9,10 @@ func TestRunTopologies(t *testing.T) {
 		{"-topology", "hm1", "-hoops"},
 		{"-topology", "ring", "-n", "5", "-bounds"},
 		{"-topology", "ring", "-n", "6", "-maxlen", "4"},
+		// Placement search end to end through the CLI, with the bound
+		// check on the optimized graph.
+		{"-topology", "ring", "-n", "6", "-optimize", "-bounds"},
+		{"-topology", "fig5", "-optimize", "-opt-evals", "8", "-opt-broken", "1"},
 		// Dense random placement, untruncated: exercises the exact loop
 		// engine end to end through the CLI.
 		{"-topology", "random", "-n", "16", "-seed", "3"},
@@ -30,6 +34,8 @@ func TestRunErrors(t *testing.T) {
 		{"negative maxlen", []string{"-topology", "fig5", "-maxlen", "-1"}},
 		{"nonpositive n", []string{"-topology", "ring", "-n", "0"}},
 		{"m without bounds", []string{"-topology", "fig5", "-m", "3"}},
+		{"opt-evals without optimize", []string{"-topology", "fig5", "-opt-evals", "8"}},
+		{"opt-broken without optimize", []string{"-topology", "fig5", "-opt-broken", "1"}},
 		{"nonpositive m", []string{"-topology", "fig5", "-bounds", "-m", "0"}},
 		{"positional junk", []string{"-topology", "fig5", "junk"}},
 	}

@@ -15,6 +15,12 @@
 //
 //	prcc-sim -chaos -topology ring -n 8 -loss 0.02 -dup 0.01 -partition 0:4 -heal 2ms -crash 5 -heartbeat 500us
 //
+// Adding -reconfigure searches for an optimized placement up front and
+// live-switches the cluster onto it at the 2/3 mark of the workload
+// (partitions are healed first; the epoch fence requires it):
+//
+//	prcc-sim -chaos -topology ring -n 8 -loss 0.02 -reconfigure
+//
 // With -spaces the workload runs on the sharded multi-space runtime:
 // many independent instances of the topology multiplexed over one
 // shared worker pool, driven by a (optionally zipf-skewed) multi-tenant
@@ -35,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/membership"
 	"repro/internal/obs"
+	"repro/internal/optimize"
 	rt "repro/internal/runtime"
 	"repro/internal/shard"
 	"repro/internal/sharegraph"
@@ -69,6 +76,7 @@ func run(args []string) error {
 	healAfter := fs.Duration("heal", 0, "chaos: heal the partition after this delay (0 = heal at end of run)")
 	crash := fs.Int("crash", -1, "chaos: crash this replica mid-run and restart it by state transfer (-1 = none)")
 	heartbeat := fs.Duration("heartbeat", 0, "chaos: run the failure detector with this probe interval (0 = off)")
+	reconf := fs.Bool("reconfigure", false, "chaos: search an optimized placement and live-switch the cluster onto it mid-run")
 	statusAddr := fs.String("status", "", "serve /statusz and /metricsz on this address during a live run (requires -chaos or -spaces)")
 	spaces := fs.Int("spaces", 0, "run the sharded multi-space runtime with this many independent spaces (0 = off)")
 	shards := fs.Int("shards", 0, "sharded: engine inboxes the spaces multiplex onto (0 = min(spaces, 4×workers))")
@@ -102,6 +110,7 @@ func run(args []string) error {
 		chaosOnly := map[string]bool{
 			"loss": true, "dup": true, "partition": true,
 			"heal": true, "crash": true, "heartbeat": true,
+			"reconfigure": true,
 		}
 		var set []string
 		fs.Visit(func(fl *flag.Flag) {
@@ -204,6 +213,22 @@ func run(args []string) error {
 		}
 		if *heartbeat > 0 {
 			cfg.Heartbeat = &membership.Options{Interval: *heartbeat}
+		}
+		if *reconf {
+			// The search only depends on the share graph, so it can run
+			// before the cluster even starts; the live switch happens at the
+			// 2/3 mark of the workload, after any crash/restart.
+			sr, err := optimize.Search(g, optimize.SearchOptions{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			proto, err := sr.Placement.Protocol(p.Name() + "+optimized")
+			if err != nil {
+				return err
+			}
+			cfg.Reconfigure = proto
+			fmt.Printf("reconfigure: placement search %d -> %d tracked entries, breaking %v\n",
+				sr.BaseEntries, sr.Entries, sr.Placement.BrokenRegisters())
 		}
 		return runChaos(g, *topology, cfg, *statusAddr)
 	}
@@ -343,6 +368,9 @@ func runChaos(g *sharegraph.Graph, topology string, cfg sim.ChaosConfig, statusA
 	}
 	if cfg.Crash {
 		faults = append(faults, fmt.Sprintf("crash+restart replica %d", cfg.CrashReplica))
+	}
+	if cfg.Reconfigure != nil {
+		faults = append(faults, "mid-run reconfigure onto "+cfg.Reconfigure.Name())
 	}
 	fmt.Println("faults:", strings.Join(faults, ", "))
 	fmt.Printf("messages=%d dropped=%d duplicated=%d\n", res.MessagesSent, res.Dropped, res.Duped)

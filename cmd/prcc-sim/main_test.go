@@ -17,6 +17,14 @@ func TestRunProtocols(t *testing.T) {
 	}
 }
 
+func TestRunChaosReconfigure(t *testing.T) {
+	args := []string{"-chaos", "-topology", "ring", "-n", "6", "-ops", "150",
+		"-loss", "0.02", "-dup", "0.02", "-reconfigure"}
+	if err := run(args); err != nil {
+		t.Errorf("run(%v): %v", args, err)
+	}
+}
+
 func TestRunSharded(t *testing.T) {
 	cases := [][]string{
 		{"-topology", "ring", "-n", "4", "-spaces", "8", "-ops", "200"},
@@ -47,6 +55,7 @@ func TestRunErrors(t *testing.T) {
 		{"crash without chaos", []string{"-crash", "1"}},
 		{"heartbeat without chaos", []string{"-heartbeat", "1ms"}},
 		{"heal without chaos", []string{"-heal", "1ms"}},
+		{"reconfigure without chaos", []string{"-reconfigure"}},
 		{"heal without partition", []string{"-chaos", "-heal", "1ms"}},
 		{"malformed partition", []string{"-chaos", "-partition", "0-2", "-ops", "20"}},
 		{"partition replica out of range", []string{"-chaos", "-partition", "0:99", "-ops", "20"}},

@@ -23,8 +23,6 @@
 package baseline
 
 import (
-	"log"
-
 	"repro/internal/causality"
 	"repro/internal/core"
 	"repro/internal/ingest"
@@ -32,13 +30,23 @@ import (
 	"repro/internal/timestamp"
 )
 
-// decodeMeta decodes envelope metadata, logging (not crashing) on harness
-// bugs, mirroring the core protocol's behaviour. free is the caller's
-// freelist of vectors recycled by earlier applies.
-func decodeMeta(proto string, self sharegraph.ReplicaID, env core.Envelope, free *[]timestamp.Vec) (timestamp.Vec, bool) {
+// diagHolder gives every baseline protocol the injectable drop sink
+// (core.DiagSettable); nodes capture the pointer at construction.
+type diagHolder struct {
+	diag *core.Diag
+}
+
+// SetDiag implements core.DiagSettable: nodes built after this call
+// report ingest drops through d.
+func (h *diagHolder) SetDiag(d *core.Diag) { h.diag = d }
+
+// decodeMeta decodes envelope metadata, reporting (not crashing) on
+// harness bugs, mirroring the core protocol's behaviour. free is the
+// caller's freelist of vectors recycled by earlier applies.
+func decodeMeta(d *core.Diag, proto string, self sharegraph.ReplicaID, env core.Envelope, free *[]timestamp.Vec) (timestamp.Vec, bool) {
 	v, err := timestamp.DecodeReuse(free, env.Meta)
 	if err != nil {
-		log.Printf("%s: replica %d dropping corrupt metadata from %d: %v", proto, self, env.From, err)
+		d.Dropf(self, "%s: replica %d dropping corrupt metadata from %d: %v", proto, self, env.From, err)
 		return nil, false
 	}
 	return v, true
@@ -47,11 +55,11 @@ func decodeMeta(proto string, self sharegraph.ReplicaID, env core.Envelope, free
 // validSender reports whether the envelope's sender indexes the replica
 // set; both engines index per-sender state by it, so an out-of-range
 // sender is harness corruption that must be dropped, not dereferenced.
-func validSender(proto string, self sharegraph.ReplicaID, env core.Envelope, n int) bool {
+func validSender(d *core.Diag, proto string, self sharegraph.ReplicaID, env core.Envelope, n int) bool {
 	if int(env.From) >= 0 && int(env.From) < n {
 		return true
 	}
-	log.Printf("%s: replica %d dropping update from invalid sender %d", proto, self, env.From)
+	d.Dropf(self, "%s: replica %d dropping update from invalid sender %d", proto, self, env.From)
 	return false
 }
 
@@ -64,12 +72,16 @@ func validSender(proto string, self sharegraph.ReplicaID, env core.Envelope, n i
 // has a non-incident edge, making it the negative control the oracle
 // catches.
 type FIFOOnly struct {
+	diagHolder
 	g *sharegraph.Graph
 	// naive selects the reference full-buffer rescan (differential tests).
 	naive bool
 }
 
-var _ core.Protocol = (*FIFOOnly)(nil)
+var (
+	_ core.Protocol     = (*FIFOOnly)(nil)
+	_ core.DiagSettable = (*FIFOOnly)(nil)
+)
 
 // NewFIFOOnly builds the protocol.
 func NewFIFOOnly(g *sharegraph.Graph) *FIFOOnly { return &FIFOOnly{g: g} }
@@ -89,6 +101,7 @@ func (p *FIFOOnly) NewNodes() ([]core.Node, error) {
 		fn := &fifoNode{
 			id:     sharegraph.ReplicaID(i),
 			g:      p.g,
+			diag:   p.diag,
 			naive:  p.naive,
 			sentTo: make([]uint64, n),
 			recvd:  make([]uint64, n),
@@ -115,6 +128,7 @@ type fifoPending struct {
 type fifoNode struct {
 	id     sharegraph.ReplicaID
 	g      *sharegraph.Graph
+	diag   *core.Diag
 	sentTo []uint64
 	recvd  []uint64
 	store  map[sharegraph.Register]core.Value
@@ -159,8 +173,8 @@ func (n *fifoNode) HandleWrite(x sharegraph.Register, v core.Value, id causality
 }
 
 func (n *fifoNode) HandleMessage(env core.Envelope, out core.Sink) []core.Applied {
-	meta, ok := decodeMeta("fifo-only", n.id, env, &n.vecFree)
-	if !ok || len(meta) != 1 || !validSender("fifo-only", n.id, env, len(n.recvd)) {
+	meta, ok := decodeMeta(n.diag, "fifo-only", n.id, env, &n.vecFree)
+	if !ok || len(meta) != 1 || !validSender(n.diag, "fifo-only", n.id, env, len(n.recvd)) {
 		return nil
 	}
 	seq := meta[0]
@@ -266,6 +280,7 @@ type vecPending struct {
 type vectorNode struct {
 	id        sharegraph.ReplicaID
 	g         *sharegraph.Graph
+	diag      *core.Diag
 	proto     string
 	broadcast bool // Broadcast variant: metadata goes to every replica
 	v         timestamp.Vec
@@ -320,8 +335,8 @@ func (n *vectorNode) HandleWrite(x sharegraph.Register, v core.Value, id causali
 }
 
 func (n *vectorNode) HandleMessage(env core.Envelope, out core.Sink) []core.Applied {
-	w, ok := decodeMeta(n.proto, n.id, env, &n.vecFree)
-	if !ok || len(w) != len(n.v) || !validSender(n.proto, n.id, env, len(n.v)) {
+	w, ok := decodeMeta(n.diag, n.proto, n.id, env, &n.vecFree)
+	if !ok || len(w) != len(n.v) || !validSender(n.diag, n.proto, n.id, env, len(n.v)) {
 		return nil
 	}
 	// The buffered copy must not alias the runtime-owned Meta buffer,
@@ -465,11 +480,15 @@ func (n *vectorNode) MetadataEntries() int { return len(n.v) }
 // replication without metadata broadcast. See the package comment: safe
 // but not live.
 type NaiveVector struct {
+	diagHolder
 	g     *sharegraph.Graph
 	naive bool
 }
 
-var _ core.Protocol = (*NaiveVector)(nil)
+var (
+	_ core.Protocol     = (*NaiveVector)(nil)
+	_ core.DiagSettable = (*NaiveVector)(nil)
+)
 
 // NewNaiveVector builds the protocol.
 func NewNaiveVector(g *sharegraph.Graph) *NaiveVector { return &NaiveVector{g: g} }
@@ -485,7 +504,7 @@ func (p *NaiveVector) Name() string { return "naive-vector" }
 func (p *NaiveVector) NewNodes() ([]core.Node, error) {
 	nodes := make([]core.Node, p.g.NumReplicas())
 	for i := range nodes {
-		nodes[i] = newVectorNode(p.g, sharegraph.ReplicaID(i), p.Name(), false, p.naive)
+		nodes[i] = newVectorNode(p.g, sharegraph.ReplicaID(i), p.Name(), p.diag, false, p.naive)
 	}
 	return nodes, nil
 }
@@ -493,11 +512,15 @@ func (p *NaiveVector) NewNodes() ([]core.Node, error) {
 // Broadcast is the Section 5 dummy-register emulation of full
 // replication: length-R vectors plus metadata-only broadcast.
 type Broadcast struct {
+	diagHolder
 	g     *sharegraph.Graph
 	naive bool
 }
 
-var _ core.Protocol = (*Broadcast)(nil)
+var (
+	_ core.Protocol     = (*Broadcast)(nil)
+	_ core.DiagSettable = (*Broadcast)(nil)
+)
 
 // NewBroadcast builds the protocol.
 func NewBroadcast(g *sharegraph.Graph) *Broadcast { return &Broadcast{g: g} }
@@ -513,14 +536,14 @@ func (p *Broadcast) Name() string { return "dummy-broadcast" }
 func (p *Broadcast) NewNodes() ([]core.Node, error) {
 	nodes := make([]core.Node, p.g.NumReplicas())
 	for i := range nodes {
-		nodes[i] = newVectorNode(p.g, sharegraph.ReplicaID(i), p.Name(), true, p.naive)
+		nodes[i] = newVectorNode(p.g, sharegraph.ReplicaID(i), p.Name(), p.diag, true, p.naive)
 	}
 	return nodes, nil
 }
 
-func newVectorNode(g *sharegraph.Graph, id sharegraph.ReplicaID, proto string, broadcast, naive bool) *vectorNode {
+func newVectorNode(g *sharegraph.Graph, id sharegraph.ReplicaID, proto string, diag *core.Diag, broadcast, naive bool) *vectorNode {
 	n := &vectorNode{
-		id: id, g: g, proto: proto, broadcast: broadcast, naive: naive,
+		id: id, g: g, proto: proto, diag: diag, broadcast: broadcast, naive: naive,
 		v:      make(timestamp.Vec, g.NumReplicas()),
 		store:  make(map[sharegraph.Register]core.Value),
 		sharer: make([]bool, g.NumReplicas()),
@@ -539,11 +562,15 @@ func newVectorNode(g *sharegraph.Graph, id sharegraph.ReplicaID, proto string, b
 // entry (l, d) counts the messages l is known to have sent to d. Safe and
 // live under partial replication at quadratic metadata cost.
 type Matrix struct {
+	diagHolder
 	g     *sharegraph.Graph
 	naive bool
 }
 
-var _ core.Protocol = (*Matrix)(nil)
+var (
+	_ core.Protocol     = (*Matrix)(nil)
+	_ core.DiagSettable = (*Matrix)(nil)
+)
 
 // NewMatrix builds the protocol.
 func NewMatrix(g *sharegraph.Graph) *Matrix { return &Matrix{g: g} }
@@ -561,7 +588,7 @@ func (p *Matrix) NewNodes() ([]core.Node, error) {
 	nodes := make([]core.Node, n)
 	for i := range nodes {
 		mn := &matrixNode{
-			id: sharegraph.ReplicaID(i), g: p.g, r: n, naive: p.naive,
+			id: sharegraph.ReplicaID(i), g: p.g, r: n, diag: p.diag, naive: p.naive,
 			m:     make(timestamp.Vec, n*n),
 			store: make(map[sharegraph.Register]core.Value),
 			recip: sharegraph.NewRecipientCache(p.g, sharegraph.ReplicaID(i)),
@@ -587,6 +614,7 @@ type matrixPending struct {
 type matrixNode struct {
 	id    sharegraph.ReplicaID
 	g     *sharegraph.Graph
+	diag  *core.Diag
 	r     int
 	m     timestamp.Vec // row-major r×r: m[l*r+d] = msgs l sent to d (known)
 	store map[sharegraph.Register]core.Value
@@ -628,8 +656,8 @@ func (n *matrixNode) HandleWrite(x sharegraph.Register, v core.Value, id causali
 }
 
 func (n *matrixNode) HandleMessage(env core.Envelope, out core.Sink) []core.Applied {
-	w, ok := decodeMeta("matrix", n.id, env, &n.vecFree)
-	if !ok || len(w) != n.r*n.r || !validSender("matrix", n.id, env, n.r) {
+	w, ok := decodeMeta(n.diag, "matrix", n.id, env, &n.vecFree)
+	if !ok || len(w) != n.r*n.r || !validSender(n.diag, "matrix", n.id, env, n.r) {
 		return nil
 	}
 	// The buffered copy must not alias the runtime-owned Meta buffer,

@@ -18,6 +18,12 @@ import (
 // The checkpoint owns all of its memory (maps, vectors, encoded
 // metadata); it stays valid however the node evolves afterwards, and
 // one checkpoint may be installed any number of times.
+//
+// A nil Tau marks a store-only checkpoint: Install keeps the target
+// node's fresh zero timestamp instead of rejecting a length mismatch.
+// Live reconfiguration uses this to carry register contents across an
+// epoch fence onto a different timestamp space, where the old vector
+// is meaningless by construction.
 type NodeCheckpoint struct {
 	Replica sharegraph.ReplicaID
 	Store   map[sharegraph.Register]Value
@@ -41,7 +47,51 @@ type Snapshotter interface {
 	Install(ck *NodeCheckpoint) ([]Applied, error)
 }
 
-var _ Snapshotter = (*edgeNode)(nil)
+// LivePendingCounter is implemented by nodes that can distinguish
+// buffered updates still awaiting delivery from dead-parked ones (stale
+// sequence numbers, fault-injected duplicates, untracked edges) that
+// the delivery predicate can never admit. PendingCount counts both —
+// matching the reference rescan engines — so reconfiguration fences use
+// LivePending to decide whether a drained cluster has truly applied
+// every update: at global quiesce every live buffered update's causal
+// blockers are themselves delivered and the drain fixpoint admits them,
+// so a nonzero LivePending after a drain is a liveness bug, while dead
+// parkings are garbage the epoch switch may discard.
+type LivePendingCounter interface {
+	Node
+	LivePending() int
+}
+
+var (
+	_ Snapshotter        = (*edgeNode)(nil)
+	_ LivePendingCounter = (*edgeNode)(nil)
+)
+
+// LivePending implements LivePendingCounter. Indexed engines count the
+// filed per-sender queues (dead parkings live elsewhere); the naive
+// engine rescans its flat buffer with the same staleness rule the
+// indexed Offer applies at ingest.
+func (n *edgeNode) LivePending() int {
+	live := 0
+	if !n.naive {
+		for k := 0; k < n.space.NumReplicas(); k++ {
+			live += n.q.QueueLen(k)
+		}
+		return live
+	}
+	for _, u := range n.pending {
+		sp, ok := n.space.SeqPos(n.id, u.from)
+		if !ok {
+			continue // untracked edge: never deliverable
+		}
+		gp, _ := n.space.GatePos(n.id, u.from)
+		if u.ts[sp] <= n.τ[gp] {
+			continue // stale duplicate: the gate only grows
+		}
+		live++
+	}
+	return live
+}
 
 // Snapshot implements Snapshotter.
 func (n *edgeNode) Snapshot() *NodeCheckpoint {
@@ -77,11 +127,19 @@ func (n *edgeNode) Install(ck *NodeCheckpoint) ([]Applied, error) {
 	if ck.Replica != n.id {
 		return nil, fmt.Errorf("core: checkpoint of replica %d installed at %d", ck.Replica, n.id)
 	}
-	if len(ck.Tau) != len(n.τ) {
+	switch {
+	case ck.Tau == nil:
+		// Store-only checkpoint (live reconfiguration): keep the fresh
+		// zero vector — the new epoch starts with no tracked history.
+		for i := range n.τ {
+			n.τ[i] = 0
+		}
+	case len(ck.Tau) != len(n.τ):
 		return nil, fmt.Errorf("core: checkpoint has %d timestamp entries, node tracks %d — different timestamp graphs",
 			len(ck.Tau), len(n.τ))
+	default:
+		copy(n.τ, ck.Tau)
 	}
-	copy(n.τ, ck.Tau)
 	n.store = make(map[sharegraph.Register]Value, len(ck.Store))
 	for x, v := range ck.Store {
 		n.store[x] = v

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"log"
+	"sync/atomic"
+
+	"repro/internal/sharegraph"
+)
+
+// Diag routes protocol ingest-drop diagnostics (corrupt metadata,
+// out-of-range senders, wrong-length timestamps) to an injectable sink.
+// The drops happen on the delivery hot path, and under a chaos or fuzz
+// corrupt-metadata flood an unconditional log.Printf there serializes
+// every delivery worker on the logger's mutex while spamming stderr —
+// so Dropf always counts, always notifies the hook, and only *logs* a
+// rate-limited sample (the first diagLogFirst drops, then every
+// diagLogEvery-th).
+//
+// A nil *Diag is valid and falls back to the shared package default
+// (rate-limited log.Printf, no hook) — protocols built outside a
+// runtime keep today's observable behaviour minus the flood.
+type Diag struct {
+	logf   func(format string, args ...any)
+	onDrop func(replica int)
+	drops  atomic.Uint64
+}
+
+// defaultDiag backs nil receivers: rate-limited log.Printf, no hook.
+// Shared across all un-wired protocols, so the rate limit is global —
+// exactly the property that keeps a flood from serializing workers.
+var defaultDiag Diag
+
+const (
+	diagLogFirst = 8    // log the first few drops verbatim
+	diagLogEvery = 1024 // then one sample per this many drops
+)
+
+// NewDiag builds a sink. logf defaults to log.Printf (the
+// wire.NodeOptions.Logf pattern); onDrop, when non-nil, is called once
+// per drop with the dropping replica — runtimes use it to count drops
+// in the obs registry. Both callbacks must be safe for concurrent use.
+func NewDiag(logf func(format string, args ...any), onDrop func(replica int)) *Diag {
+	return &Diag{logf: logf, onDrop: onDrop}
+}
+
+// Dropf records one rejected ingest at the given replica and logs a
+// rate-limited sample of the formatted diagnostic. Nil-safe: a nil
+// receiver uses the package-wide default sink.
+func (d *Diag) Dropf(replica sharegraph.ReplicaID, format string, args ...any) {
+	if d == nil {
+		d = &defaultDiag
+	}
+	if d.onDrop != nil {
+		d.onDrop(int(replica))
+	}
+	n := d.drops.Add(1)
+	if n > diagLogFirst && n%diagLogEvery != 0 {
+		return
+	}
+	logf := d.logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	if n == diagLogFirst {
+		args = append(args, diagLogEvery)
+		logf(format+" (further drops sampled 1/%d)", args...)
+		return
+	}
+	logf(format, args...)
+}
+
+// Drops returns the total number of drops recorded through this sink.
+func (d *Diag) Drops() uint64 {
+	if d == nil {
+		d = &defaultDiag
+	}
+	return d.drops.Load()
+}
+
+// DiagSettable is implemented by protocols whose nodes route drop
+// diagnostics through an injectable Diag. Runtimes that arm metrics
+// inject a sink before building nodes; SetDiag only affects nodes built
+// afterwards, and a protocol shared by several runtimes keeps the last
+// sink set.
+type DiagSettable interface {
+	SetDiag(*Diag)
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestDiagRateLimit: every drop counts and fires the hook, but only the
+// first diagLogFirst drops log, then one in diagLogEvery.
+func TestDiagRateLimit(t *testing.T) {
+	logged := 0
+	hooked := 0
+	d := NewDiag(func(string, ...any) { logged++ }, func(int) { hooked++ })
+	total := diagLogFirst + 2*diagLogEvery
+	for i := 0; i < total; i++ {
+		d.Dropf(3, "drop %d", i)
+	}
+	if got := d.Drops(); got != uint64(total) {
+		t.Errorf("Drops() = %d, want %d", got, total)
+	}
+	if hooked != total {
+		t.Errorf("onDrop fired %d times, want every drop (%d)", hooked, total)
+	}
+	if want := diagLogFirst + 2; logged != want {
+		t.Errorf("logged %d lines for %d drops, want %d (first %d + 1/%d after)",
+			logged, total, want, diagLogFirst, diagLogEvery)
+	}
+}
+
+// TestDiagNilSafe: a nil *Diag must not panic — it falls back to the
+// shared package default, whose counter absorbs the drop.
+func TestDiagNilSafe(t *testing.T) {
+	var d *Diag
+	before := d.Drops()
+	d.Dropf(0, "diag nil-receiver test drop")
+	if got := d.Drops(); got != before+1 {
+		t.Errorf("nil Diag drops went %d -> %d, want +1 via the package default", before, got)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"log"
 
 	"repro/internal/causality"
 	"repro/internal/ingest"
@@ -27,9 +26,19 @@ type EdgeIndexed struct {
 	// indexed per-sender delivery engine. Differential tests and
 	// benchmarks compare the two; production paths never set it.
 	naive bool
+	// diag routes ingest-drop diagnostics; nil uses the rate-limited
+	// package default.
+	diag *Diag
 }
 
-var _ Protocol = (*EdgeIndexed)(nil)
+var (
+	_ Protocol     = (*EdgeIndexed)(nil)
+	_ DiagSettable = (*EdgeIndexed)(nil)
+)
+
+// SetDiag implements DiagSettable: nodes built after this call report
+// ingest drops through d.
+func (p *EdgeIndexed) SetDiag(d *Diag) { p.diag = d }
 
 // NewEdgeIndexed builds the protocol with timestamp graphs computed per
 // Definition 5 (exhaustive loop search).
@@ -104,6 +113,7 @@ func (p *EdgeIndexed) NewNodes() ([]Node, error) {
 			space:     p.space,
 			realStore: p.realStore,
 			naive:     p.naive,
+			diag:      p.diag,
 			τ:         p.space.Zero(id),
 			store:     make(map[sharegraph.Register]Value, p.g.Stores(id).Len()),
 			recip:     sharegraph.NewRecipientCache(p.g, id),
@@ -140,6 +150,7 @@ type edgeNode struct {
 	g         *sharegraph.Graph
 	space     *timestamp.Space
 	realStore func(sharegraph.ReplicaID, sharegraph.Register) bool
+	diag      *Diag
 	τ         timestamp.Vec
 	store     map[sharegraph.Register]Value
 
@@ -196,19 +207,19 @@ func (n *edgeNode) HandleMessage(env Envelope, out Sink) []Applied {
 	ts, err := timestamp.DecodeReuse(&n.vecFree, env.Meta)
 	if err != nil {
 		// A corrupt message indicates a harness bug, not a protocol state;
-		// surface loudly but do not crash the run.
-		log.Printf("edge-indexed: replica %d dropping corrupt metadata from %d: %v", n.id, env.From, err)
+		// surface (rate-limited) but do not crash the run.
+		n.diag.Dropf(n.id, "edge-indexed: replica %d dropping corrupt metadata from %d: %v", n.id, env.From, err)
 		return nil
 	}
 	// Both engines index plans and the decoded vector by sender; a sender
 	// outside the replica set or a wrong-length vector is harness
 	// corruption that must be dropped, not dereferenced.
 	if int(env.From) < 0 || int(env.From) >= n.space.NumReplicas() {
-		log.Printf("edge-indexed: replica %d dropping update from invalid sender %d", n.id, env.From)
+		n.diag.Dropf(n.id, "edge-indexed: replica %d dropping update from invalid sender %d", n.id, env.From)
 		return nil
 	}
 	if len(ts) != n.space.Len(env.From) {
-		log.Printf("edge-indexed: replica %d dropping update from %d with %d-entry timestamp, want %d",
+		n.diag.Dropf(n.id, "edge-indexed: replica %d dropping update from %d with %d-entry timestamp, want %d",
 			n.id, env.From, len(ts), n.space.Len(env.From))
 		return nil
 	}

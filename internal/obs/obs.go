@@ -44,10 +44,11 @@ type Registry struct {
 }
 
 type repCounters struct {
-	delivered atomic.Int64 // messages delivered at this replica
-	applied   atomic.Int64 // updates applied (meta-only and buffered-only excluded)
-	stalls    atomic.Int64 // deliveries that applied nothing: a dependency stall
-	rechecks  atomic.Int64 // previously buffered updates released by a later arrival
+	delivered   atomic.Int64 // messages delivered at this replica
+	applied     atomic.Int64 // updates applied (meta-only and buffered-only excluded)
+	stalls      atomic.Int64 // deliveries that applied nothing: a dependency stall
+	rechecks    atomic.Int64 // previously buffered updates released by a later arrival
+	ingestDrops atomic.Int64 // corrupt/invalid envelopes rejected before buffering
 }
 
 type edgeCounters struct {
@@ -203,6 +204,17 @@ func (r *Registry) Retransmitted(from, to int) {
 	}
 }
 
+// IngestDrop records one envelope rejected at replica rep before
+// buffering: corrupt metadata, an out-of-range sender, or a wrong-length
+// timestamp. Protocol nodes report these through core.Diag instead of
+// logging unconditionally; the counter is the durable signal.
+func (r *Registry) IngestDrop(rep int) {
+	if r == nil || rep < 0 || rep >= r.replicas {
+		return
+	}
+	r.rep[rep].ingestDrops.Add(1)
+}
+
 // Batch records one flushed shard batch of the given envelope count,
 // tracking the largest batch seen.
 func (r *Registry) Batch(envelopes int) {
@@ -221,10 +233,16 @@ func (r *Registry) Batch(envelopes int) {
 
 // ObserveLatency folds one probed round-trip on edge from→to into the
 // edge's EWMA with the given smoothing factor (0 < alpha <= 1; the first
-// observation seeds the average directly).
+// observation seeds the average directly). alpha > 1 would extrapolate
+// past the new sample — the EWMA oscillates and can go negative, which
+// poisons any ordering built on it — so it is clamped to 1 (track the
+// latest sample exactly).
 func (r *Registry) ObserveLatency(from, to int, rtt time.Duration, alpha float64) {
 	if r == nil || alpha <= 0 {
 		return
+	}
+	if alpha > 1 {
+		alpha = 1
 	}
 	e := r.edgeAt(from, to)
 	if e == nil {
@@ -260,13 +278,14 @@ func (r *Registry) EdgeLatencyNs(from, to int) int64 {
 
 // ReplicaMetrics is one replica's protocol-level counters in a Snapshot.
 type ReplicaMetrics struct {
-	Delivered  int64 `json:"delivered"`
-	Applied    int64 `json:"applied"`
-	Stalls     int64 `json:"stalls"`
-	Rechecks   int64 `json:"rechecks"`
-	Parked     int64 `json:"parked"`      // pending-buffered updates at snapshot time
-	InboxDepth int64 `json:"inbox_depth"` // engine queue depth (when queues == replicas)
-	InboxPeak  int64 `json:"inbox_peak"`
+	Delivered   int64 `json:"delivered"`
+	Applied     int64 `json:"applied"`
+	Stalls      int64 `json:"stalls"`
+	Rechecks    int64 `json:"rechecks"`
+	IngestDrops int64 `json:"ingest_drops,omitempty"` // envelopes rejected before buffering
+	Parked      int64 `json:"parked"`                 // pending-buffered updates at snapshot time
+	InboxDepth  int64 `json:"inbox_depth"`            // engine queue depth (when queues == replicas)
+	InboxPeak   int64 `json:"inbox_peak"`
 }
 
 // QueueMetrics is one engine destination queue's gauge pair in a
@@ -343,10 +362,11 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range s.Replicas {
 			c := &r.rep[i]
 			s.Replicas[i] = ReplicaMetrics{
-				Delivered: c.delivered.Load(),
-				Applied:   c.applied.Load(),
-				Stalls:    c.stalls.Load(),
-				Rechecks:  c.rechecks.Load(),
+				Delivered:   c.delivered.Load(),
+				Applied:     c.applied.Load(),
+				Stalls:      c.stalls.Load(),
+				Rechecks:    c.rechecks.Load(),
+				IngestDrops: c.ingestDrops.Load(),
 			}
 			if r.queues == r.replicas {
 				s.Replicas[i].InboxDepth = r.queue[i].depth.Load()

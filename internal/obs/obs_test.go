@@ -174,6 +174,45 @@ func TestObserveLatencyEWMA(t *testing.T) {
 	}
 }
 
+// TestObserveLatencyAlphaClamp: alpha > 1 must clamp to 1 (track the
+// newest sample exactly) instead of extrapolating past it, which made
+// the EWMA oscillate and, for alpha > 2, diverge — and a large enough
+// sample swing could even drive it negative.
+func TestObserveLatencyAlphaClamp(t *testing.T) {
+	r := New(2, 0)
+	r.ObserveLatency(0, 1, 1000*time.Nanosecond, 0.5)
+	r.ObserveLatency(0, 1, 2000*time.Nanosecond, 5.0)
+	if got := r.EdgeLatencyNs(0, 1); got != 2000 {
+		t.Errorf("alpha>1 EWMA = %d, want clamped-to-newest 2000", got)
+	}
+	// The unclamped formula old + 3(new-old) with new << old went
+	// negative; clamped it lands exactly on the new sample.
+	r.ObserveLatency(0, 1, 10*time.Nanosecond, 3.0)
+	if got := r.EdgeLatencyNs(0, 1); got != 10 {
+		t.Errorf("alpha>1 downswing EWMA = %d, want 10", got)
+	}
+}
+
+// TestIngestDrops: drop counting is nil-safe, bounds-checked, and
+// surfaces in the per-replica snapshot.
+func TestIngestDrops(t *testing.T) {
+	var nilReg *Registry
+	nilReg.IngestDrop(0) // must not panic
+
+	r := New(3, 0)
+	r.IngestDrop(-1)
+	r.IngestDrop(3) // out of range: ignored
+	r.IngestDrop(1)
+	r.IngestDrop(1)
+	s := r.Snapshot()
+	if got := s.Replicas[1].IngestDrops; got != 2 {
+		t.Errorf("replica 1 ingest drops = %d, want 2", got)
+	}
+	if got := s.Replicas[0].IngestDrops; got != 0 {
+		t.Errorf("replica 0 ingest drops = %d, want 0", got)
+	}
+}
+
 func TestEdgeKey(t *testing.T) {
 	if got := EdgeKey(3, 11); got != "3->11" {
 		t.Errorf("EdgeKey(3,11) = %q", got)

@@ -1,0 +1,529 @@
+package optimize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/sharegraph"
+	"repro/internal/timestamp"
+)
+
+// Route is a simple path of replicas relaying one broken register: it
+// visits every holder of the register, consecutive route members share a
+// virtual hop register, and updates travel hop by hop in both directions
+// from the writer. The Figure 13 ring break is the special case of one
+// register routed the long way around the cycle.
+type Route []sharegraph.ReplicaID
+
+// Placement is a candidate optimization of a base share graph: a set of
+// "broken" registers, each replaced by a relay route. Breaking a register
+// removes its share-graph edges (the holders no longer exchange it
+// directly) and adds the route's hop edges instead — a placement search
+// move that can only sparsify cycles, never invent replica pairs that
+// share data, because routes are constrained to edges the remaining
+// registers already support.
+//
+// The zero set of broken registers is the identity placement: the
+// effective graph equals the base graph.
+type Placement struct {
+	Base   *sharegraph.Graph
+	Broken map[sharegraph.Register]Route
+}
+
+// NewPlacement returns the identity placement over base.
+func NewPlacement(base *sharegraph.Graph) *Placement {
+	return &Placement{Base: base, Broken: make(map[sharegraph.Register]Route)}
+}
+
+// Clone deep-copies the placement (the base graph is shared, immutable).
+func (p *Placement) Clone() *Placement {
+	q := &Placement{Base: p.Base, Broken: make(map[sharegraph.Register]Route, len(p.Broken))}
+	for x, r := range p.Broken {
+		q.Broken[x] = append(Route(nil), r...)
+	}
+	return q
+}
+
+// hopRegister names the virtual register carrying relayed updates of x
+// over route hop h (between route[h] and route[h+1]). The "__relay"
+// prefix keeps hop registers out of oracle liveness accounting (they are
+// protocol-internal, never client-accessible).
+func hopRegister(x sharegraph.Register, h int) sharegraph.Register {
+	return sharegraph.Register(fmt.Sprintf("__relay/%s/%d", x, h))
+}
+
+// EffectiveGraph materializes the share graph the timestamps run over:
+// the base placement with every broken register removed and its route's
+// hop registers added. Fails if the result is not a valid connected
+// share graph.
+func (p *Placement) EffectiveGraph() (*sharegraph.Graph, error) {
+	n := p.Base.NumReplicas()
+	stores := make([]sharegraph.RegisterSet, n)
+	for i := 0; i < n; i++ {
+		stores[i] = p.Base.Stores(sharegraph.ReplicaID(i)).Clone()
+	}
+	for x, route := range p.Broken {
+		for i := range stores {
+			delete(stores[i], x)
+		}
+		for h := 0; h+1 < len(route); h++ {
+			vr := hopRegister(x, h)
+			stores[route[h]].Add(vr)
+			stores[route[h+1]].Add(vr)
+		}
+	}
+	g, err := sharegraph.NewFromSets(stores)
+	if err != nil {
+		return nil, fmt.Errorf("optimize: effective graph: %w", err)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("optimize: effective graph is disconnected")
+	}
+	return g, nil
+}
+
+// Validate checks the placement invariants every search move must
+// preserve: each broken register exists in the base graph with at least
+// two holders; its route is a simple path of in-range replicas visiting
+// every holder; no route hops over a pair whose only support was broken
+// registers (each hop pair must still share at least one surviving
+// register OR be adjacent via the hop registers themselves — the hop
+// register it introduces always satisfies this, so the real constraint
+// is the effective graph round-tripping through NewFromSets connected).
+func (p *Placement) Validate() error {
+	n := p.Base.NumReplicas()
+	for x, route := range p.Broken {
+		holders := p.Base.Holders(x)
+		if len(holders) < 2 {
+			return fmt.Errorf("optimize: broken register %q has %d holders; need at least 2", x, len(holders))
+		}
+		if len(route) < 2 {
+			return fmt.Errorf("optimize: route for %q has %d members; need at least 2", x, len(route))
+		}
+		seen := make(map[sharegraph.ReplicaID]bool, len(route))
+		for _, r := range route {
+			if int(r) < 0 || int(r) >= n {
+				return fmt.Errorf("optimize: route for %q visits out-of-range replica %d", x, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("optimize: route for %q revisits replica %d — not a simple path", x, r)
+			}
+			seen[r] = true
+		}
+		for _, h := range holders {
+			if !seen[h] {
+				return fmt.Errorf("optimize: route for %q skips holder %d", x, h)
+			}
+		}
+	}
+	_, err := p.EffectiveGraph()
+	return err
+}
+
+// buildRoute constructs a relay route for register x under the current
+// broken set: starting from one holder, it repeatedly extends the path
+// to the nearest not-yet-visited holder by BFS over the support graph
+// (replica pairs still sharing at least one unbroken register other
+// than x), never revisiting a vertex. Returns false when no simple
+// holder-visiting path exists — the move is invalid.
+//
+// On a ring this reproduces Figure 13: holders 0 and n−1 share only the
+// broken register, so the path runs the long way around the cycle.
+func (p *Placement) buildRoute(x sharegraph.Register) (Route, bool) {
+	holders := p.Base.Holders(x)
+	if len(holders) < 2 {
+		return nil, false
+	}
+	n := p.Base.NumReplicas()
+	support := func(a, b sharegraph.ReplicaID) bool {
+		for r := range p.Base.Shared(a, b) {
+			if r != x && p.Broken[r] == nil {
+				return true
+			}
+		}
+		return false
+	}
+	remaining := make(map[sharegraph.ReplicaID]bool, len(holders))
+	for _, h := range holders {
+		remaining[h] = true
+	}
+	route := Route{holders[0]}
+	used := make([]bool, n)
+	used[holders[0]] = true
+	delete(remaining, holders[0])
+	for len(remaining) > 0 {
+		// BFS from the route's end to the nearest remaining holder,
+		// through unused vertices only (keeps the path simple).
+		start := route[len(route)-1]
+		const unvisited = -2
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = unvisited
+		}
+		parent[start] = -1
+		queue := []sharegraph.ReplicaID{start}
+		found := sharegraph.ReplicaID(-1)
+		for len(queue) > 0 && found < 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for b := 0; b < n && found < 0; b++ {
+				rb := sharegraph.ReplicaID(b)
+				if parent[b] != unvisited || (used[b] && rb != start) || !support(cur, rb) {
+					continue
+				}
+				parent[b] = int(cur)
+				if remaining[rb] {
+					found = rb
+				} else {
+					queue = append(queue, rb)
+				}
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		// Unwind the BFS parents into the path extension.
+		var ext Route
+		for at := found; parent[at] >= 0; at = sharegraph.ReplicaID(parent[at]) {
+			ext = append(ext, at)
+		}
+		for i := len(ext) - 1; i >= 0; i-- {
+			route = append(route, ext[i])
+			used[ext[i]] = true
+		}
+		delete(remaining, found)
+	}
+	return route, true
+}
+
+// BrokenRegisters returns the broken set in sorted order (deterministic
+// iteration for printing and scoring).
+func (p *Placement) BrokenRegisters() []sharegraph.Register {
+	out := make([]sharegraph.Register, 0, len(p.Broken))
+	for x := range p.Broken {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Relay protocol over a placement
+
+// hopInfo resolves a hop register back to its real register and hop
+// index.
+type hopInfo struct {
+	reg sharegraph.Register // the broken (real) register
+	hop int                 // route hop index: connects route[hop] and route[hop+1]
+}
+
+// PlacementProtocol runs the edge-indexed machinery over a placement's
+// effective graph, relaying broken-register updates along their routes —
+// the generalization of RingBreak to arbitrary broken sets. Writes at a
+// route member emit hop messages in both directions; every holder on
+// the route materializes the value, interior members forward away from
+// the sender. Reads and client writes are accepted exactly where the
+// BASE graph stores the register, so the oracle's model of the
+// placement never changes.
+type PlacementProtocol struct {
+	place *Placement
+	base  *sharegraph.Graph
+	eff   *sharegraph.Graph
+	space *timestamp.Space
+	name  string
+	diag  *core.Diag
+
+	routes map[sharegraph.Register]Route                        // broken register → route
+	pos    map[sharegraph.Register]map[sharegraph.ReplicaID]int // broken register → route position
+	hops   map[sharegraph.Register]hopInfo                      // hop register → (real register, hop index)
+}
+
+var (
+	_ core.Protocol     = (*PlacementProtocol)(nil)
+	_ core.DiagSettable = (*PlacementProtocol)(nil)
+)
+
+// Protocol builds the relay protocol for the placement. The name shows
+// up in diagnostics and benchmarks.
+func (p *Placement) Protocol(name string) (*PlacementProtocol, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	eff, err := p.EffectiveGraph()
+	if err != nil {
+		return nil, err
+	}
+	space, err := timestamp.NewSpace(eff, sharegraph.BuildAllTSGraphs(eff, sharegraph.LoopOptions{}))
+	if err != nil {
+		return nil, fmt.Errorf("optimize: placement space: %w", err)
+	}
+	pp := &PlacementProtocol{
+		place: p, base: p.Base, eff: eff, space: space, name: name,
+		routes: make(map[sharegraph.Register]Route, len(p.Broken)),
+		pos:    make(map[sharegraph.Register]map[sharegraph.ReplicaID]int, len(p.Broken)),
+		hops:   make(map[sharegraph.Register]hopInfo),
+	}
+	for x, route := range p.Broken {
+		pp.routes[x] = route
+		at := make(map[sharegraph.ReplicaID]int, len(route))
+		for i, r := range route {
+			at[r] = i
+		}
+		pp.pos[x] = at
+		for h := 0; h+1 < len(route); h++ {
+			pp.hops[hopRegister(x, h)] = hopInfo{reg: x, hop: h}
+		}
+	}
+	return pp, nil
+}
+
+// Name implements core.Protocol.
+func (p *PlacementProtocol) Name() string { return p.name }
+
+// SetDiag implements core.DiagSettable.
+func (p *PlacementProtocol) SetDiag(d *core.Diag) { p.diag = d }
+
+// Effective returns the share graph the timestamps run over.
+func (p *PlacementProtocol) Effective() *sharegraph.Graph { return p.eff }
+
+// Space exposes the timestamp space (size accounting, diagnostics).
+func (p *PlacementProtocol) Space() *timestamp.Space { return p.space }
+
+// NewNodes implements core.Protocol.
+func (p *PlacementProtocol) NewNodes() ([]core.Node, error) {
+	n := p.base.NumReplicas()
+	nodes := make([]core.Node, n)
+	for i := range nodes {
+		id := sharegraph.ReplicaID(i)
+		nodes[i] = &placeNode{
+			p:     p,
+			id:    id,
+			τ:     p.space.Zero(id),
+			store: make(map[sharegraph.Register]core.Value, p.base.Stores(id).Len()),
+		}
+	}
+	return nodes, nil
+}
+
+type placePending struct {
+	from     sharegraph.ReplicaID
+	ts       timestamp.Vec
+	reg      sharegraph.Register
+	val      core.Value
+	oracleID causality.UpdateID
+}
+
+// placeNode is one replica of the placement relay protocol: edge-indexed
+// deliverability over the effective graph, with hop-register messages
+// materialized at holders and forwarded by interior route members.
+type placeNode struct {
+	p       *PlacementProtocol
+	id      sharegraph.ReplicaID
+	τ       timestamp.Vec
+	store   map[sharegraph.Register]core.Value
+	pending []placePending
+}
+
+var (
+	_ core.Node        = (*placeNode)(nil)
+	_ core.Snapshotter = (*placeNode)(nil)
+)
+
+func (n *placeNode) ID() sharegraph.ReplicaID { return n.id }
+
+func (n *placeNode) HandleWrite(x sharegraph.Register, v core.Value, id causality.UpdateID, out core.Sink) error {
+	if !n.p.base.StoresRegister(n.id, x) {
+		return &core.NotStoredError{Replica: n.id, Register: x}
+	}
+	n.store[x] = v
+	if route, broken := n.p.routes[x]; broken {
+		// Relay in both directions from the writer's route position; each
+		// hop message is a write to the hop's virtual register.
+		pos := n.p.pos[x][n.id]
+		if pos > 0 {
+			out.Emit(n.hopEnvelope(x, pos-1, route[pos-1], v, id))
+		}
+		if pos+1 < len(route) {
+			out.Emit(n.hopEnvelope(x, pos, route[pos+1], v, id))
+		}
+		return nil
+	}
+	n.τ = n.p.space.Advance(n.id, n.τ, x)
+	meta := timestamp.Encode(n.τ)
+	for _, k := range n.p.eff.UpdateRecipients(n.id, x) {
+		out.Emit(core.Envelope{From: n.id, To: k, Reg: x, Val: v, Meta: meta, OracleID: id})
+	}
+	return nil
+}
+
+// hopEnvelope advances the timestamp on hop h's virtual register of
+// broken register x and builds the message to the hop's other end.
+func (n *placeNode) hopEnvelope(x sharegraph.Register, h int, to sharegraph.ReplicaID, v core.Value, id causality.UpdateID) core.Envelope {
+	vr := hopRegister(x, h)
+	n.τ = n.p.space.Advance(n.id, n.τ, vr)
+	return core.Envelope{
+		From: n.id, To: to, Reg: vr, Val: v,
+		Meta: timestamp.Encode(n.τ), OracleID: id,
+	}
+}
+
+func (n *placeNode) HandleMessage(env core.Envelope, out core.Sink) []core.Applied {
+	ts, err := timestamp.Decode(env.Meta)
+	if err != nil {
+		n.p.diag.Dropf(n.id, "%s: replica %d dropping corrupt metadata from %d: %v", n.p.name, n.id, env.From, err)
+		return nil
+	}
+	if int(env.From) < 0 || int(env.From) >= n.p.space.NumReplicas() {
+		n.p.diag.Dropf(n.id, "%s: replica %d dropping update from invalid sender %d", n.p.name, n.id, env.From)
+		return nil
+	}
+	if len(ts) != n.p.space.Len(env.From) {
+		n.p.diag.Dropf(n.id, "%s: replica %d dropping update from %d with %d-entry timestamp, want %d",
+			n.p.name, n.id, env.From, len(ts), n.p.space.Len(env.From))
+		return nil
+	}
+	n.pending = append(n.pending, placePending{
+		from: env.From, ts: ts, reg: env.Reg, val: env.Val, oracleID: env.OracleID,
+	})
+	return n.drain(out)
+}
+
+func (n *placeNode) drain(out core.Sink) []core.Applied {
+	var applied []core.Applied
+	for {
+		progress := false
+		for idx := 0; idx < len(n.pending); idx++ {
+			u := n.pending[idx]
+			if stalePending(n.p.space, n.id, n.τ, u.from, u.ts) {
+				// Fault-injected duplicate of an already-applied update:
+				// can never deliver again; drop it so it cannot linger as
+				// a dead pending or double-forward after replay.
+				n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+				idx--
+				continue
+			}
+			if !n.p.space.Deliverable(n.id, n.τ, u.from, u.ts) {
+				continue
+			}
+			n.p.space.MergeInPlace(n.id, n.τ, u.from, u.ts)
+			n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+			if hi, isHop := n.p.hops[u.reg]; isHop {
+				route := n.p.routes[hi.reg]
+				pos := n.p.pos[hi.reg][n.id]
+				if n.p.base.StoresRegister(n.id, hi.reg) {
+					// A holder on the route: materialize the relayed value.
+					n.store[hi.reg] = u.val
+					applied = append(applied, core.Applied{
+						OracleID: u.oracleID, From: u.from, Reg: hi.reg, Val: u.val,
+					})
+				}
+				// Forward away from the sender: a message on hop hi.hop
+				// reached us moving left or right along the route.
+				if pos == hi.hop && pos > 0 {
+					out.Emit(n.hopEnvelope(hi.reg, pos-1, route[pos-1], u.val, u.oracleID))
+				} else if pos == hi.hop+1 && pos+1 < len(route) {
+					out.Emit(n.hopEnvelope(hi.reg, pos, route[pos+1], u.val, u.oracleID))
+				}
+			} else {
+				n.store[u.reg] = u.val
+				applied = append(applied, core.Applied{
+					OracleID: u.oracleID, From: u.from, Reg: u.reg, Val: u.val,
+				})
+			}
+			progress = true
+			idx--
+		}
+		if !progress {
+			return applied
+		}
+	}
+}
+
+func (n *placeNode) Read(x sharegraph.Register) (core.Value, bool) {
+	if !n.p.base.StoresRegister(n.id, x) {
+		return 0, false
+	}
+	return n.store[x], true
+}
+
+func (n *placeNode) PendingCount() int { return len(n.pending) }
+
+func (n *placeNode) PendingOracleIDs() []causality.UpdateID {
+	out := make([]causality.UpdateID, 0, len(n.pending))
+	for _, u := range n.pending {
+		// In-transit relays are protocol-internal: the update is not yet
+		// "at" this replica in the oracle's model.
+		if _, isHop := n.p.hops[u.reg]; !isHop {
+			out = append(out, u.oracleID)
+		}
+	}
+	return out
+}
+
+func (n *placeNode) MetadataEntries() int { return len(n.τ) }
+
+var _ core.LivePendingCounter = (*placeNode)(nil)
+
+// LivePending implements core.LivePendingCounter; see relayNode.
+func (n *placeNode) LivePending() int {
+	live := 0
+	for _, u := range n.pending {
+		if !stalePending(n.p.space, n.id, n.τ, u.from, u.ts) {
+			live++
+		}
+	}
+	return live
+}
+
+// Snapshot implements core.Snapshotter.
+func (n *placeNode) Snapshot() *core.NodeCheckpoint {
+	ck := &core.NodeCheckpoint{
+		Replica: n.id,
+		Tau:     n.τ.Clone(),
+		Store:   make(map[sharegraph.Register]core.Value, len(n.store)),
+	}
+	for x, v := range n.store {
+		ck.Store[x] = v
+	}
+	for _, u := range n.pending {
+		ck.Pending = append(ck.Pending, core.Envelope{
+			From: u.from, To: n.id, Reg: u.reg, Val: u.val,
+			Meta: timestamp.Encode(u.ts), OracleID: u.oracleID,
+		})
+	}
+	return ck
+}
+
+// Install implements core.Snapshotter; see relayNode.Install for the
+// no-re-emission argument and NodeCheckpoint for nil-Tau semantics.
+func (n *placeNode) Install(ck *core.NodeCheckpoint) ([]core.Applied, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("optimize: nil checkpoint")
+	}
+	if ck.Replica != n.id {
+		return nil, fmt.Errorf("optimize: checkpoint of replica %d installed at %d", ck.Replica, n.id)
+	}
+	switch {
+	case ck.Tau == nil:
+		for i := range n.τ {
+			n.τ[i] = 0
+		}
+	case len(ck.Tau) != len(n.τ):
+		return nil, fmt.Errorf("optimize: checkpoint has %d timestamp entries, node tracks %d — different timestamp graphs",
+			len(ck.Tau), len(n.τ))
+	default:
+		copy(n.τ, ck.Tau)
+	}
+	n.store = make(map[sharegraph.Register]core.Value, len(ck.Store))
+	for x, v := range ck.Store {
+		n.store[x] = v
+	}
+	n.pending = nil
+	var out []core.Applied
+	for _, env := range ck.Pending {
+		out = append(out, n.HandleMessage(env, core.DiscardSink{})...)
+	}
+	return out, nil
+}

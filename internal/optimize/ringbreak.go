@@ -2,7 +2,6 @@ package optimize
 
 import (
 	"fmt"
-	"log"
 
 	"repro/internal/causality"
 	"repro/internal/core"
@@ -24,9 +23,16 @@ type RingBreak struct {
 	broken sharegraph.Register
 	line   *sharegraph.Graph
 	space  *timestamp.Space
+	diag   *core.Diag
 }
 
-var _ core.Protocol = (*RingBreak)(nil)
+var (
+	_ core.Protocol     = (*RingBreak)(nil)
+	_ core.DiagSettable = (*RingBreak)(nil)
+)
+
+// SetDiag implements core.DiagSettable.
+func (p *RingBreak) SetDiag(d *core.Diag) { p.diag = d }
 
 // BreakRing builds the broken-ring protocol over sharegraph.Ring(n). The
 // register shared by replicas 0 and n−1 ("ring<n-1>") becomes the relayed
@@ -157,7 +163,19 @@ func (n *relayNode) relayEnvelope(to sharegraph.ReplicaID, v core.Value, id caus
 func (n *relayNode) HandleMessage(env core.Envelope, out core.Sink) []core.Applied {
 	ts, err := timestamp.Decode(env.Meta)
 	if err != nil {
-		log.Printf("ring-break: replica %d dropping corrupt metadata from %d: %v", n.id, env.From, err)
+		n.p.diag.Dropf(n.id, "ring-break: replica %d dropping corrupt metadata from %d: %v", n.id, env.From, err)
+		return nil
+	}
+	// The drain indexes the space's per-sender plans by From; an
+	// out-of-range sender or a wrong-length vector is harness corruption
+	// that must be dropped, not dereferenced.
+	if int(env.From) < 0 || int(env.From) >= n.p.space.NumReplicas() {
+		n.p.diag.Dropf(n.id, "ring-break: replica %d dropping update from invalid sender %d", n.id, env.From)
+		return nil
+	}
+	if len(ts) != n.p.space.Len(env.From) {
+		n.p.diag.Dropf(n.id, "ring-break: replica %d dropping update from %d with %d-entry timestamp, want %d",
+			n.id, env.From, len(ts), n.p.space.Len(env.From))
 		return nil
 	}
 	n.pending = append(n.pending, relayPending{
@@ -172,6 +190,16 @@ func (n *relayNode) drain(out core.Sink) []core.Applied {
 		progress := false
 		for idx := 0; idx < len(n.pending); idx++ {
 			u := n.pending[idx]
+			if stalePending(n.p.space, n.id, n.τ, u.from, u.ts) {
+				// A fault-injected duplicate of an already-applied update:
+				// the gate only grows, so predicate J can never admit it
+				// again. Drop it so chaos duplicates cannot accumulate as
+				// dead pendings — and, on the relay path, cannot
+				// double-forward after a replay.
+				n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+				idx--
+				continue
+			}
 			if !n.p.space.Deliverable(n.id, n.τ, u.from, u.ts) {
 				continue
 			}
@@ -232,3 +260,90 @@ func isRelayRegister(x sharegraph.Register) bool {
 }
 
 func (n *relayNode) MetadataEntries() int { return len(n.τ) }
+
+var _ core.LivePendingCounter = (*relayNode)(nil)
+
+// LivePending implements core.LivePendingCounter. The drain drops stale
+// duplicates eagerly, so the buffer is live by construction; the filter
+// here re-applies the same rule defensively.
+func (n *relayNode) LivePending() int {
+	live := 0
+	for _, u := range n.pending {
+		if !stalePending(n.p.space, n.id, n.τ, u.from, u.ts) {
+			live++
+		}
+	}
+	return live
+}
+
+// stalePending reports whether a buffered update's sequence number on the
+// tracked edge (from → i) is already at or below the receiver's gate
+// counter: predicate J requires strict equality with gate+1 and the gate
+// only grows, so such an update can never be delivered. Untracked edges
+// (no SeqPos) never report stale.
+func stalePending(s *timestamp.Space, i sharegraph.ReplicaID, τ timestamp.Vec, from sharegraph.ReplicaID, ts timestamp.Vec) bool {
+	sp, ok := s.SeqPos(i, from)
+	if !ok {
+		return false
+	}
+	gp, _ := s.GatePos(i, from)
+	return ts[sp] <= τ[gp]
+}
+
+var _ core.Snapshotter = (*relayNode)(nil)
+
+// Snapshot implements core.Snapshotter, making the relay protocol
+// crash/restartable under the fault layer.
+func (n *relayNode) Snapshot() *core.NodeCheckpoint {
+	ck := &core.NodeCheckpoint{
+		Replica: n.id,
+		Tau:     n.τ.Clone(),
+		Store:   make(map[sharegraph.Register]core.Value, len(n.store)),
+	}
+	for x, v := range n.store {
+		ck.Store[x] = v
+	}
+	for _, u := range n.pending {
+		ck.Pending = append(ck.Pending, core.Envelope{
+			From: u.from, To: n.id, Reg: u.reg, Val: u.val,
+			Meta: timestamp.Encode(u.ts), OracleID: u.oracleID,
+		})
+	}
+	return ck
+}
+
+// Install implements core.Snapshotter. Pendings re-file through
+// HandleMessage with a discard sink: they were undeliverable at snapshot
+// time and the restored τ is identical, so determinism keeps them
+// buffered and nothing is re-emitted.
+func (n *relayNode) Install(ck *core.NodeCheckpoint) ([]core.Applied, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("optimize: nil checkpoint")
+	}
+	if ck.Replica != n.id {
+		return nil, fmt.Errorf("optimize: checkpoint of replica %d installed at %d", ck.Replica, n.id)
+	}
+	switch {
+	case ck.Tau == nil:
+		// Store-only checkpoint (live reconfiguration onto a new
+		// timestamp space): keep the fresh zero vector.
+		for i := range n.τ {
+			n.τ[i] = 0
+		}
+	case len(ck.Tau) != len(n.τ):
+		return nil, fmt.Errorf("optimize: checkpoint has %d timestamp entries, node tracks %d — different timestamp graphs",
+			len(ck.Tau), len(n.τ))
+	default:
+		copy(n.τ, ck.Tau)
+	}
+	n.store = make(map[sharegraph.Register]core.Value, len(ck.Store))
+	for x, v := range ck.Store {
+		n.store[x] = v
+	}
+	n.pending = nil
+	var out []core.Applied
+	for _, env := range ck.Pending {
+		out = append(out, n.HandleMessage(env, core.DiscardSink{})...)
+	}
+	return out, nil
+}

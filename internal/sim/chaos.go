@@ -38,6 +38,12 @@ type ChaosConfig struct {
 	// its per-replica program order.
 	Crash        bool
 	CrashReplica sharegraph.ReplicaID
+	// Reconfigure, when non-nil, live-switches the cluster onto this
+	// protocol at the 2/3 boundary — after the crash victim restarts and
+	// with partitions healed first (Cluster.Reconfigure requires an
+	// empty fault layer). The run therefore exercises an epoch fence in
+	// the middle of recovery traffic, the hardest spot for it.
+	Reconfigure core.Protocol
 	// Opts are extra cluster options (workers, seed, inbox capacity, …).
 	Opts []ClusterOption
 	// OnCluster, when non-nil, is called with the live cluster after
@@ -153,6 +159,19 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			return nil, fmt.Errorf("restart replica %d: %w", cfg.CrashReplica, err)
 		}
 		phases[2][cfg.CrashReplica] = append(deferred, phases[2][cfg.CrashReplica]...)
+	}
+
+	if cfg.Reconfigure != nil {
+		// The fence rejects parked messages, so flush the cuts first; the
+		// ambient loss/duplication lottery stays armed across the switch.
+		if cfg.Partition {
+			if err := c.HealAll(); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.Reconfigure(cfg.Reconfigure); err != nil {
+			return nil, fmt.Errorf("reconfigure: %w", err)
+		}
 	}
 
 	runPhase(phases[2])

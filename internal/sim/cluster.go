@@ -78,6 +78,12 @@ type Cluster struct {
 	meta    transport.BytePool
 	batches sync.Pool // *envBatch
 
+	// epoch is the reconfiguration fence: every client write holds it
+	// for reading, so Reconfigure's write lock blocks new writes while
+	// the old epoch drains. Deliveries never take it — a write blocked
+	// on inbox backpressure inside the read section can always drain.
+	epoch sync.RWMutex
+
 	idSeq     atomic.Int64 // oracle-ID source when auditing is off
 	closed    atomic.Bool
 	msgs      atomic.Int64
@@ -235,15 +241,9 @@ func WithLoadAware() ClusterOption {
 // NewCluster builds and starts a live cluster for the protocol. The
 // worker pool runs until Close.
 func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOption) (*Cluster, error) {
-	nodes, err := protocol.NewNodes()
-	if err != nil {
-		return nil, fmt.Errorf("cluster: build nodes: %w", err)
-	}
 	c := &Cluster{
 		g:        g,
 		protocol: protocol,
-		nodes:    nodes,
-		nodeMu:   make([]sync.Mutex, len(nodes)),
 		audit:    true,
 	}
 	for _, o := range opts {
@@ -258,9 +258,19 @@ func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOpti
 	}
 	c.batches.New = func() any { return &envBatch{} }
 	if c.metrics {
-		c.reg = obs.New(len(nodes), len(nodes))
+		c.reg = obs.New(g.NumReplicas(), g.NumReplicas())
 		c.opts.Obs = c.reg
 	}
+	// Inject the drop-diagnostics sink before building nodes (nodes
+	// capture it at construction): drops count in the registry when
+	// metrics are armed, and logging is rate-limited either way.
+	c.armDiag(protocol)
+	nodes, err := protocol.NewNodes()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: build nodes: %w", err)
+	}
+	c.nodes = nodes
+	c.nodeMu = make([]sync.Mutex, len(nodes))
 	if c.chaosPlan != nil {
 		c.rec = make([]replicaRec, len(nodes))
 		c.eng = rt.NewWithFaults(len(nodes), c.opts, *c.chaosPlan, c.cloneEnv, c.deliver)
@@ -289,6 +299,19 @@ func NewCluster(g *sharegraph.Graph, protocol core.Protocol, opts ...ClusterOpti
 		c.det.Start()
 	}
 	return c, nil
+}
+
+// armDiag injects the cluster's ingest-drop sink into protocols that
+// accept one (core.DiagSettable): every drop counts in the obs registry
+// when metrics are armed, and the diagnostic log line is rate-limited
+// either way. Protocols without the interface keep the package default.
+func (c *Cluster) armDiag(protocol core.Protocol) {
+	ds, ok := protocol.(core.DiagSettable)
+	if !ok {
+		return
+	}
+	reg := c.reg // may be nil (disarmed); IngestDrop no-ops on nil
+	ds.SetDiag(core.NewDiag(nil, func(r int) { reg.IngestDrop(r) }))
 }
 
 // loadScorer builds writer from's destination scorer: inbox depth
@@ -374,6 +397,11 @@ func (c *Cluster) Write(r sharegraph.ReplicaID, x sharegraph.Register, v core.Va
 	if c.closed.Load() {
 		return fmt.Errorf("cluster: closed")
 	}
+	// Hold the epoch fence for reading across issue AND send: Reconfigure
+	// must never observe a write that issued against the old epoch but
+	// has not yet reached the engine.
+	c.epoch.RLock()
+	defer c.epoch.RUnlock()
 	b := c.getBatch()
 	c.nodeMu[r].Lock()
 	if c.rec != nil && c.rec[r].down {

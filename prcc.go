@@ -257,6 +257,45 @@
 // still skip auditing with SimOptions.SkipAudit /
 // ClusterOptions.SkipAudit.
 //
+// # Placement optimization and reconfiguration
+//
+// The Appendix D observation behind Figure 13 — removing one register
+// from a ring and relaying its writes the long way around collapses the
+// cycle's timestamp entries — generalizes into a search problem: which
+// registers should be broken, and along which relay routes, to minimize
+// the metadata the whole system tracks? System.Optimize runs that
+// search: seeded hill-climbing with random restarts over placements,
+// where a move breaks one more register (building a relay route over
+// the edges that survive) or un-breaks one, each candidate re-scored by
+// rebuilding the effective share graph's timestamp graphs and summing
+// tracked entries. Entries can be priced by observed per-edge latency
+// EWMAs (Cluster.LatencyWeights) so the search prefers breaking cycles
+// whose edges are slow, and the result can be checked against the
+// Section 4 lower bound. On rings the search rediscovers the paper's
+// line topology (2n² entries down to 4n−4, within 2× of the cycle
+// closed form); on dense random graphs it strictly improves within a
+// 64-evaluation budget.
+//
+// A broken register's writes are stored at the writer, then forwarded
+// hop by hop along the route through per-hop relay registers shared by
+// consecutive holders; each holder on the route materializes the value
+// when the relayed write arrives. Since relay registers ride the
+// ordinary protocol, causal consistency is preserved without tracking
+// the broken register's cycle.
+//
+// Cluster.Reconfigure makes the search's result deployable on a LIVE
+// cluster: a two-phase epoch fence blocks client writes, drains every
+// in-flight delivery to quiescence, carries each replica's register
+// contents into fresh nodes of the new placement's protocol (timestamps
+// restart from zero — the quiesced frontier is causally closed, the
+// protocol's own initial-state assumption), and swaps the nodes. The
+// fence refuses to run over crashed replicas, parked partition traffic,
+// or any live undeliverable buffered update (a liveness bug it must not
+// paper over). Differential tests pin a mid-run reconfiguration to the
+// byte-identical final state of a never-reconfigured run, with zero
+// oracle violations, both on clean executions and under drop/duplicate
+// chaos with partitions and crash/restart.
+//
 // # Loop search
 //
 // Definition 5 timestamp graphs need an (i, e_jk)-loop existence decision
@@ -716,6 +755,51 @@ func (c *Cluster) MembershipEvents() []MembershipEvent {
 	return nil
 }
 
+// Reconfigure switches the running cluster onto a different placement
+// of the same registers — typically one found by System.Optimize — via
+// a two-phase epoch fence: client writes are blocked, every in-flight
+// delivery drains to quiescence, each replica's register contents are
+// carried into a fresh node of the new placement's protocol (timestamps
+// restart from zero — the quiesced frontier is causally closed, which
+// is exactly the protocol's initial-state assumption), and the nodes
+// are swapped. Causal consistency holds across the fence; differential
+// tests pin the final state byte-equal to a never-reconfigured run,
+// plain and under chaos.
+//
+// Reconfigure fails, leaving the cluster untouched, if any replica is
+// down or the fault layer still holds parked messages — restart crashed
+// replicas and heal partitions first. Recovery checkpoints reference
+// the old epoch's timestamp space and are discarded; re-checkpoint
+// afterwards.
+func (c *Cluster) Reconfigure(p *Placement) error {
+	if p == nil {
+		return fmt.Errorf("prcc: reconfigure: nil placement")
+	}
+	proto, err := p.Protocol("reconfigured")
+	if err != nil {
+		return fmt.Errorf("prcc: reconfigure: %w", err)
+	}
+	return c.inner.Reconfigure(proto)
+}
+
+// LatencyWeights returns an edge-weight function for
+// OptimizeOptions.EdgeWeight fed by the cluster's probed per-edge
+// latency EWMAs, so the placement search prefers breaking register
+// cycles whose tracked edges are slow. The weights are a snapshot taken
+// now, not a live view. Probes only run under ClusterOptions.LoadAware;
+// without it (or before the first probe round) every edge weighs zero
+// and the search falls back to unweighted entry counts.
+func (c *Cluster) LatencyWeights() func(i, j ReplicaID) float64 {
+	m := c.Metrics()
+	return func(i, j ReplicaID) float64 {
+		ns := m.Edges[obs.EdgeKey(int(i), int(j))].LatencyNs
+		if back := m.Edges[obs.EdgeKey(int(j), int(i))].LatencyNs; back > ns {
+			ns = back
+		}
+		return float64(ns)
+	}
+}
+
 // ProtocolKind selects a protocol for Simulate.
 type ProtocolKind int
 
@@ -1107,4 +1191,44 @@ type LowerBound struct {
 func (s *System) LowerBound(i ReplicaID, m int) LowerBound {
 	b := lowerbound.ComputeBound(s.graph, i, m)
 	return LowerBound{Exponent: b.Exponent, Bits: b.Bits(), Tight: b.Tight(), Verified: b.Verified}
+}
+
+// OptimizeOptions tunes the System.Optimize placement search. The zero
+// value runs the default budget (3 restarts, 64 candidate evaluations,
+// unweighted entry counts).
+type OptimizeOptions = optimize.SearchOptions
+
+// Placement assigns the system's registers to replicas, with some
+// registers "broken" out of the cycles they close: a broken register is
+// removed from every store and its writes relayed along an explicit
+// route of per-hop relay registers instead, trading relay latency for
+// smaller timestamps (the Figure 13 ring-breaking idea generalized to
+// arbitrary registers and routes).
+type Placement = optimize.Placement
+
+// PlacementResult reports the outcome of a placement search: the best
+// placement, its effective share graph, tracked-entry totals before and
+// after, and optional Section 4 lower bounds on the result.
+type PlacementResult = optimize.SearchResult
+
+// Optimize searches for a placement of the system's registers whose
+// effective share graph tracks fewer total timestamp entries: seeded
+// hill-climbing with random restarts, where each move breaks one more
+// register (relaying it along a route over the surviving edges) or
+// un-breaks one, and every candidate is re-scored by rebuilding the
+// effective graph's timestamp graphs. The identity placement is always
+// a candidate, so the result is never worse than the current system.
+// Same seed, same graph, same result.
+//
+// Optionally weight entries by observed per-edge latency
+// (OptimizeOptions.EdgeWeight, see Cluster.LatencyWeights) and verify
+// the result against the Section 4 lower bound
+// (OptimizeOptions.CheckBound). Feed the result's Placement to
+// Cluster.Reconfigure to switch a live cluster onto it.
+func (s *System) Optimize(opts OptimizeOptions) (*PlacementResult, error) {
+	res, err := optimize.Search(s.graph, opts)
+	if err != nil {
+		return nil, fmt.Errorf("prcc: optimize: %w", err)
+	}
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package prcc
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -309,5 +310,87 @@ func TestLiveClientServerFacade(t *testing.T) {
 	live.Sync()
 	if err := live.Check(); err != nil {
 		t.Error(err)
+	}
+}
+
+// ringStores builds the Figure 13 ring placement as facade input:
+// replica i shares ring<i> with replica (i+1) mod n, plus a private
+// register each.
+func ringStores(n int) [][]Register {
+	stores := make([][]Register, n)
+	for i := 0; i < n; i++ {
+		prev := (i - 1 + n) % n
+		stores[i] = []Register{
+			Register(fmt.Sprintf("ring%d", prev)),
+			Register(fmt.Sprintf("ring%d", i)),
+			Register(fmt.Sprintf("priv%d", i)),
+		}
+	}
+	return stores
+}
+
+// TestOptimizeAndReconfigure drives the whole facade loop: search a
+// better placement for a ring, switch a live mid-run cluster onto it,
+// and check causal consistency plus value survival across the fence.
+func TestOptimizeAndReconfigure(t *testing.T) {
+	sys, err := New(ringStores(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Optimize(OptimizeOptions{Seed: 1, CheckBound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries >= res.BaseEntries {
+		t.Fatalf("Optimize found no improvement: %d -> %d entries", res.BaseEntries, res.Entries)
+	}
+	if len(res.Bounds) == 0 || !res.Tight() {
+		t.Errorf("lower-bound check: %d bounds, tight=%v", len(res.Bounds), res.Tight())
+	}
+
+	cluster, err := sys.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Write(1, "ring1", 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Write(3, "priv3", 33); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Reconfigure(res.Placement); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	// The old epoch's values survive the fence and the new epoch keeps
+	// serving writes, including broken registers via their relay routes.
+	if v, ok := cluster.Read(2, "ring1"); !ok || v != 11 {
+		t.Errorf("Read(2, ring1) after reconfigure = (%d,%v), want (11,true)", v, ok)
+	}
+	for _, x := range sys.Registers() {
+		hs := sys.Holders(x)
+		if err := cluster.Write(hs[0], x, Value(100+len(x))); err != nil {
+			t.Fatalf("post-reconfigure Write(%d, %s): %v", hs[0], x, err)
+		}
+	}
+	cluster.Sync()
+	for _, x := range sys.Registers() {
+		for _, r := range sys.Holders(x) {
+			if v, ok := cluster.Read(r, x); !ok || v != Value(100+len(x)) {
+				t.Errorf("Read(%d, %s) = (%d,%v), want (%d,true)", r, x, v, ok, 100+len(x))
+			}
+		}
+	}
+	if err := cluster.Check(); err != nil {
+		t.Errorf("Check after reconfigure: %v", err)
+	}
+
+	// LatencyWeights without LoadAware: all-zero weights, still usable.
+	w := cluster.LatencyWeights()
+	if got := w(0, 1); got != 0 {
+		t.Errorf("unprobed latency weight = %v, want 0", got)
+	}
+	if err := cluster.Reconfigure(nil); err == nil {
+		t.Error("Reconfigure(nil) accepted")
 	}
 }
